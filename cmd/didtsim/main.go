@@ -1,0 +1,151 @@
+// Command didtsim runs one workload through the coupled
+// processor/power/PDN/controller simulation and prints run statistics.
+//
+// Usage:
+//
+//	didtsim -workload stressmark -impedance 2 -control -delay 2
+//	didtsim -workload gcc -impedance 3
+//	didtsim -asm program.s -control -mechanism FU/DL1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"didt/internal/actuator"
+	"didt/internal/core"
+	"didt/internal/isa"
+	"didt/internal/trace"
+	"didt/internal/workload"
+)
+
+func main() {
+	var (
+		wl        = flag.String("workload", "stressmark", "stressmark, a SPEC2000 name (see workload.Names), or 'asm'")
+		asmPath   = flag.String("asm", "", "path to an assembly file (used with -workload asm)")
+		impedance = flag.Float64("impedance", 2, "impedance as a multiple of target (1 = meets spec)")
+		control   = flag.Bool("control", false, "enable the dI/dt threshold controller")
+		mechName  = flag.String("mechanism", "ideal", "FU, FU/DL1, FU/DL1/IL1 or ideal")
+		delay     = flag.Int("delay", 2, "sensor/controller delay in cycles")
+		noise     = flag.Float64("noise", 0, "sensor noise amplitude in mV")
+		cycles    = flag.Uint64("cycles", 400000, "maximum cycles")
+		iters     = flag.Int("iterations", 3000, "workload loop iterations")
+		seed      = flag.Int64("seed", 0, "noise seed")
+		dumpCur   = flag.String("dump-current", "", "write the per-cycle current trace (CSV) to this path")
+		dumpVolt  = flag.String("dump-voltage", "", "write the per-cycle voltage trace (CSV) to this path")
+	)
+	flag.Parse()
+
+	prog, err := loadProgram(*wl, *asmPath, *iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mech, err := mechanism(*mechName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sys, err := core.NewSystem(prog, core.Options{
+		ImpedancePct: *impedance,
+		Control:      *control,
+		Mechanism:    mech,
+		Delay:        *delay,
+		NoiseMV:      *noise,
+		MaxCycles:    *cycles,
+		Seed:         *seed,
+		RecordTraces: *dumpCur != "" || *dumpVolt != "",
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload            %s\n", *wl)
+	fmt.Printf("impedance           %.0f%% of target\n", *impedance*100)
+	fmt.Printf("cycles              %d\n", res.Cycles)
+	fmt.Printf("instructions        %d (IPC %.2f)\n", res.Stats.Instructions, res.IPC())
+	fmt.Printf("current envelope    [%.1f, %.1f] A\n", res.IMin, res.IMax)
+	fmt.Printf("voltage range       [%.4f, %.4f] V (nominal %.2f)\n", res.MinV, res.MaxV, res.VNominal)
+	fmt.Printf("emergencies         %d cycles (%.4g%% of measured)\n", res.Emergencies, res.EmergencyFreq*100)
+	fmt.Printf("energy              %.4g J (avg power %.1f W)\n", res.Energy, res.AvgPower)
+	fmt.Printf("branch mispredicts  %d / %d lookups\n", res.Stats.Mispredicts, res.Stats.BranchLookups)
+	fmt.Printf("L1D/L1I/L2 miss     %.2f%% / %.2f%% / %.2f%%\n",
+		res.Stats.L1DMissRate*100, res.Stats.L1IMissRate*100, res.Stats.L2MissRate*100)
+	if *control {
+		th := res.Thresholds
+		fmt.Printf("controller          %s, delay %d, noise %.0fmV\n", mech.Name, *delay, *noise)
+		if th.Stable {
+			fmt.Printf("thresholds          low %.4f V / high %.4f V (window %.1f mV)\n", th.Low, th.High, th.SafeWindow*1e3)
+		} else {
+			fmt.Printf("thresholds          UNSTABLE (no guaranteed pair exists; conservative fallback used)\n")
+		}
+		fmt.Printf("actuations          %d gating, %d phantom-firing\n", res.LowEvents, res.HighEvents)
+	}
+
+	if *dumpCur != "" {
+		if err := writeTrace(*dumpCur, res.CurrentTrace, "current_A"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("current trace       %s (%d samples)\n", *dumpCur, len(res.CurrentTrace))
+	}
+	if *dumpVolt != "" {
+		if err := writeTrace(*dumpVolt, res.VoltageTrace, "voltage_V"); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("voltage trace       %s (%d samples)\n", *dumpVolt, len(res.VoltageTrace))
+	}
+}
+
+func writeTrace(path string, tr trace.Trace, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tr.WriteCSV(f, name)
+}
+
+func loadProgram(wl, asmPath string, iters int) (isa.Program, error) {
+	switch wl {
+	case "stressmark":
+		return workload.Stressmark(workload.StressmarkParams{Iterations: iters}), nil
+	case "asm":
+		f, err := os.Open(asmPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return isa.Parse(f)
+	default:
+		p, err := workload.ProfileByName(wl)
+		if err != nil {
+			return nil, err
+		}
+		p.Iterations = iters
+		return workload.Generate(p), nil
+	}
+}
+
+func mechanism(name string) (actuator.Mechanism, error) {
+	switch name {
+	case "FU":
+		return actuator.FU, nil
+	case "FU/DL1":
+		return actuator.FUDL1, nil
+	case "FU/DL1/IL1":
+		return actuator.FUDL1IL1, nil
+	case "ideal":
+		return actuator.Ideal, nil
+	}
+	return actuator.Mechanism{}, fmt.Errorf("unknown mechanism %q", name)
+}

@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run table2
+//	experiments -run all -cycles 220000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"didt/internal/experiments"
+)
+
+func main() {
+	var (
+		runID  = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		cycles = flag.Uint64("cycles", 0, "per-run cycle budget (0 = default)")
+		warmup = flag.Uint64("warmup", 0, "warmup cycles excluded from voltage stats (0 = default)")
+		iters  = flag.Int("iterations", 0, "benchmark loop iterations (0 = default)")
+		quick  = flag.Bool("quick", false, "use the reduced quick configuration")
+		bench  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		seed   = flag.Int64("seed", 0, "noise/workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *cycles != 0 {
+		cfg.Cycles = *cycles
+	}
+	if *warmup != 0 {
+		cfg.Warmup = *warmup
+	}
+	if *iters != 0 {
+		cfg.Iterations = *iters
+	}
+	if *bench != "" {
+		cfg.Benchmarks = strings.Split(*bench, ",")
+	}
+	cfg.Seed = *seed
+
+	reg := experiments.Registry()
+	ids := []string{*runID}
+	if *runID == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		runner, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := runner(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,40 @@
+// Command pdnexplore prints the power-delivery-network model's responses:
+// impedance vs frequency, step response, and the reaction to the paper's
+// characteristic current stimuli (Figures 2-6).
+//
+// Usage:
+//
+//	pdnexplore                 # all responses at 200% impedance
+//	pdnexplore -figure fig6    # just the resonant pulse train
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"didt/internal/experiments"
+)
+
+func main() {
+	var figure = flag.String("figure", "all", "fig2, fig3, fig4, fig5, fig6 or all")
+	flag.Parse()
+
+	ids := []string{"fig2", "fig3", "fig4", "fig5", "fig6"}
+	if *figure != "all" {
+		ids = []string{*figure}
+	}
+	reg := experiments.Registry()
+	cfg := experiments.Default()
+	for _, id := range ids {
+		runner, ok := reg[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", id)
+			os.Exit(2)
+		}
+		if err := runner(cfg, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

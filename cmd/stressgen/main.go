@@ -1,0 +1,56 @@
+// Command stressgen emits the dI/dt stressmark as assembly (the paper's
+// Figure 8 artifact) and can tune its loop shape to the resonant period of
+// a given system.
+//
+// Usage:
+//
+//	stressgen                      # print the default stressmark
+//	stressgen -tune -impedance 2   # search loop shapes for the deepest swing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"didt/internal/core"
+	"didt/internal/workload"
+)
+
+func main() {
+	var (
+		tune      = flag.Bool("tune", false, "sweep loop shapes and report the deepest voltage swing")
+		impedance = flag.Float64("impedance", 2, "impedance multiple for tuning runs")
+		divs      = flag.Int("divs", 0, "chained divides in the quiet phase (0 = default)")
+		alu       = flag.Int("alu", 0, "burst ALU operations (0 = default)")
+		stores    = flag.Int("stores", 0, "burst stores (0 = default)")
+		iters     = flag.Int("iterations", 100, "loop trip count for the emitted program")
+	)
+	flag.Parse()
+
+	if *tune {
+		best, all, err := workload.TuneStressmark(core.Options{ImpedancePct: *impedance})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-6s %-6s %-8s %-12s %-10s %s\n", "divs", "alu", "stores", "cycles/iter", "dev (mV)", "emergencies")
+		for _, r := range all {
+			fmt.Printf("%-6d %-6d %-8d %-12.1f %-10.1f %d\n",
+				r.Params.ChainedDivs, r.Params.BurstALU, r.Params.BurstStores,
+				r.CyclesPerIter, r.MaxDeviation*1e3, r.Emergencies)
+		}
+		fmt.Printf("\nbest: divs=%d alu=%d stores=%d  deviation %.1f mV\n",
+			best.Params.ChainedDivs, best.Params.BurstALU, best.Params.BurstStores,
+			best.MaxDeviation*1e3)
+		return
+	}
+
+	p := workload.StressmarkParams{
+		Iterations:  *iters,
+		ChainedDivs: *divs,
+		BurstALU:    *alu,
+		BurstStores: *stores,
+	}
+	fmt.Print(workload.StressmarkAssembly(p))
+}

@@ -1,0 +1,136 @@
+// Package didt is a from-scratch reproduction of "Control Techniques to
+// Eliminate Voltage Emergencies in High Performance Processors" (Joseph,
+// Brooks, Martonosi; HPCA 2003): microarchitectural dI/dt control coupled
+// to a cycle-level out-of-order processor simulator, a Wattch-style power
+// model and a second-order power-delivery-network model.
+//
+// The facade re-exports the library's primary entry points:
+//
+//	prog := didt.Stressmark(didt.StressmarkParams{Iterations: 2000})
+//	sys, err := didt.NewSystem(prog, didt.Options{
+//	    ImpedancePct: 2,
+//	    Control:      true,
+//	    Mechanism:    didt.FUDL1,
+//	    Delay:        2,
+//	})
+//	res, err := sys.Run()
+//	fmt.Println(res.Emergencies, res.IPC())
+//
+// Subsystem packages live under internal/: the PDN mathematics (linsys,
+// pdn), the machine (isa, bpred, mem, cpu), the power model (power), the
+// control stack (sensor, actuator, control), the workloads (workload), and
+// the experiment harness that regenerates every table and figure in the
+// paper (experiments).
+package didt
+
+import (
+	"io"
+
+	"didt/internal/actuator"
+	"didt/internal/control"
+	"didt/internal/core"
+	"didt/internal/cpu"
+	"didt/internal/experiments"
+	"didt/internal/isa"
+	"didt/internal/pdn"
+	"didt/internal/power"
+	"didt/internal/workload"
+)
+
+// Core simulation types.
+type (
+	// Options configures a coupled simulation; zero values take the
+	// paper's defaults (Table 1 core, 3 GHz / 1.0 V / 50 MHz package).
+	Options = core.Options
+	// System is one assembled closed loop.
+	System = core.System
+	// Result summarizes a run.
+	Result = core.Result
+	// CycleState is the per-cycle view used for trace-level analysis.
+	CycleState = core.CycleState
+
+	// CPUConfig is the Table 1 machine configuration.
+	CPUConfig = cpu.Config
+	// PowerParams calibrates the Wattch-style power model.
+	PowerParams = power.Params
+	// PDNParams describes the package model.
+	PDNParams = pdn.Params
+
+	// Mechanism names an actuation granularity.
+	Mechanism = actuator.Mechanism
+	// Thresholds is a solved voltage-threshold pair.
+	Thresholds = control.Thresholds
+
+	// Program is an executable instruction sequence.
+	Program = isa.Program
+	// StressmarkParams shapes the dI/dt stressmark loop.
+	StressmarkParams = workload.StressmarkParams
+	// BenchmarkProfile parameterizes one synthetic SPEC2000 stand-in.
+	BenchmarkProfile = workload.Profile
+
+	// ExperimentConfig scales the table/figure harness.
+	ExperimentConfig = experiments.Config
+)
+
+// Actuation mechanisms (Section 5.1 granularities plus the ideal actuator
+// of Section 4).
+var (
+	FU       = actuator.FU
+	FUDL1    = actuator.FUDL1
+	FUDL1IL1 = actuator.FUDL1IL1
+	Ideal    = actuator.Ideal
+)
+
+// NewSystem assembles the coupled processor/power/PDN/controller loop for
+// a program.
+func NewSystem(prog Program, opts Options) (*System, error) {
+	return core.NewSystem(prog, opts)
+}
+
+// Stressmark builds the paper's dI/dt stressmark (Section 3.2).
+func Stressmark(p StressmarkParams) Program { return workload.Stressmark(p) }
+
+// Benchmarks lists the 26 synthetic SPEC2000 stand-ins.
+func Benchmarks() []string { return workload.Names() }
+
+// Benchmark generates the named synthetic benchmark with the given loop
+// trip count (0 = default).
+func Benchmark(name string, iterations int) (Program, error) {
+	p, err := workload.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p.Iterations = iterations
+	return workload.Generate(p), nil
+}
+
+// ParseAssembly assembles textual assembly into a Program.
+func ParseAssembly(src string) (Program, error) { return isa.ParseString(src) }
+
+// Experiments lists the paper-reproduction experiment identifiers in
+// paper order.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures, writing
+// the rendered result to w. Use DefaultExperimentConfig or
+// QuickExperimentConfig for cfg.
+func RunExperiment(id string, cfg ExperimentConfig, w io.Writer) error {
+	runner, ok := experiments.Registry()[id]
+	if !ok {
+		return &UnknownExperimentError{ID: id}
+	}
+	return runner(cfg, w)
+}
+
+// DefaultExperimentConfig is the full-size harness configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
+
+// QuickExperimentConfig is a reduced configuration for smoke tests.
+func QuickExperimentConfig() ExperimentConfig { return experiments.Quick() }
+
+// UnknownExperimentError reports a bad experiment identifier.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "didt: unknown experiment " + e.ID + " (see Experiments())"
+}

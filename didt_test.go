@@ -1,0 +1,70 @@
+package didt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeQuickLoop(t *testing.T) {
+	prog := Stressmark(StressmarkParams{Iterations: 300})
+	sys, err := NewSystem(prog, Options{ImpedancePct: 2, MaxCycles: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Instructions == 0 {
+		t.Error("nothing retired")
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	if got := len(Benchmarks()); got != 26 {
+		t.Errorf("%d benchmarks, want 26", got)
+	}
+	prog, err := Benchmark("gcc", 20)
+	if err != nil || len(prog) == 0 {
+		t.Fatalf("Benchmark(gcc): %v", err)
+	}
+	if _, err := Benchmark("bogus", 0); err == nil {
+		t.Error("want error for unknown benchmark")
+	}
+}
+
+func TestFacadeParseAssembly(t *testing.T) {
+	prog, err := ParseAssembly("ldi r1, 5\nhalt\n")
+	if err != nil || len(prog) != 2 {
+		t.Fatalf("ParseAssembly: %v", err)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 17 {
+		t.Errorf("%d experiments", len(ids))
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("fig1", QuickExperimentConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+	err := RunExperiment("nope", QuickExperimentConfig(), &buf)
+	if err == nil {
+		t.Fatal("want error for unknown id")
+	}
+	if _, ok := err.(*UnknownExperimentError); !ok {
+		t.Errorf("want UnknownExperimentError, got %T", err)
+	}
+}
+
+func TestMechanismsExported(t *testing.T) {
+	for _, m := range []Mechanism{FU, FUDL1, FUDL1IL1, Ideal} {
+		if m.Name == "" {
+			t.Error("unnamed mechanism")
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package didt_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"didt"
+)
+
+// Example demonstrates the core loop: run the dI/dt stressmark on a cheap
+// package with the threshold controller and inspect the outcome.
+func Example() {
+	prog := didt.Stressmark(didt.StressmarkParams{Iterations: 500})
+	sys, err := didt.NewSystem(prog, didt.Options{
+		ImpedancePct: 2,
+		Control:      true,
+		Mechanism:    didt.FUDL1,
+		Delay:        2,
+		MaxCycles:    200000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("emergencies:", res.Emergencies)
+	// Output: emergencies: 0
+}
+
+// ExampleBenchmark shows how to run one of the synthetic SPEC2000
+// stand-ins uncontrolled for characterization.
+func ExampleBenchmark() {
+	prog, err := didt.Benchmark("gcc", 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := didt.NewSystem(prog, didt.Options{ImpedancePct: 1, MaxCycles: 100000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inside the band:", res.Emergencies == 0)
+	// Output: inside the band: true
+}
+
+// ExampleParseAssembly assembles a custom kernel in the library's textual
+// syntax.
+func ExampleParseAssembly() {
+	prog, err := didt.ParseAssembly(`
+	  ldi  r1, 3
+	loop:
+	  addi r1, r1, -1
+	  bnez r1, loop
+	  halt
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("instructions:", len(prog))
+	// Output: instructions: 4
+}
+
+// ExampleRunExperiment regenerates one of the paper's artifacts.
+func ExampleRunExperiment() {
+	err := didt.RunExperiment("fig1", didt.QuickExperimentConfig(), os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Customworkload: write your own kernel in the library's assembly syntax,
+// assemble it, and put it under dI/dt control. Demonstrates the assembler
+// front end and threshold/actuation introspection for code the library has
+// never seen.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"didt"
+)
+
+// A hand-written resonance kernel in the paper's Figure 8 style: a divide
+// stall followed by a dependent burst, with the loop-carried dependence
+// through memory.
+const src = `
+    ; setup
+    ldi  r4, 65536
+    ldi  r9, 1500          ; iterations
+    fldi f2, 1.0000001
+    fldi f1, 1.5
+    fst  f1, 0(r4)
+loop:
+    fld  f1, 0(r4)         ; depends on last iteration's store
+    fdiv f3, f1, f2        ; quiet phase: serialized divides
+    fdiv f3, f3, f2
+    fdiv f3, f3, f2
+    fst  f3, 8(r4)         ; publish result
+    ld   r7, 8(r4)         ; reload as integer (cross-file move)
+    cmovnz r3, r7, r31
+    add  r10, r7, r11      ; burst: independent fan-out on r7
+    add  r11, r7, r12
+    add  r12, r7, r13
+    add  r13, r7, r14
+    xor  r14, r7, r10
+    xor  r15, r7, r11
+    st   r7, 64(r4)
+    st   r7, 72(r4)
+    st   r7, 80(r4)
+    st   r7, 88(r4)
+    fadd f10, f3, f11
+    fadd f11, f3, f12
+    fmul f12, f3, f2
+    add  r10, r7, r13
+    xor  r11, r7, r14
+    st   r7, 112(r4)
+    xor  r13, r7, r10
+    add  r14, r7, r11
+    st   r7, 136(r4)
+    add  r10, r7, r13
+    xor  r11, r7, r14
+    st   r7, 160(r4)
+    xor  r13, r7, r10
+    add  r14, r7, r11
+    st   r7, 184(r4)
+    add  r10, r7, r13
+    xor  r11, r7, r14
+    st   r7, 208(r4)
+    xor  r13, r7, r10
+    add  r14, r7, r11
+    st   r7, 232(r4)
+    add  r10, r7, r13
+    xor  r11, r7, r14
+    st   r7, 256(r4)
+    xor  r13, r7, r10
+    add  r14, r7, r11
+    st   r7, 280(r4)
+    add  r10, r7, r13
+    xor  r11, r7, r14
+    st   r7, 304(r4)
+    xor  r13, r7, r10
+    add  r14, r7, r11
+    st   r7, 328(r4)
+    add  r10, r7, r13
+    xor  r11, r7, r14
+    st   r7, 352(r4)
+    xor  r13, r7, r10
+    add  r14, r7, r11
+    st   r7, 376(r4)
+    add  r10, r7, r13
+    xor  r11, r7, r14
+    st   r7, 400(r4)
+    xor  r13, r7, r10
+    fadd f10, f3, f12
+    fadd f11, f3, f13
+    fadd f12, f3, f14
+    fadd f13, f3, f15
+    fadd f14, f3, f10
+    fadd f15, f3, f11
+    fadd f10, f3, f12
+    fadd f11, f3, f13
+    fadd f12, f3, f14
+    fadd f13, f3, f15
+    fst  f3, 0(r4)         ; feed the next iteration
+    addi r9, r9, -1
+    bnez r9, loop
+    halt
+`
+
+func main() {
+	prog, err := didt.ParseAssembly(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assembled %d instructions\n\n", len(prog))
+
+	for _, delay := range []int{0, 2, 4} {
+		sys, err := didt.NewSystem(prog, didt.Options{
+			ImpedancePct: 4, // a very cheap package: this kernel needs control here
+			Control:      true,
+			Mechanism:    didt.FUDL1,
+			Delay:        delay,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		th := res.Thresholds
+		fmt.Printf("sensor delay %d: thresholds [%.4f, %.4f] V, window %.1f mV\n",
+			delay, th.Low, th.High, th.SafeWindow*1e3)
+		fmt.Printf("  %d cycles, V in [%.4f, %.4f], %d emergencies, %d gating events\n",
+			res.Cycles, res.MinV, res.MaxV, res.Emergencies, res.LowEvents)
+	}
+
+	fmt.Println()
+	fmt.Println("Slower sensors force more conservative thresholds (narrower safe")
+	fmt.Println("windows) and trigger the actuator earlier and more often.")
+}

@@ -1,0 +1,61 @@
+// Quickstart: build the dI/dt stressmark, run it on the coupled
+// processor/power/PDN simulation at a 200%-of-target impedance, then run
+// it again with the threshold controller enabled and compare.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"didt"
+)
+
+func main() {
+	prog := didt.Stressmark(didt.StressmarkParams{Iterations: 2000})
+
+	// Uncontrolled: a cheap package (200% of target impedance) exposed to
+	// the resonant stressmark.
+	base, err := didt.NewSystem(prog, didt.Options{ImpedancePct: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRes, err := base.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Controlled: same package, threshold controller with a 2-cycle sensor
+	// and the FU/DL1 actuator.
+	ctl, err := didt.NewSystem(prog, didt.Options{
+		ImpedancePct: 2,
+		Control:      true,
+		Mechanism:    didt.FUDL1,
+		Delay:        2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctlRes, err := ctl.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("dI/dt stressmark at 200% of target impedance")
+	fmt.Println()
+	fmt.Printf("%-22s %15s %15s\n", "", "uncontrolled", "controlled")
+	fmt.Printf("%-22s %15d %15d\n", "cycles", baseRes.Cycles, ctlRes.Cycles)
+	fmt.Printf("%-22s %15.2f %15.2f\n", "IPC", baseRes.IPC(), ctlRes.IPC())
+	fmt.Printf("%-22s %12.4f V %12.4f V\n", "minimum voltage", baseRes.MinV, ctlRes.MinV)
+	fmt.Printf("%-22s %12.4f V %12.4f V\n", "maximum voltage", baseRes.MaxV, ctlRes.MaxV)
+	fmt.Printf("%-22s %15d %15d\n", "emergency cycles", baseRes.Emergencies, ctlRes.Emergencies)
+	fmt.Printf("%-22s %13.4g J %13.4g J\n", "energy", baseRes.Energy, ctlRes.Energy)
+	fmt.Println()
+	th := ctlRes.Thresholds
+	fmt.Printf("controller thresholds: low %.4f V, high %.4f V (safe window %.1f mV)\n",
+		th.Low, th.High, th.SafeWindow*1e3)
+	fmt.Printf("actuations: %d clock-gating events, %d phantom firings\n",
+		ctlRes.LowEvents, ctlRes.HighEvents)
+	slow := float64(ctlRes.Cycles)/float64(baseRes.Cycles) - 1
+	fmt.Printf("cost of safety: %.1f%% slowdown, %.1f%% energy\n",
+		slow*100, (ctlRes.Energy/baseRes.Energy-1)*100)
+}

@@ -1,0 +1,3 @@
+module didt
+
+go 1.22

@@ -1,0 +1,58 @@
+// Package actuator implements the microarchitectural actuation mechanisms
+// of Section 5. An actuator responds to the sensor's Low/Normal/High level
+// by clock-gating its controlled units (voltage low: cut current quickly)
+// or phantom-firing them (voltage high: burn current quickly). The three
+// granularities evaluated in the paper are FU, FU/DL1 and FU/DL1/IL1;
+// Ideal abstracts a perfect mechanism for the sensor study of Section 4.
+package actuator
+
+import (
+	"didt/internal/cpu"
+	"didt/internal/power"
+	"didt/internal/sensor"
+)
+
+// Mechanism names a set of controllable units.
+type Mechanism struct {
+	Name string
+	FUs  bool // functional units (int + fp pipelines)
+	DL1  bool // level-one data cache
+	IL1  bool // level-one instruction cache
+}
+
+// The granularities of Section 5.1 plus the ideal mechanism of Section 4.
+var (
+	FU       = Mechanism{Name: "FU", FUs: true}
+	FUDL1    = Mechanism{Name: "FU/DL1", FUs: true, DL1: true}
+	FUDL1IL1 = Mechanism{Name: "FU/DL1/IL1", FUs: true, DL1: true, IL1: true}
+	// Ideal gates everything controllable; Section 4 uses it to study
+	// sensor properties in isolation from actuator limitations.
+	Ideal = Mechanism{Name: "ideal", FUs: true, DL1: true, IL1: true}
+)
+
+// Granularities lists the real mechanisms in increasing scope, the order
+// Figures 17/18 sweep them.
+func Granularities() []Mechanism { return []Mechanism{FU, FUDL1, FUDL1IL1} }
+
+// Respond maps a sensed level to gating and phantom-firing decisions: a
+// Low reading gates the controlled units (dropping current so the supply
+// recovers), a High reading phantom-fires them (raising current to pull
+// the supply down), and Normal releases both.
+func (m Mechanism) Respond(l sensor.Level) (cpu.Gating, power.Phantom) {
+	switch l {
+	case sensor.Low:
+		return cpu.Gating{FUs: m.FUs, DL1: m.DL1, IL1: m.IL1}, power.Phantom{}
+	case sensor.High:
+		return cpu.Gating{}, power.Phantom{FUs: m.FUs, DL1: m.DL1, IL1: m.IL1}
+	}
+	return cpu.Gating{}, power.Phantom{}
+}
+
+// Envelope reports the current range this mechanism can force, given a
+// power model: Floor is the deepest dip gating can achieve, Ceil the
+// highest rise phantom firing can achieve. The threshold solver uses these
+// as the actuator's authority limits.
+func (m Mechanism) Envelope(pm *power.Model) (floor, ceil float64) {
+	return pm.GatedFloorCurrent(m.FUs, m.DL1, m.IL1),
+		pm.PhantomCeilingCurrent(m.FUs, m.DL1, m.IL1)
+}

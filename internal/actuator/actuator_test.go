@@ -1,0 +1,114 @@
+package actuator
+
+import (
+	"math"
+	"testing"
+
+	"didt/internal/cpu"
+	"didt/internal/power"
+	"didt/internal/sensor"
+)
+
+func TestRespondMapsLevels(t *testing.T) {
+	for _, m := range Granularities() {
+		g, ph := m.Respond(sensor.Low)
+		if g.FUs != m.FUs || g.DL1 != m.DL1 || g.IL1 != m.IL1 {
+			t.Errorf("%s low: gating %+v", m.Name, g)
+		}
+		if ph != (power.Phantom{}) {
+			t.Errorf("%s low: phantom should be off", m.Name)
+		}
+		g, ph = m.Respond(sensor.High)
+		if g != (cpu.Gating{}) {
+			t.Errorf("%s high: gating should be off", m.Name)
+		}
+		if ph.FUs != m.FUs || ph.DL1 != m.DL1 || ph.IL1 != m.IL1 {
+			t.Errorf("%s high: phantom %+v", m.Name, ph)
+		}
+		g, ph = m.Respond(sensor.Normal)
+		if g != (cpu.Gating{}) || ph != (power.Phantom{}) {
+			t.Errorf("%s normal: should release everything", m.Name)
+		}
+	}
+}
+
+func TestGranularitiesOrdering(t *testing.T) {
+	gs := Granularities()
+	if len(gs) != 3 || gs[0].Name != "FU" || gs[2].Name != "FU/DL1/IL1" {
+		t.Errorf("granularities: %+v", gs)
+	}
+}
+
+func TestEnvelopeAuthorityGrowsWithScope(t *testing.T) {
+	pm := power.New(power.Params{}, cpu.DefaultConfig())
+	prevFloor := math.Inf(1)
+	prevCeil := math.Inf(-1)
+	for _, m := range Granularities() {
+		floor, ceil := m.Envelope(pm)
+		if floor >= prevFloor {
+			t.Errorf("%s: floor %g not below previous %g", m.Name, floor, prevFloor)
+		}
+		if ceil <= prevCeil {
+			t.Errorf("%s: ceiling %g not above previous %g", m.Name, ceil, prevCeil)
+		}
+		prevFloor, prevCeil = floor, ceil
+	}
+	// FU-only is so weak its busy-chip floor exceeds its idle-chip ceiling
+	// — the Section 5.2 leverage problem in one inequality.
+	if f, c := FU.Envelope(pm); f <= c {
+		t.Errorf("FU-only floor %g should exceed its ceiling %g", f, c)
+	}
+	// Ideal matches the widest real mechanism.
+	fi, ci := Ideal.Envelope(pm)
+	f3, c3 := FUDL1IL1.Envelope(pm)
+	if fi != f3 || ci != c3 {
+		t.Error("ideal envelope should equal FU/DL1/IL1")
+	}
+}
+
+func TestAsymmetricRespond(t *testing.T) {
+	a := GateWideFireNarrow
+	g, ph := a.Respond(sensor.Low)
+	if !g.FUs || !g.DL1 || !g.IL1 {
+		t.Errorf("low response should gate the wide scope: %+v", g)
+	}
+	if ph != (power.Phantom{}) {
+		t.Error("low response must not phantom-fire")
+	}
+	g, ph = a.Respond(sensor.High)
+	if g != (cpu.Gating{}) {
+		t.Error("high response must not gate")
+	}
+	if !ph.FUs || ph.DL1 || ph.IL1 {
+		t.Errorf("high response should fire only the FU scope: %+v", ph)
+	}
+	g, ph = a.Respond(sensor.Normal)
+	if g != (cpu.Gating{}) || ph != (power.Phantom{}) {
+		t.Error("normal must release everything")
+	}
+}
+
+func TestAsymmetricEnvelopeMixesScopes(t *testing.T) {
+	pm := power.New(power.Params{}, cpu.DefaultConfig())
+	floor, ceil := GateWideFireNarrow.Envelope(pm)
+	wantFloor, _ := FUDL1IL1.Envelope(pm)
+	_, wantCeil := FU.Envelope(pm)
+	if floor != wantFloor {
+		t.Errorf("floor %g, want the wide gating scope's %g", floor, wantFloor)
+	}
+	if ceil != wantCeil {
+		t.Errorf("ceiling %g, want the narrow phantom scope's %g", ceil, wantCeil)
+	}
+}
+
+func TestResponderLabels(t *testing.T) {
+	if FUDL1.Label() != "FU/DL1" {
+		t.Error("mechanism label")
+	}
+	if GateWideFireNarrow.Label() == "" {
+		t.Error("asymmetric label empty")
+	}
+	// Both implement the Responder interface.
+	var _ Responder = FU
+	var _ Responder = GateWideFireNarrow
+}

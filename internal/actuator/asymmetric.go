@@ -1,0 +1,73 @@
+package actuator
+
+import (
+	"didt/internal/cpu"
+	"didt/internal/power"
+	"didt/internal/sensor"
+)
+
+// Responder is the controller-facing actuation interface. Mechanism is the
+// symmetric implementation the paper evaluates; Asymmetric realizes the
+// Section 6 proposal of using different mechanisms for voltage-high and
+// voltage-low emergencies ("some CPU units are better suited for easy
+// clock-gating while other units are easier to control for
+// phantom-firings").
+type Responder interface {
+	// Label names the responder for reports.
+	Label() string
+	// Respond maps a sensed level to gating and phantom-firing decisions.
+	Respond(l sensor.Level) (cpu.Gating, power.Phantom)
+	// Envelope reports the current authority: the deepest floor gating can
+	// force and the highest ceiling phantom firing can reach.
+	Envelope(pm *power.Model) (floor, ceil float64)
+}
+
+// Label implements Responder for the symmetric mechanism.
+func (m Mechanism) Label() string { return m.Name }
+
+var _ Responder = Mechanism{}
+
+// Asymmetric pairs a gating scope (voltage-low response) with an
+// independent phantom-firing scope (voltage-high response).
+type Asymmetric struct {
+	Name string
+	Low  Mechanism // units clock-gated on a voltage-low reading
+	High Mechanism // units phantom-fired on a voltage-high reading
+}
+
+var _ Responder = Asymmetric{}
+
+// Label implements Responder.
+func (a Asymmetric) Label() string { return a.Name }
+
+// Respond implements Responder: Low uses the gating scope, High the
+// phantom scope.
+func (a Asymmetric) Respond(l sensor.Level) (cpu.Gating, power.Phantom) {
+	switch l {
+	case sensor.Low:
+		g, _ := a.Low.Respond(sensor.Low)
+		return g, power.Phantom{}
+	case sensor.High:
+		_, p := a.High.Respond(sensor.High)
+		return cpu.Gating{}, p
+	}
+	return cpu.Gating{}, power.Phantom{}
+}
+
+// Envelope implements Responder: the floor comes from the gating scope and
+// the ceiling from the phantom scope.
+func (a Asymmetric) Envelope(pm *power.Model) (floor, ceil float64) {
+	floor, _ = a.Low.Envelope(pm)
+	_, ceil = a.High.Envelope(pm)
+	return floor, ceil
+}
+
+// GateWideFireNarrow is the natural Section 6 pairing: the wide-scope
+// mechanism handles the common voltage-low emergencies (caches are easy to
+// clock-gate) while phantom firing — which burns energy for no work — is
+// confined to the functional units.
+var GateWideFireNarrow = Asymmetric{
+	Name: "gate FU/DL1/IL1, fire FU",
+	Low:  FUDL1IL1,
+	High: FU,
+}

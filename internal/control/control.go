@@ -1,0 +1,330 @@
+// Package control implements the paper's control layer: the threshold
+// control policy (Section 4.1) and the offline threshold solver that
+// replaces the authors' MATLAB/Simulink flow (Section 4.3, Figure 13).
+//
+// The solver works the way the paper describes: analyze the power supply
+// system and processor model for worst cases (resonant square-wave drive
+// between the processor's minimum and maximum current, sustained steps up
+// and down), then — under a given sensor delay and actuator authority —
+// find the voltage-low and voltage-high thresholds that guarantee the
+// supply stays within the emergency band. Low is pushed as low as possible
+// (fewest false alarms, least performance loss) and High as high as
+// possible (least phantom-fire energy), exactly the trade-off of
+// Section 4.3.
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"didt/internal/pdn"
+)
+
+// Envelope describes the current-domain authority of the plant and its
+// actuator: the workload can swing anywhere in [IMin, IMax]; gating can
+// force current down to Floor; phantom firing can force it up to Ceil.
+// Settle is the number of cycles the current takes to reach the clamp
+// after an actuation decision (actuator ramp), charged conservatively.
+type Envelope struct {
+	IMin, IMax  float64
+	Floor, Ceil float64
+	Settle      int
+}
+
+func (e Envelope) validate() error {
+	if e.IMax <= e.IMin {
+		return fmt.Errorf("control: IMax %g must exceed IMin %g", e.IMax, e.IMin)
+	}
+	if e.Floor > e.IMax || e.Ceil < e.IMin {
+		return fmt.Errorf("control: actuator authority [%g,%g] outside workload range", e.Floor, e.Ceil)
+	}
+	if e.Settle < 0 {
+		return fmt.Errorf("control: negative settle %d", e.Settle)
+	}
+	return nil
+}
+
+// Thresholds is the solver's product. SafeWindow = High - Low is the
+// quantity Table 3 tracks as sensor delay grows. Stable is false when no
+// threshold pair can bound the voltage — the paper's finding for FU-only
+// actuation at controller delays of three or more cycles.
+type Thresholds struct {
+	Low, High  float64
+	Stable     bool
+	SafeWindow float64
+}
+
+// Solver finds and caches thresholds for one PDN.
+type Solver struct {
+	net   *pdn.Network
+	cache map[solveKey]Thresholds
+}
+
+type solveKey struct {
+	iMin, iMax, floor, ceil float64
+	settle, delay           int
+}
+
+// NewSolver builds a solver over the given network.
+func NewSolver(net *pdn.Network) *Solver {
+	return &Solver{net: net, cache: make(map[solveKey]Thresholds)}
+}
+
+// Solve computes thresholds for the given envelope and sensor delay.
+func (s *Solver) Solve(env Envelope, delay int) (Thresholds, error) {
+	if err := env.validate(); err != nil {
+		return Thresholds{}, err
+	}
+	if delay < 0 {
+		return Thresholds{}, fmt.Errorf("control: negative delay %d", delay)
+	}
+	key := solveKey{env.IMin, env.IMax, env.Floor, env.Ceil, env.Settle, delay}
+	if th, ok := s.cache[key]; ok {
+		return th, nil
+	}
+	th := s.solve(env, delay)
+	s.cache[key] = th
+	return th, nil
+}
+
+func (s *Solver) solve(env Envelope, delay int) Thresholds {
+	p := s.net.Params()
+	vNom := p.VNominal
+	vMin, vMax := s.net.VMin(), s.net.VMax()
+	eps := 1e-4 // 0.1 mV numerical slack
+
+	// solveLo bisects for the minimal Low threshold whose undershoot stays
+	// legal given a fixed High; returns ok=false when even the most
+	// conservative trigger (just under nominal) cannot stop the droop —
+	// the actuator lacks downward authority.
+	solveLo := func(hi float64) (float64, bool) {
+		a, b := vMin, vNom-1e-4
+		if minV, _ := s.excursions(b, hi, env, delay); minV < vMin-eps {
+			return 0, false
+		}
+		for i := 0; i < 16; i++ {
+			mid := 0.5 * (a + b)
+			if minV, _ := s.excursions(mid, hi, env, delay); minV < vMin-eps {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		return b, true
+	}
+	// solveHi bisects for the maximal High threshold whose overshoot stays
+	// legal given a fixed Low.
+	solveHi := func(lo float64) (float64, bool) {
+		a, b := vNom+1e-4, vMax
+		if _, maxV := s.excursions(lo, a, env, delay); maxV > vMax+eps {
+			return 0, false
+		}
+		if _, maxV := s.excursions(lo, b, env, delay); maxV <= vMax+eps {
+			return b, true // fully permissive High is already safe
+		}
+		for i := 0; i < 16; i++ {
+			mid := 0.5 * (a + b)
+			if _, maxV := s.excursions(lo, mid, env, delay); maxV > vMax+eps {
+				b = mid
+			} else {
+				a = mid
+			}
+		}
+		return a, true
+	}
+
+	// Start each search from the most permissive opposite threshold so the
+	// two responses do not fight, then run one repair round for the weak
+	// coupling (gating recovery can overshoot; phantom firing can droop).
+	lo, ok := solveLo(vMax)
+	if !ok {
+		return Thresholds{Stable: false}
+	}
+	hi, ok := solveHi(lo)
+	if !ok {
+		return Thresholds{Stable: false}
+	}
+	for round := 0; round < 2; round++ {
+		minV, maxV := s.excursions(lo, hi, env, delay)
+		if minV >= vMin-eps && maxV <= vMax+eps && hi > lo {
+			return Thresholds{Low: lo, High: hi, Stable: true, SafeWindow: hi - lo}
+		}
+		if lo, ok = solveLo(hi); !ok {
+			return Thresholds{Stable: false}
+		}
+		if hi, ok = solveHi(lo); !ok {
+			return Thresholds{Stable: false}
+		}
+	}
+	minV, maxV := s.excursions(lo, hi, env, delay)
+	if minV < vMin-eps || maxV > vMax+eps || hi <= lo {
+		return Thresholds{Stable: false}
+	}
+	return Thresholds{Low: lo, High: hi, Stable: true, SafeWindow: hi - lo}
+}
+
+// excursions runs the controlled linear plant against the worst-case input
+// suite and returns the extreme voltages observed.
+func (s *Solver) excursions(lo, hi float64, env Envelope, delay int) (minV, maxV float64) {
+	minV, maxV = math.Inf(1), math.Inf(-1)
+	for _, sc := range scenarios {
+		r := s.runScenario(sc, lo, hi, env, delay)
+		minV = math.Min(minV, r.minV)
+		maxV = math.Max(maxV, r.maxV)
+	}
+	return minV, maxV
+}
+
+// InterventionFraction reports the fraction of cycles the threshold
+// controller overrides the workload's demand on the worst-case suite — the
+// proxy for its performance cost in the linear-domain studies.
+func (s *Solver) InterventionFraction(th Thresholds, env Envelope, delay int) float64 {
+	if !th.Stable {
+		return 1
+	}
+	var intervened, total int
+	for _, sc := range scenarios {
+		r := s.runScenario(sc, th.Low, th.High, env, delay)
+		intervened += r.intervened
+		total += r.cycles
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(intervened) / float64(total)
+}
+
+// scenarioResult summarizes one closed-loop scenario run.
+type scenarioResult struct {
+	minV, maxV float64
+	intervened int
+	cycles     int
+}
+
+type scenario int
+
+const (
+	scResonant scenario = iota
+	scResonantShifted
+	scStepUp
+	scStepDownAfterHigh
+	numScenarios
+)
+
+var scenarios = []scenario{scResonant, scResonantShifted, scStepUp, scStepDownAfterHigh}
+
+// runScenario simulates the threshold-controlled plant: an adversarial
+// demand stream, a sensor with the given delay, and clamp-style actuation
+// with the envelope's authority and settle time.
+func (s *Solver) runScenario(sc scenario, lo, hi float64, env Envelope, delay int) scenarioResult {
+	period := s.net.ResonantPeriodCycles()
+	cycles := s.net.KernelLen() + 14*period
+	sim := s.net.NewSimulator()
+	p := s.net.Params()
+
+	demand := func(c int) float64 {
+		switch sc {
+		case scResonant:
+			if c%period < period/2 {
+				return env.IMax
+			}
+			return env.IMin
+		case scResonantShifted:
+			if (c+period/2)%period < period/2 {
+				return env.IMax
+			}
+			return env.IMin
+		case scStepUp:
+			return env.IMax
+		case scStepDownAfterHigh:
+			if c < cycles/2 {
+				return env.IMax
+			}
+			return env.IMin
+		}
+		return env.IMin
+	}
+
+	res := scenarioResult{minV: p.VNominal, maxV: p.VNominal}
+	vHist := make([]float64, delay+1)
+	for i := range vHist {
+		vHist[i] = p.VNominal
+	}
+	state := 0 // 0 normal, -1 gating, +1 phantom
+	sinceTrigger := 0
+	prevI := env.IMin
+
+	for c := 0; c < cycles; c++ {
+		// The sensor sees the voltage from `delay` cycles ago.
+		sensed := vHist[0]
+		switch {
+		case sensed < lo:
+			if state != -1 {
+				sinceTrigger = 0
+			}
+			state = -1
+		case sensed > hi:
+			if state != 1 {
+				sinceTrigger = 0
+			}
+			state = 1
+		default:
+			state = 0
+		}
+
+		var i float64
+		switch state {
+		case -1:
+			if sinceTrigger >= env.Settle {
+				i = env.Floor
+			} else {
+				i = prevI // actuator still ramping: worst case holds level
+			}
+		case 1:
+			if sinceTrigger >= env.Settle {
+				i = env.Ceil
+			} else {
+				i = prevI
+			}
+		default:
+			i = demand(c)
+		}
+		sinceTrigger++
+		prevI = i
+
+		if state != 0 {
+			res.intervened++
+		}
+		res.cycles++
+		v := sim.Step(i)
+		res.minV = math.Min(res.minV, v)
+		res.maxV = math.Max(res.maxV, v)
+		copy(vHist, vHist[1:])
+		vHist[delay] = v
+	}
+	return res
+}
+
+// Policy is the runtime threshold-control state machine used by the
+// coupled system: it simply latches the most recent sensed level. It
+// exists as a type so the core package can count actuations and so future
+// policies (asymmetric mechanisms, Section 6) can slot in.
+type Policy struct {
+	LowEvents  uint64
+	HighEvents uint64
+	lowActive  bool
+	highActive bool
+}
+
+// Update records a sensed level and reports whether gating (low) or
+// phantom firing (high) should be active this cycle.
+func (p *Policy) Update(low, high bool) (gate, phantom bool) {
+	if low && !p.lowActive {
+		p.LowEvents++
+	}
+	if high && !p.highActive {
+		p.HighEvents++
+	}
+	p.lowActive, p.highActive = low, high
+	return low, high
+}

@@ -1,0 +1,183 @@
+package control
+
+import (
+	"math"
+	"testing"
+
+	"didt/internal/pdn"
+)
+
+// reference envelope: 10-70A workload, strong actuator, regulator reference
+// at the midpoint.
+func refNet(t *testing.T, pct float64) *pdn.Network {
+	t.Helper()
+	n, err := pdn.Calibrate(pdn.Params{IFloor: 40}, 10, 70, pct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func refEnv() Envelope {
+	return Envelope{IMin: 10, IMax: 70, Floor: 8, Ceil: 45, Settle: 2}
+}
+
+func TestSolveValidation(t *testing.T) {
+	s := NewSolver(refNet(t, 2))
+	if _, err := s.Solve(Envelope{IMin: 70, IMax: 10}, 0); err == nil {
+		t.Error("want error for inverted envelope")
+	}
+	if _, err := s.Solve(refEnv(), -1); err == nil {
+		t.Error("want error for negative delay")
+	}
+	bad := refEnv()
+	bad.Settle = -1
+	if _, err := s.Solve(bad, 0); err == nil {
+		t.Error("want error for negative settle")
+	}
+}
+
+func TestThresholdsStableAcrossDelays(t *testing.T) {
+	s := NewSolver(refNet(t, 2))
+	for d := 0; d <= 6; d++ {
+		th, err := s.Solve(refEnv(), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !th.Stable {
+			t.Fatalf("delay %d: unstable with a strong actuator", d)
+		}
+		if th.Low >= th.High {
+			t.Fatalf("delay %d: degenerate thresholds %+v", d, th)
+		}
+		if th.Low < 0.95 || th.High > 1.05 {
+			t.Fatalf("delay %d: thresholds outside band %+v", d, th)
+		}
+	}
+}
+
+// TestTable3LowThresholdRisesWithDelay reproduces the paper's Table 3
+// trend: slower sensing forces a more conservative (higher) low threshold.
+func TestTable3LowThresholdRisesWithDelay(t *testing.T) {
+	s := NewSolver(refNet(t, 2))
+	prev := 0.0
+	for d := 0; d <= 6; d++ {
+		th, err := s.Solve(refEnv(), d)
+		if err != nil || !th.Stable {
+			t.Fatalf("delay %d: %v %+v", d, err, th)
+		}
+		if th.Low < prev {
+			t.Errorf("delay %d: low threshold %.4f dropped below delay %d's %.4f", d, th.Low, d-1, prev)
+		}
+		prev = th.Low
+	}
+}
+
+func TestSafeWindowShrinksOverall(t *testing.T) {
+	s := NewSolver(refNet(t, 2))
+	th0, _ := s.Solve(refEnv(), 0)
+	th6, _ := s.Solve(refEnv(), 6)
+	if th6.SafeWindow >= th0.SafeWindow {
+		t.Errorf("window should shrink: delay0 %.1fmV delay6 %.1fmV",
+			th0.SafeWindow*1e3, th6.SafeWindow*1e3)
+	}
+}
+
+func TestWeakActuatorEventuallyUnstable(t *testing.T) {
+	// An actuator with almost no downward authority (floor just below the
+	// regulator reference) cannot arrest worst-case dips once sensing is
+	// slow.
+	s := NewSolver(refNet(t, 3))
+	env := Envelope{IMin: 10, IMax: 70, Floor: 39.9, Ceil: 41, Settle: 2}
+	unstableSeen := false
+	for d := 0; d <= 8; d++ {
+		th, err := s.Solve(env, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !th.Stable {
+			unstableSeen = true
+			break
+		}
+	}
+	if !unstableSeen {
+		t.Error("weak actuator never went unstable even at long delays and 300% impedance")
+	}
+}
+
+func TestHigherImpedanceTightensThresholds(t *testing.T) {
+	s200 := NewSolver(refNet(t, 2))
+	s400 := NewSolver(refNet(t, 4))
+	th200, _ := s200.Solve(refEnv(), 2)
+	th400, _ := s400.Solve(refEnv(), 2)
+	if !th200.Stable {
+		t.Fatal("200% should be stable")
+	}
+	if th400.Stable && th400.Low <= th200.Low {
+		t.Errorf("400%% impedance should demand a more conservative low threshold: %.4f vs %.4f",
+			th400.Low, th200.Low)
+	}
+}
+
+func TestSolveCacheReturnsSameValue(t *testing.T) {
+	s := NewSolver(refNet(t, 2))
+	a, _ := s.Solve(refEnv(), 3)
+	b, _ := s.Solve(refEnv(), 3)
+	if a != b {
+		t.Error("cache returned different thresholds")
+	}
+}
+
+// TestGuaranteeHolds verifies the solver's core promise: running the
+// worst-case suite with the solved thresholds keeps voltage inside the
+// band (with numerical slack).
+func TestGuaranteeHolds(t *testing.T) {
+	net := refNet(t, 2)
+	s := NewSolver(net)
+	for d := 0; d <= 6; d += 2 {
+		th, _ := s.Solve(refEnv(), d)
+		if !th.Stable {
+			t.Fatalf("delay %d unstable", d)
+		}
+		minV, maxV := s.excursions(th.Low, th.High, refEnv(), d)
+		if minV < net.VMin()-2e-4 {
+			t.Errorf("delay %d: guaranteed minV %.4f below band %.4f", d, minV, net.VMin())
+		}
+		if maxV > net.VMax()+2e-4 {
+			t.Errorf("delay %d: guaranteed maxV %.4f above band %.4f", d, maxV, net.VMax())
+		}
+	}
+}
+
+// TestUncontrolledWorstCaseViolates sanity-checks the premise: without any
+// control, the worst case at 200% impedance leaves the band.
+func TestUncontrolledWorstCaseViolates(t *testing.T) {
+	net := refNet(t, 2)
+	if dev := net.WorstCaseDeviation(10, 70); dev <= 0.05 {
+		t.Fatalf("uncontrolled worst case %.1fmV should exceed 50mV", dev*1e3)
+	}
+}
+
+func TestPolicyCountsDistinctEvents(t *testing.T) {
+	var p Policy
+	p.Update(true, false)
+	p.Update(true, false) // same episode
+	p.Update(false, false)
+	p.Update(true, false) // second episode
+	p.Update(false, true)
+	if p.LowEvents != 2 || p.HighEvents != 1 {
+		t.Errorf("events: low=%d high=%d", p.LowEvents, p.HighEvents)
+	}
+}
+
+func TestThresholdsSymmetricAroundNominal(t *testing.T) {
+	// With a midpoint reference the dynamics are symmetric, so Low and
+	// High should sit roughly symmetric around nominal at delay 0.
+	s := NewSolver(refNet(t, 2))
+	th, _ := s.Solve(refEnv(), 0)
+	lowGap := 1.0 - th.Low
+	highGap := th.High - 1.0
+	if math.Abs(lowGap-highGap) > 0.025 {
+		t.Errorf("asymmetric thresholds at delay 0: -%.1fmV / +%.1fmV", lowGap*1e3, highGap*1e3)
+	}
+}

@@ -1,0 +1,77 @@
+package control
+
+import (
+	"testing"
+)
+
+func TestPIDUpdateDirection(t *testing.T) {
+	p := PID{Kp: 100, Setpoint: 1.0}
+	// Undervoltage: positive output (reduce current).
+	if u := p.Update(0.95); u <= 0 {
+		t.Errorf("undervoltage output %g, want positive", u)
+	}
+	p.Reset()
+	// Overvoltage: negative output (raise current).
+	if u := p.Update(1.05); u >= 0 {
+		t.Errorf("overvoltage output %g, want negative", u)
+	}
+}
+
+func TestPIDIntegralAccumulates(t *testing.T) {
+	p := PID{Ki: 10, Setpoint: 1.0}
+	u1 := p.Update(0.99)
+	u2 := p.Update(0.99)
+	if u2 <= u1 {
+		t.Errorf("integral term must grow under persistent error: %g then %g", u1, u2)
+	}
+	p.Reset()
+	if u := p.Update(1.0); u != 0 {
+		t.Errorf("after reset with zero error, output %g", u)
+	}
+}
+
+func TestPIDDerivativeKicksOnChange(t *testing.T) {
+	p := PID{Kd: 100, Setpoint: 1.0}
+	p.Update(1.0)       // prime
+	u := p.Update(0.99) // error jumped by +0.01
+	if u <= 0 {
+		t.Errorf("derivative kick %g, want positive", u)
+	}
+	u = p.Update(0.99) // error unchanged: derivative term zero
+	if u != 0 {
+		t.Errorf("steady error with only Kd should output 0, got %g", u)
+	}
+}
+
+func TestComparePIDStructure(t *testing.T) {
+	s := NewSolver(refNet(t, 2))
+	pts, err := s.ComparePID(refEnv(), 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.PIDDelay != p.Delay+3 {
+			t.Errorf("PID delay %d for sensor delay %d", p.PIDDelay, p.Delay)
+		}
+		if !p.ThresholdOK {
+			t.Errorf("delay %d: threshold controller should hold the band", p.Delay)
+		}
+		if p.ThresholdIntervene <= 0 || p.ThresholdIntervene >= 1 {
+			t.Errorf("threshold intervention %g out of (0,1)", p.ThresholdIntervene)
+		}
+		if p.PIDIntervene <= p.ThresholdIntervene {
+			t.Errorf("PID must intervene far more than threshold control: %.2f vs %.2f",
+				p.PIDIntervene, p.ThresholdIntervene)
+		}
+	}
+}
+
+func TestComparePIDRejectsBadEnvelope(t *testing.T) {
+	s := NewSolver(refNet(t, 2))
+	if _, err := s.ComparePID(Envelope{IMin: 70, IMax: 10}, 1, 3); err == nil {
+		t.Error("want validation error")
+	}
+}

@@ -1,0 +1,397 @@
+// Package core couples every substrate into the paper's closed loop
+// (Figure 7 plus the controller of Sections 4-5): each cycle the
+// out-of-order core produces structural activity, the power model turns it
+// into current, the PDN convolution turns current into supply voltage, the
+// threshold sensor classifies the (delayed, noisy) voltage, and the
+// actuator's response gates or phantom-fires the controlled units on the
+// next cycle.
+//
+// This package is the paper's primary contribution in executable form: a
+// microarchitectural dI/dt controller with solver-derived thresholds that
+// bound supply excursions, coupled to a cycle-accurate machine.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"didt/internal/actuator"
+	"didt/internal/control"
+	"didt/internal/cpu"
+	"didt/internal/isa"
+	"didt/internal/pdn"
+	"didt/internal/power"
+	"didt/internal/sensor"
+	"didt/internal/stats"
+	"didt/internal/trace"
+)
+
+// Options assembles a system. Zero values take paper defaults.
+type Options struct {
+	CPU   cpu.Config
+	Power power.Params
+	PDN   pdn.Params // PeakZ is derived by calibration; leave zero
+
+	// ImpedancePct scales the calibrated target impedance: 1.0 = the 100%
+	// column of Table 2, 2.0 = the 200% design point used for the control
+	// studies. Default 2.0.
+	ImpedancePct float64
+
+	// Control enables the threshold controller. Without it the system
+	// free-runs and merely observes voltage (the Table 2 / Figure 10
+	// characterization mode).
+	Control   bool
+	Mechanism actuator.Mechanism // default actuator.Ideal
+	// Responder overrides Mechanism with an arbitrary actuation policy
+	// (e.g. actuator.Asymmetric, the paper's Section 6 proposal).
+	Responder actuator.Responder
+	Delay     int     // sensor/controller delay, cycles
+	NoiseMV   float64 // sensor noise amplitude, millivolts
+	Settle    int     // actuator ramp charged by the solver; default 2
+	Seed      int64   // noise stream seed
+
+	// FlushRecovery selects the Section 6 alternative recovery: each new
+	// gating episode flushes the front end and restarts it after the
+	// branch-refill penalty (controllers that cannot resume mid-stream).
+	// Default (false) is the paper's assumed protect-and-resume recovery.
+	FlushRecovery bool
+
+	// PessimisticRamp, when positive, replaces the paper's greedy policy
+	// for low-to-high power transitions (Section 2.3) with a pessimistic
+	// one: after a quiet spell, execution restarts at half rate for this
+	// many cycles (the controller gates the FUs on alternate cycles),
+	// lessening the current slope at the cost of performance. Zero keeps
+	// the paper's greedy default.
+	PessimisticRamp int
+
+	MaxCycles    uint64 // hard cycle cap; default 20M
+	WarmupCycles uint64 // cycles excluded from voltage statistics; default 1000
+	RecordTraces bool   // keep per-cycle current/voltage traces
+
+	// EnvelopeIMin/IMax override the measured current envelope used for
+	// target-impedance calibration and threshold solving (amperes). Zero
+	// means measure: the minimum is the model's idle floor and the maximum
+	// comes from running a saturation probe through the simulator, the
+	// paper's "examine the processor power model" step.
+	EnvelopeIMin float64
+	EnvelopeIMax float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.ImpedancePct == 0 {
+		o.ImpedancePct = 2.0
+	}
+	if o.Mechanism.Name == "" {
+		o.Mechanism = actuator.Ideal
+	}
+	if o.Settle == 0 {
+		o.Settle = 2
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 20_000_000
+	}
+	if o.WarmupCycles == 0 {
+		o.WarmupCycles = 1000
+	}
+	return o
+}
+
+// Result summarizes one run.
+type Result struct {
+	Stats    cpu.Stats
+	Cycles   uint64
+	Energy   float64 // joules
+	AvgPower float64 // watts
+
+	IMin, IMax float64 // calibration envelope (amperes)
+	MinV, MaxV float64 // observed after warmup
+	VNominal   float64
+
+	Emergencies   uint64  // post-warmup cycles outside the +-5% band
+	EmergencyFreq float64 // Emergencies / measured cycles
+
+	Hist *stats.Histogram // post-warmup voltage distribution
+
+	Thresholds control.Thresholds
+	LowEvents  uint64 // distinct gating actuations
+	HighEvents uint64 // distinct phantom actuations
+
+	CurrentTrace trace.Trace // populated when Options.RecordTraces
+	VoltageTrace trace.Trace
+}
+
+// IPC is a convenience accessor.
+func (r *Result) IPC() float64 { return r.Stats.IPC() }
+
+// System is one assembled closed loop. Create with NewSystem; not safe for
+// concurrent use.
+type System struct {
+	opts Options
+
+	CPU    *cpu.CPU
+	Power  *power.Model
+	Net    *pdn.Network
+	Sim    *pdn.Simulator
+	Sensor *sensor.Sensor
+
+	thresholds control.Thresholds
+	policy     control.Policy
+	responder  actuator.Responder
+
+	gating  cpu.Gating
+	phantom power.Phantom
+
+	quietStreak uint64 // consecutive no-issue cycles (pessimistic ramp)
+	rampLeft    int
+
+	cycle  uint64
+	minV   float64
+	maxV   float64
+	emerg  uint64
+	hist   *stats.Histogram
+	curTr  trace.Trace
+	voltTr trace.Trace
+	iMin   float64
+	iMax   float64
+}
+
+// NewSystem builds the coupled system for a program. The PDN is calibrated
+// so that the theoretical worst-case current waveform exactly reaches the
+// emergency boundary at 100% target impedance, then scaled by
+// ImpedancePct; controller thresholds are solved for the configured delay
+// and actuator authority, with noise guard-banding applied.
+func NewSystem(prog isa.Program, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	c, err := cpu.New(opts.CPU, prog)
+	if err != nil {
+		return nil, err
+	}
+	pm := power.New(opts.Power, c.Config())
+	iMin, iMax := opts.EnvelopeIMin, opts.EnvelopeIMax
+	if iMin == 0 || iMax == 0 {
+		mMin, mMax, err := measureEnvelope(opts.CPU, opts.Power)
+		if err != nil {
+			return nil, err
+		}
+		if iMin == 0 {
+			iMin = mMin
+		}
+		if iMax == 0 {
+			iMax = mMax
+		}
+	}
+
+	// The voltage regulator's reference point: it holds the supply at
+	// exactly nominal for the midpoint current, so workload swings produce
+	// the symmetric over- and under-shoots of the paper's Figures 2 and 6
+	// (an idle machine sits slightly above nominal, a saturated one
+	// slightly below, and transients ring around both).
+	pdnParams := opts.PDN
+	pdnParams.IFloor = 0.5 * (iMin + iMax)
+	net, err := pdn.Calibrate(pdnParams, iMin, iMax, opts.ImpedancePct)
+	if err != nil {
+		return nil, err
+	}
+
+	noise := opts.NoiseMV * 1e-3
+	sen, err := sensor.New(opts.Delay, noise, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{
+		opts:   opts,
+		CPU:    c,
+		Power:  pm,
+		Net:    net,
+		Sim:    net.NewSimulator(),
+		Sensor: sen,
+		minV:   math.Inf(1),
+		maxV:   math.Inf(-1),
+		hist:   stats.NewHistogram(0.90, 1.10, 200),
+		iMin:   iMin,
+		iMax:   iMax,
+	}
+
+	s.responder = opts.Responder
+	if s.responder == nil {
+		s.responder = opts.Mechanism
+	}
+
+	if opts.Control {
+		floor, ceil := s.responder.Envelope(pm)
+		solver := control.NewSolver(net)
+		th, err := solver.Solve(control.Envelope{
+			IMin: iMin, IMax: iMax,
+			Floor: floor, Ceil: ceil,
+			Settle: opts.Settle,
+		}, opts.Delay)
+		if err != nil {
+			return nil, err
+		}
+		// Guard-band for sensor error (Section 4.5): raise Low and lower
+		// High by the noise amplitude so a worst-case misreading still
+		// triggers in time.
+		if th.Stable {
+			lo, hi := th.Low+noise, th.High-noise
+			if lo >= hi {
+				th.Stable = false
+			} else {
+				th.Low, th.High, th.SafeWindow = lo, hi, hi-lo
+			}
+		}
+		if !th.Stable {
+			// No guaranteed thresholds exist (e.g. FU-only actuation with
+			// large delay). Run with maximally conservative trip points so
+			// the instability is observable, as in Figure 17.
+			p := net.Params()
+			th.Low = p.VNominal - 0.25*(p.VNominal-net.VMin())
+			th.High = p.VNominal + 0.25*(net.VMax()-p.VNominal)
+			th.SafeWindow = th.High - th.Low
+		}
+		s.thresholds = th
+		if err := s.Sensor.SetThresholds(th.Low, th.High); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Thresholds returns the solved (and guard-banded) thresholds; zero value
+// when control is disabled.
+func (s *System) Thresholds() control.Thresholds { return s.thresholds }
+
+// Envelope returns the calibration current envelope.
+func (s *System) Envelope() (iMin, iMax float64) { return s.iMin, s.iMax }
+
+// CycleState reports one cycle for trace-level consumers (Figure 11).
+type CycleState struct {
+	Cycle   uint64
+	Current float64
+	Voltage float64
+	Level   sensor.Level
+	Gating  cpu.Gating
+	Phantom power.Phantom
+	Done    bool
+}
+
+// StepCycle advances the loop one cycle.
+func (s *System) StepCycle() CycleState {
+	s.CPU.SetGating(s.gating)
+	act, done := s.CPU.Step()
+	rep := s.Power.Step(act, s.phantom)
+	v := s.Sim.Step(rep.Current)
+
+	if s.cycle >= s.opts.WarmupCycles {
+		if v < s.minV {
+			s.minV = v
+		}
+		if v > s.maxV {
+			s.maxV = v
+		}
+		if v < s.Net.VMin() || v > s.Net.VMax() {
+			s.emerg++
+		}
+		s.hist.Add(v)
+	}
+	if s.opts.RecordTraces {
+		s.curTr = append(s.curTr, rep.Current)
+		s.voltTr = append(s.voltTr, v)
+	}
+
+	level := sensor.Normal
+	if s.opts.Control {
+		level = s.Sensor.Sense(v)
+		lowBefore := s.policy.LowEvents
+		gate, phantom := s.policy.Update(level == sensor.Low, level == sensor.High)
+		g, p := s.responder.Respond(level)
+		if !gate {
+			g = cpu.Gating{}
+		}
+		if !phantom {
+			p = power.Phantom{}
+		}
+		s.gating, s.phantom = g, p
+		if s.opts.FlushRecovery && s.policy.LowEvents > lowBefore {
+			s.CPU.Flush(s.CPU.Config().BranchPenalty)
+		}
+	}
+
+	// Pessimistic ramp policy (Section 2.3's alternative to the greedy
+	// default): after a quiet spell, restart execution at half rate. The
+	// ramp's gating is recomputed every cycle on top of the controller's
+	// decision (or from scratch when no controller runs).
+	if s.opts.PessimisticRamp > 0 {
+		if !s.opts.Control {
+			s.gating = cpu.Gating{}
+		}
+		if act.Issued == 0 {
+			s.quietStreak++
+		} else {
+			if s.quietStreak >= 8 {
+				s.rampLeft = s.opts.PessimisticRamp
+			}
+			s.quietStreak = 0
+		}
+		if s.rampLeft > 0 {
+			s.rampLeft--
+			if s.cycle%2 == 0 {
+				s.gating.FUs = true
+			}
+		}
+	}
+
+	st := CycleState{
+		Cycle:   s.cycle,
+		Current: rep.Current,
+		Voltage: v,
+		Level:   level,
+		Gating:  s.gating,
+		Phantom: s.phantom,
+		Done:    done,
+	}
+	s.cycle++
+	return st
+}
+
+// Run advances the loop until the program retires or MaxCycles elapse and
+// returns the aggregated result.
+func (s *System) Run() (*Result, error) {
+	for s.cycle < s.opts.MaxCycles {
+		st := s.StepCycle()
+		if st.Done {
+			break
+		}
+	}
+	if err := s.CPU.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	measured := uint64(0)
+	if s.cycle > s.opts.WarmupCycles {
+		measured = s.cycle - s.opts.WarmupCycles
+	}
+	r := &Result{
+		Stats:        s.CPU.Stats(),
+		Cycles:       s.cycle,
+		Energy:       s.Power.TotalEnergy(),
+		IMin:         s.iMin,
+		IMax:         s.iMax,
+		MinV:         s.minV,
+		MaxV:         s.maxV,
+		VNominal:     s.Net.Params().VNominal,
+		Emergencies:  s.emerg,
+		Hist:         s.hist,
+		Thresholds:   s.thresholds,
+		LowEvents:    s.policy.LowEvents,
+		HighEvents:   s.policy.HighEvents,
+		CurrentTrace: s.curTr,
+		VoltageTrace: s.voltTr,
+	}
+	if measured > 0 {
+		r.EmergencyFreq = float64(s.emerg) / float64(measured)
+	}
+	if s.cycle > 0 {
+		r.AvgPower = r.Energy / (float64(s.cycle) / s.Power.Params().ClockHz)
+	}
+	return r, nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"sort"
+
+	"didt/internal/cpu"
+	"didt/internal/isa"
+	"didt/internal/power"
+)
+
+// measureEnvelope determines the processor's current envelope the way the
+// paper's Figure 13 flow does ("examine the processor power model to find
+// minimum and maximum power values"): the minimum is the all-idle
+// conditional-clock-gated floor, and the maximum is measured by running a
+// saturating probe loop through the cycle simulator and power model and
+// taking a high percentile of its per-cycle current. A sum-of-unit-peaks
+// maximum would be unreachable — the 8-wide issue stage cannot light every
+// unit at once — and calibrating the target impedance against an
+// unreachable envelope would make every real workload look artificially
+// tame (and every threshold artificially loose).
+func measureEnvelope(cfg cpu.Config, pp power.Params) (iMin, iMax float64, err error) {
+	probe := saturationProbe()
+	c, err := cpu.New(cfg, probe)
+	if err != nil {
+		return 0, 0, err
+	}
+	pm := power.New(pp, c.Config())
+	var samples []float64
+	// The probe's code footprint must first stream in from cold memory
+	// (~300 cycles per line), so the measurement window sits well past the
+	// warm-up transient.
+	const (
+		warmup = 20000
+		window = 8000
+	)
+	for i := 0; i < warmup+window; i++ {
+		act, done := c.Step()
+		rep := pm.Step(act, power.Phantom{})
+		if i >= warmup {
+			samples = append(samples, rep.Current)
+		}
+		if done {
+			break
+		}
+	}
+	sort.Float64s(samples)
+	iMax = samples[len(samples)*98/100]
+	return pm.MinCurrent(), iMax, nil
+}
+
+// saturationProbe builds an endless-enough loop of independent, cache-warm,
+// perfectly-predicted work mixed across every unit class, the steady-state
+// hottest program the machine can run.
+func saturationProbe() isa.Program {
+	b := isa.NewBuilder()
+	b.LdI(1, 1<<14) // warm data region
+	b.LdI(9, 4000)  // iterations (far more than the measurement window)
+	b.FLdI(2, 1.25)
+	b.FLdI(3, 0.75)
+	b.Label("loop")
+	for i := 0; i < 48; i++ {
+		d1 := uint8(10 + i%8)
+		d2 := uint8(18 + i%8)
+		b.Add(d1, 1, d2)
+		b.Xor(d2, 1, d1)
+		if i%2 == 0 {
+			b.St(1, 1, int64(8*(i%32)))
+		} else {
+			b.Ld(uint8(26), 1, int64(8*(i%32)))
+		}
+		b.FAdd(uint8(10+i%8), 2, 3)
+		if i%2 == 1 {
+			b.FMul(uint8(18+i%4), 2, 3)
+		}
+		if i%8 == 0 {
+			b.Mul(27, 1, d1)
+		}
+	}
+	b.AddI(9, 9, -1)
+	b.BneZ(9, "loop")
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,208 @@
+package cpu
+
+import (
+	"fmt"
+
+	"didt/internal/bpred"
+	"didt/internal/isa"
+	"didt/internal/mem"
+)
+
+// Config describes the core, matching the paper's Table 1 by default.
+type Config struct {
+	FetchWidth  int // instructions fetched per cycle
+	DecodeWidth int // instructions dispatched into the window per cycle
+	IssueWidth  int // instructions issued to FUs per cycle
+	CommitWidth int // instructions retired per cycle
+
+	RUUSize int // register update unit (merged ROB + reservation stations)
+	LSQSize int
+
+	IntALU    int // functional unit counts
+	IntMult   int // int multiply/divide units (shared, non-pipelined divide)
+	FPALU     int
+	FPMult    int // fp multiply/divide units (shared, non-pipelined divide)
+	MemPorts  int
+	FetchQLen int // fetch buffer depth
+
+	// BranchPenalty is the extra front-end refill delay, in cycles, charged
+	// after a mispredicted branch resolves (the paper's 10-cycle penalty
+	// modeling super-pipelined fetch/decode).
+	BranchPenalty int
+
+	Bpred bpred.Config
+	Mem   mem.Config
+
+	// Latencies per FU class; zero fields take defaults.
+	LatIntALU  int
+	LatIntMult int
+	LatIntDiv  int // non-pipelined
+	LatFPAdd   int
+	LatFPMult  int
+	LatFPDiv   int // non-pipelined
+}
+
+// DefaultConfig returns the Table 1 processor.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  8,
+		DecodeWidth: 8,
+		IssueWidth:  8,
+		CommitWidth: 8,
+		RUUSize:     256,
+		LSQSize:     128,
+		IntALU:      8,
+		IntMult:     2,
+		FPALU:       4,
+		FPMult:      2,
+		MemPorts:    4,
+		FetchQLen:   16,
+
+		BranchPenalty: 10,
+
+		LatIntALU:  1,
+		LatIntMult: 3,
+		LatIntDiv:  20,
+		LatFPAdd:   2,
+		LatFPMult:  4,
+		LatFPDiv:   12,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.FetchWidth == 0 {
+		c.FetchWidth = d.FetchWidth
+	}
+	if c.DecodeWidth == 0 {
+		c.DecodeWidth = d.DecodeWidth
+	}
+	if c.IssueWidth == 0 {
+		c.IssueWidth = d.IssueWidth
+	}
+	if c.CommitWidth == 0 {
+		c.CommitWidth = d.CommitWidth
+	}
+	if c.RUUSize == 0 {
+		c.RUUSize = d.RUUSize
+	}
+	if c.LSQSize == 0 {
+		c.LSQSize = d.LSQSize
+	}
+	if c.IntALU == 0 {
+		c.IntALU = d.IntALU
+	}
+	if c.IntMult == 0 {
+		c.IntMult = d.IntMult
+	}
+	if c.FPALU == 0 {
+		c.FPALU = d.FPALU
+	}
+	if c.FPMult == 0 {
+		c.FPMult = d.FPMult
+	}
+	if c.MemPorts == 0 {
+		c.MemPorts = d.MemPorts
+	}
+	if c.FetchQLen == 0 {
+		c.FetchQLen = d.FetchQLen
+	}
+	if c.BranchPenalty == 0 {
+		c.BranchPenalty = d.BranchPenalty
+	}
+	if c.LatIntALU == 0 {
+		c.LatIntALU = d.LatIntALU
+	}
+	if c.LatIntMult == 0 {
+		c.LatIntMult = d.LatIntMult
+	}
+	if c.LatIntDiv == 0 {
+		c.LatIntDiv = d.LatIntDiv
+	}
+	if c.LatFPAdd == 0 {
+		c.LatFPAdd = d.LatFPAdd
+	}
+	if c.LatFPMult == 0 {
+		c.LatFPMult = d.LatFPMult
+	}
+	if c.LatFPDiv == 0 {
+		c.LatFPDiv = d.LatFPDiv
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.RUUSize < 2 {
+		return fmt.Errorf("cpu: RUUSize %d too small", c.RUUSize)
+	}
+	if c.LSQSize < 1 {
+		return fmt.Errorf("cpu: LSQSize %d too small", c.LSQSize)
+	}
+	if c.FetchWidth < 1 || c.IssueWidth < 1 || c.CommitWidth < 1 || c.DecodeWidth < 1 {
+		return fmt.Errorf("cpu: pipeline widths must be positive")
+	}
+	return nil
+}
+
+// latency returns (execution latency, pipelined) for a class.
+func (c Config) latency(cl isa.Class) (int, bool) {
+	switch cl {
+	case isa.ClassIntALU, isa.ClassBranch:
+		return c.LatIntALU, true
+	case isa.ClassIntMult:
+		return c.LatIntMult, true
+	case isa.ClassIntDiv:
+		return c.LatIntDiv, false
+	case isa.ClassFPAdd:
+		return c.LatFPAdd, true
+	case isa.ClassFPMult:
+		return c.LatFPMult, true
+	case isa.ClassFPDiv:
+		return c.LatFPDiv, false
+	}
+	return 1, true
+}
+
+// fuPool maps a class to the functional-unit group that executes it.
+type fuGroup uint8
+
+const (
+	fuIntALU fuGroup = iota
+	fuIntMult
+	fuFPALU
+	fuFPMult
+	fuMemPort
+	numFUGroups
+)
+
+func groupOf(cl isa.Class) fuGroup {
+	switch cl {
+	case isa.ClassIntALU, isa.ClassBranch:
+		return fuIntALU
+	case isa.ClassIntMult, isa.ClassIntDiv:
+		return fuIntMult
+	case isa.ClassFPAdd:
+		return fuFPALU
+	case isa.ClassFPMult, isa.ClassFPDiv:
+		return fuFPMult
+	case isa.ClassLoad, isa.ClassStore:
+		return fuMemPort
+	}
+	return fuIntALU
+}
+
+func (c Config) groupSize(g fuGroup) int {
+	switch g {
+	case fuIntALU:
+		return c.IntALU
+	case fuIntMult:
+		return c.IntMult
+	case fuFPALU:
+		return c.FPALU
+	case fuFPMult:
+		return c.FPMult
+	case fuMemPort:
+		return c.MemPorts
+	}
+	return 0
+}

@@ -1,0 +1,714 @@
+// Package cpu implements the cycle-level out-of-order core of Table 1: an
+// 8-wide machine with a 256-entry register update unit (RUU — the merged
+// reorder buffer / reservation stations of SimpleScalar's sim-outorder), a
+// 128-entry load/store queue, the Table 1 functional-unit mix, a combined
+// branch predictor and the Table 1 memory hierarchy.
+//
+// The timing model uses SimpleScalar's execute-at-dispatch technique:
+// instructions are functionally executed (against isa.ArchState) when they
+// enter the window, so values, branch outcomes and effective addresses are
+// exact, while the pipeline model charges realistic timing. On a branch
+// misprediction the front end stops (no wrong-path dispatch) and resumes at
+// resolution plus the configured refill penalty; the quiet front end during
+// refill is precisely the current dip the paper's controller must manage.
+//
+// Every cycle Step returns an Activity report for the power model, and the
+// Gating hooks let the dI/dt actuator clock-gate the execution units and
+// the L1 caches without perturbing architectural state.
+package cpu
+
+import (
+	"fmt"
+
+	"didt/internal/bpred"
+	"didt/internal/isa"
+	"didt/internal/mem"
+)
+
+const (
+	stWaiting uint8 = iota // in window, operands outstanding
+	stReady                // operands available, not yet issued
+	stIssued               // executing
+	stDone                 // completed, awaiting commit
+)
+
+// calBuckets must exceed the longest possible operation latency.
+const calBuckets = 1024
+
+type prodRef struct {
+	idx int32
+	seq uint64
+}
+
+type entry struct {
+	in    isa.Instr
+	pc    int
+	seq   uint64
+	out   isa.Outcome
+	pred  bpred.Prediction
+	class isa.Class
+	state uint8
+
+	isBranch bool
+	mispred  bool
+
+	waitCnt   int
+	consumers []prodRef // younger entries waiting on this result
+
+	isLoad, isStore bool
+	addrReady       bool // stores: address generated
+
+	doneAt uint64
+}
+
+type fetchSlot struct {
+	in   isa.Instr
+	pc   int
+	pred bpred.Prediction
+}
+
+// CPU is one core instance. It is not safe for concurrent use.
+type CPU struct {
+	cfg  Config
+	prog isa.Program
+	arch *isa.ArchState
+
+	Pred *bpred.Predictor
+	Mem  *mem.Hierarchy
+
+	gating Gating
+
+	// Window state. ruu is a ring: head is the oldest entry, count entries.
+	ruu   []entry
+	head  int
+	count int
+	seq   uint64
+
+	lsq      []int32 // RUU indices of in-flight memory ops, oldest first
+	lsqHead  int
+	lsqCount int
+
+	intProd [isa.NumRegs]prodRef
+	fpProd  [isa.NumRegs]prodRef
+
+	ready []int32 // ready-entry ring, kept in age order
+
+	calendar [calBuckets][]int32
+
+	fuBusy [numFUGroups][]uint64 // per-unit busy-until cycle
+
+	// Front end.
+	fetchPC      int
+	fetchQ       []fetchSlot
+	fetchBlocked bool // mispredicted branch in flight; no wrong-path fetch
+	fetchHalted  bool // HALT fetched or PC ran off the program
+	fetchReadyAt uint64
+	curFetchLine uint64
+
+	haltSeen   bool // HALT dispatched
+	done       bool
+	cycle      uint64
+	idleStreak uint64 // consecutive no-progress cycles (deadlock guard)
+
+	stats Stats
+	err   error
+}
+
+// New builds a core for the given program. Zero Config fields take the
+// Table 1 defaults.
+func New(cfg Config, prog isa.Program) (*CPU, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("cpu: empty program")
+	}
+	pred, err := bpred.New(cfg.Bpred)
+	if err != nil {
+		return nil, err
+	}
+	hier, err := mem.NewHierarchy(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	maxLat := cfg.Mem.L1HitLat + cfg.Mem.L2HitLat + cfg.Mem.MemLat
+	if maxLat == 0 {
+		m := hier.Config()
+		maxLat = m.L1HitLat + m.L2HitLat + m.MemLat
+	}
+	if maxLat+cfg.LatIntDiv >= calBuckets {
+		return nil, fmt.Errorf("cpu: latency %d exceeds calendar capacity", maxLat)
+	}
+	c := &CPU{
+		cfg:          cfg,
+		prog:         prog,
+		arch:         isa.NewArchState(),
+		Pred:         pred,
+		Mem:          hier,
+		ruu:          make([]entry, cfg.RUUSize),
+		lsq:          make([]int32, cfg.LSQSize),
+		seq:          1,
+		curFetchLine: ^uint64(0),
+	}
+	for g := fuGroup(0); g < numFUGroups; g++ {
+		c.fuBusy[g] = make([]uint64, cfg.groupSize(g))
+	}
+	return c, nil
+}
+
+// Arch exposes the architectural state (for workload setup and result
+// inspection).
+func (c *CPU) Arch() *isa.ArchState { return c.arch }
+
+// Config returns the resolved configuration.
+func (c *CPU) Config() Config { return c.cfg }
+
+// SetGating installs the actuator's gating decision for subsequent cycles.
+func (c *CPU) SetGating(g Gating) {
+	c.gating = g
+	c.Mem.DL1Gated = g.DL1
+	c.Mem.IL1Gated = g.IL1
+}
+
+// Flush models the pipeline-flush recovery alternative of the paper's
+// Section 6 ("flushing the pipeline if execution cannot resume
+// mid-stream"): the fetch queue is discarded and the front end restarts at
+// the oldest discarded instruction after the given refill penalty. In-
+// window instructions are unaffected (they hold architectural results).
+// If a misprediction recovery is already pending, the flush is a no-op —
+// that recovery will redirect fetch anyway. Discarded instructions are
+// re-looked-up on re-fetch, so the branch predictor sees their history
+// twice; this small inaccuracy is inherent to flush-style recovery.
+func (c *CPU) Flush(penalty int) {
+	if c.fetchBlocked || c.fetchHalted {
+		return
+	}
+	if len(c.fetchQ) > 0 {
+		c.fetchPC = c.fetchQ[0].pc
+		c.fetchQ = c.fetchQ[:0]
+		c.curFetchLine = ^uint64(0)
+	}
+	if penalty < 0 {
+		penalty = 0
+	}
+	if at := c.cycle + uint64(penalty); at > c.fetchReadyAt {
+		c.fetchReadyAt = at
+	}
+}
+
+// Gating returns the current gating state.
+func (c *CPU) Gating() Gating { return c.gating }
+
+// Done reports whether the program has fully retired (or the core wedged;
+// see Err).
+func (c *CPU) Done() bool { return c.done }
+
+// Err reports an internal model error (deadlock); nil in normal operation.
+func (c *CPU) Err() error { return c.err }
+
+// Stats returns a snapshot of run statistics.
+func (c *CPU) Stats() Stats {
+	s := c.stats
+	s.L1IMissRate = c.Mem.L1I.MissRate()
+	s.L1DMissRate = c.Mem.L1D.MissRate()
+	s.L2MissRate = c.Mem.L2.MissRate()
+	s.BranchLookups = c.Pred.Lookups
+	s.Mispredicts = c.Pred.DirMispred + c.Pred.TargMispred
+	return s
+}
+
+// Cycle returns the current cycle number.
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+func (c *CPU) idx(pos int) int32 { return int32(pos % c.cfg.RUUSize) }
+
+// Step advances the core one clock cycle and returns the structural
+// activity of that cycle. done becomes true when the program has retired.
+func (c *CPU) Step() (Activity, bool) {
+	if c.done {
+		return Activity{}, true
+	}
+	var act Activity
+	act.FUsGated, act.DL1Gated, act.IL1Gated = c.gating.FUs, c.gating.DL1, c.gating.IL1
+	if c.gating.FUs || c.gating.DL1 || c.gating.IL1 {
+		c.stats.GatedCycles++
+	}
+
+	c.writeback(&act)
+	c.commit(&act)
+	c.issue(&act)
+	c.dispatch(&act)
+	c.fetch(&act)
+
+	act.RUUOccupancy = c.count
+	act.LSQOccupancy = c.lsqCount
+	c.stats.Cycles++
+	if act.Issued == 0 {
+		c.stats.IssueStallCycles++
+	}
+	if act.Fetched == 0 {
+		c.stats.FetchStallCycles++
+	}
+	c.cycle++
+
+	// Deadlock guard: the machine must eventually make progress somewhere
+	// (fetch counts — an empty window waiting out a cold I-cache miss is
+	// legitimate, but thousands of cycles with no events of any kind means
+	// a model bug or a permanently-gated machine).
+	if !c.done && act.Completed == 0 && act.Committed == 0 && act.Issued == 0 &&
+		act.Dispatched == 0 && act.Fetched == 0 {
+		c.idleStreak++
+		// The longest legitimate quiet period is a memory-latency stall (or
+		// an actuator gate); anything much longer is a wedge.
+		if c.idleStreak > uint64(4*(c.Mem.Config().MemLat+calBuckets)) {
+			c.err = fmt.Errorf("cpu: pipeline wedged at cycle %d (pc=%d, ruu=%d)", c.cycle, c.fetchPC, c.count)
+			c.done = true
+		}
+	} else {
+		c.idleStreak = 0
+	}
+
+	if c.count == 0 && (c.fetchHalted || c.fetchBlocked) && len(c.fetchQ) == 0 && c.haltSeen {
+		c.done = true
+	}
+	// A program that runs off the end without HALT also terminates once
+	// drained.
+	if c.count == 0 && c.fetchHalted && len(c.fetchQ) == 0 {
+		c.done = true
+	}
+	return act, c.done
+}
+
+// idleStreak tracks consecutive no-progress cycles for the deadlock guard.
+// (kept out of Stats; internal diagnostics only)
+
+func (c *CPU) writeback(act *Activity) {
+	bucket := &c.calendar[c.cycle%calBuckets]
+	if len(*bucket) == 0 {
+		return
+	}
+	for _, idx := range *bucket {
+		e := &c.ruu[idx]
+		if e.state != stIssued || e.doneAt != c.cycle {
+			continue // stale (squashed and slot reused)
+		}
+		e.state = stDone
+		act.Completed++
+		if e.in.WritesInt() || e.in.WritesFP() {
+			act.RegWrites++
+		}
+		if e.isStore {
+			e.addrReady = true
+		}
+		// Wake consumers.
+		for _, cr := range e.consumers {
+			t := &c.ruu[cr.idx]
+			if t.seq != cr.seq || t.state != stWaiting {
+				continue
+			}
+			act.WindowWakeups++
+			t.waitCnt--
+			if t.waitCnt == 0 {
+				t.state = stReady
+				c.ready = append(c.ready, cr.idx)
+			}
+		}
+		e.consumers = e.consumers[:0]
+		if e.isBranch {
+			c.resolveBranch(e)
+		}
+	}
+	*bucket = (*bucket)[:0]
+}
+
+func (c *CPU) resolveBranch(e *entry) {
+	taken := e.out.Taken
+	c.Pred.Resolve(e.pc, e.in, e.pred, taken, e.out.NextPC)
+	if e.mispred {
+		// Recovery: drop the wrong-path fetch queue and restart the front
+		// end at the correct target after the refill penalty.
+		c.fetchQ = c.fetchQ[:0]
+		c.fetchBlocked = false
+		c.fetchPC = e.out.NextPC
+		c.fetchReadyAt = c.cycle + 1 + uint64(c.cfg.BranchPenalty)
+		c.curFetchLine = ^uint64(0)
+		if c.fetchPC < 0 || c.fetchPC >= len(c.prog) {
+			c.fetchHalted = true
+			c.haltSeen = true
+		} else {
+			c.fetchHalted = false
+		}
+	}
+}
+
+func (c *CPU) commit(act *Activity) {
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		idx := c.idx(c.head)
+		e := &c.ruu[idx]
+		if e.state != stDone {
+			c.stats.CommitStallCycles++
+			return
+		}
+		if e.isStore {
+			// Stores update the D-cache at retirement; a gated cache
+			// stalls commit (the clock is off).
+			res, ok := c.Mem.AccessData(e.out.EA, true)
+			if !ok {
+				c.stats.CommitStallCycles++
+				return
+			}
+			act.DCacheAccess++
+			if res.L2Used {
+				act.L2Access++
+			}
+		}
+		// Free register-status entries that still point here.
+		if e.in.WritesInt() {
+			if p := &c.intProd[e.in.Dst]; p.idx == idx && p.seq == e.seq {
+				p.seq = 0
+			}
+			if e.in.Op == isa.CALL {
+				if p := &c.intProd[isa.LinkReg]; p.idx == idx && p.seq == e.seq {
+					p.seq = 0
+				}
+			}
+		}
+		if e.in.WritesFP() {
+			if p := &c.fpProd[e.in.Dst]; p.idx == idx && p.seq == e.seq {
+				p.seq = 0
+			}
+		}
+		if e.isLoad || e.isStore {
+			c.lsqHead = (c.lsqHead + 1) % c.cfg.LSQSize
+			c.lsqCount--
+		}
+		e.seq = 0
+		c.head++
+		c.count--
+		act.Committed++
+		c.stats.Instructions++
+		if e.in.Op == isa.HALT {
+			c.done = true
+			return
+		}
+	}
+}
+
+func (c *CPU) issue(act *Activity) {
+	if len(c.ready) == 0 {
+		return
+	}
+	// Keep age order so older instructions get FU priority.
+	insertionSortReady(c.ready, c.ruu)
+	budget := c.cfg.IssueWidth
+	out := c.ready[:0]
+	for _, idx := range c.ready {
+		e := &c.ruu[idx]
+		if e.state != stReady {
+			continue // squashed or stale
+		}
+		if budget == 0 {
+			out = append(out, idx)
+			continue
+		}
+		if ok := c.tryIssue(idx, e, act); ok {
+			budget--
+			act.Issued++
+			c.stats.Issued++
+			act.IssuedByClass[e.class]++
+		} else {
+			out = append(out, idx)
+		}
+	}
+	c.ready = out
+}
+
+func (c *CPU) tryIssue(idx int32, e *entry, act *Activity) bool {
+	// Execution-unit gating from the dI/dt actuator: the int and fp
+	// pipelines are clock-gated, so nothing can start executing on them.
+	if c.gating.FUs {
+		switch e.class {
+		case isa.ClassIntALU, isa.ClassIntMult, isa.ClassIntDiv,
+			isa.ClassFPAdd, isa.ClassFPMult, isa.ClassFPDiv, isa.ClassBranch:
+			return false
+		}
+	}
+	var lat int
+	var dcache, l2 bool
+	switch {
+	case e.isLoad:
+		if c.gating.DL1 {
+			return false
+		}
+		fwd, ok := c.loadOrderingOK(idx, e)
+		if !ok {
+			return false
+		}
+		if fwd {
+			lat = 1 // store-to-load forward inside the LSQ
+		} else {
+			res, ok := c.Mem.AccessData(e.out.EA, false)
+			if !ok {
+				return false
+			}
+			lat = res.Latency
+			dcache = true
+			l2 = res.L2Used
+		}
+	case e.isStore:
+		lat = 1 // address generation only; data written at commit
+	default:
+		lat, _ = c.cfg.latency(e.class)
+	}
+	// Allocate a functional unit.
+	grp := groupOf(e.class)
+	unit := -1
+	for u, busy := range c.fuBusy[grp] {
+		if busy <= c.cycle {
+			unit = u
+			break
+		}
+	}
+	if unit < 0 {
+		return false
+	}
+	_, pipelined := c.cfg.latency(e.class)
+	if e.isLoad || e.isStore {
+		pipelined = true
+	}
+	if pipelined {
+		c.fuBusy[grp][unit] = c.cycle + 1
+	} else {
+		c.fuBusy[grp][unit] = c.cycle + uint64(lat)
+	}
+	e.state = stIssued
+	if lat < 1 {
+		lat = 1
+	}
+	e.doneAt = c.cycle + uint64(lat)
+	slot := &c.calendar[e.doneAt%calBuckets]
+	*slot = append(*slot, idx)
+	if dcache {
+		act.DCacheAccess++
+	}
+	if l2 {
+		act.L2Access++
+	}
+	// Register-file read traffic.
+	act.RegReads += len(sourceRegs(e.in))
+	return true
+}
+
+// loadOrderingOK enforces conservative load/store ordering: a load may
+// issue only after every older store in the LSQ has generated its address.
+// It reports (forwarded, ok): forwarded means an older store to the same
+// word supplies the data directly.
+func (c *CPU) loadOrderingOK(idx int32, e *entry) (bool, bool) {
+	fwd := false
+	for i := 0; i < c.lsqCount; i++ {
+		j := c.lsq[(c.lsqHead+i)%c.cfg.LSQSize]
+		se := &c.ruu[j]
+		if j == idx {
+			break // reached the load itself; older stores all checked
+		}
+		if !se.isStore {
+			continue
+		}
+		if !se.addrReady {
+			return false, false
+		}
+		if se.out.EA>>3 == e.out.EA>>3 {
+			fwd = true // youngest matching older store wins
+		}
+	}
+	return fwd, true
+}
+
+func (c *CPU) dispatch(act *Activity) {
+	if c.fetchBlocked {
+		return
+	}
+	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchQ) > 0; n++ {
+		if c.count == c.cfg.RUUSize {
+			return
+		}
+		slot := c.fetchQ[0]
+		isMem := slot.in.IsMem()
+		if isMem && c.lsqCount == c.cfg.LSQSize {
+			return
+		}
+		c.fetchQ = c.fetchQ[1:]
+
+		pos := c.idx(c.head + c.count)
+		c.count++
+		e := &c.ruu[pos]
+		*e = entry{
+			in:    slot.in,
+			pc:    slot.pc,
+			seq:   c.seq,
+			pred:  slot.pred,
+			class: isa.ClassOf(slot.in.Op),
+			state: stWaiting,
+		}
+		c.seq++
+		// Functional execution: exact values, outcome and address.
+		e.out = c.arch.Exec(slot.in)
+		e.isBranch = slot.in.IsBranch()
+		e.isLoad = slot.in.IsLoad()
+		e.isStore = slot.in.IsStore()
+		if e.isLoad || e.isStore {
+			c.lsq[(c.lsqHead+c.lsqCount)%c.cfg.LSQSize] = pos
+			c.lsqCount++
+		}
+
+		// Collect operand dependencies against in-flight producers.
+		for _, src := range sourceRegs(slot.in) {
+			var p *prodRef
+			if src.fp {
+				p = &c.fpProd[src.reg]
+			} else {
+				p = &c.intProd[src.reg]
+			}
+			if p.seq == 0 {
+				continue
+			}
+			pe := &c.ruu[p.idx]
+			if pe.seq != p.seq || pe.state == stDone {
+				continue
+			}
+			e.waitCnt++
+			pe.consumers = append(pe.consumers, prodRef{pos, e.seq})
+		}
+		// Publish this entry as the new producer of its destination.
+		if slot.in.WritesInt() {
+			dst := slot.in.Dst
+			if slot.in.Op == isa.CALL {
+				dst = isa.LinkReg
+			}
+			c.intProd[dst] = prodRef{pos, e.seq}
+		}
+		if slot.in.WritesFP() {
+			c.fpProd[slot.in.Dst] = prodRef{pos, e.seq}
+		}
+
+		if e.waitCnt == 0 {
+			e.state = stReady
+			c.ready = append(c.ready, pos)
+		}
+		act.Dispatched++
+
+		if e.isBranch {
+			correct := e.pred.Taken == e.out.Taken && (!e.out.Taken || e.pred.Target == e.out.NextPC)
+			if !correct {
+				e.mispred = true
+				c.fetchBlocked = true
+				return
+			}
+		}
+		if slot.in.Op == isa.HALT {
+			c.haltSeen = true
+			return
+		}
+	}
+}
+
+func (c *CPU) fetch(act *Activity) {
+	if c.fetchBlocked || c.fetchHalted || c.gating.IL1 {
+		return
+	}
+	if c.cycle < c.fetchReadyAt {
+		return
+	}
+	lineMask := ^uint64(int64(c.Mem.Config().LineBytes - 1))
+	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQLen; n++ {
+		if c.fetchPC < 0 || c.fetchPC >= len(c.prog) {
+			c.fetchHalted = true
+			c.haltSeen = true
+			return
+		}
+		addr := isa.PCByteAddr(c.fetchPC)
+		if addr&lineMask != c.curFetchLine {
+			res, ok := c.Mem.FetchInstr(addr)
+			if !ok {
+				return // I-cache gated
+			}
+			act.ICacheAccess++
+			if res.L2Used {
+				act.L2Access++
+			}
+			c.curFetchLine = addr & lineMask
+			if !res.L1Hit {
+				c.fetchReadyAt = c.cycle + uint64(res.Latency)
+				return
+			}
+		}
+		in := c.prog[c.fetchPC]
+		slot := fetchSlot{in: in, pc: c.fetchPC}
+		if in.IsBranch() {
+			slot.pred = c.Pred.Lookup(c.fetchPC, in)
+			act.BpredLookups++
+		}
+		c.fetchQ = append(c.fetchQ, slot)
+		act.Fetched++
+		c.stats.Fetched++
+		if in.Op == isa.HALT {
+			c.fetchHalted = true
+			return
+		}
+		if in.IsBranch() && slot.pred.Taken {
+			c.fetchPC = slot.pred.Target
+			return // taken branch ends the fetch group
+		}
+		c.fetchPC++
+	}
+}
+
+// sourceRegs lists the register operands an instruction reads.
+type regRef struct {
+	fp  bool
+	reg uint8
+}
+
+func sourceRegs(in isa.Instr) []regRef {
+	switch in.Op {
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
+		isa.CMPLT, isa.CMPEQ, isa.MUL, isa.DIV:
+		return []regRef{{false, in.Src1}, {false, in.Src2}}
+	case isa.CMOVNZ:
+		return []regRef{{false, in.Src1}, {false, in.Src2}, {false, in.Dst}}
+	case isa.ADDI:
+		return []regRef{{false, in.Src1}}
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
+		return []regRef{{true, in.Src1}, {true, in.Src2}}
+	case isa.LD, isa.FLD:
+		return []regRef{{false, in.Src1}}
+	case isa.ST:
+		return []regRef{{false, in.Src1}, {false, in.Src2}}
+	case isa.FST:
+		return []regRef{{false, in.Src1}, {true, in.Src2}}
+	case isa.BEQZ, isa.BNEZ:
+		return []regRef{{false, in.Src1}}
+	case isa.RET:
+		return []regRef{{false, isa.LinkReg}}
+	}
+	return nil
+}
+
+// insertionSortReady keeps the ready list in ascending seq (age) order;
+// the list is nearly sorted between cycles, so insertion sort is cheap.
+func insertionSortReady(xs []int32, ruu []entry) {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		sx := ruu[x].seq
+		j := i - 1
+		for j >= 0 && ruu[xs[j]].seq > sx {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
+}

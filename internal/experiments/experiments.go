@@ -1,0 +1,260 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation. Each experiment has an identifier (fig1..fig18, table2,
+// table3, stressmark-actuation), a typed result, and a text renderer; the
+// cmd/experiments tool and the repository's benchmark harness both drive
+// this package.
+//
+// Absolute numbers differ from the paper's (the substrate is a
+// reimplemented simulator, not the authors' testbed); the shapes — which
+// mechanism wins, where the knees fall, what sensing delay costs — are the
+// reproduction targets. EXPERIMENTS.md records paper-vs-measured for every
+// entry.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"didt/internal/actuator"
+	"didt/internal/core"
+	"didt/internal/isa"
+	"didt/internal/workload"
+)
+
+// Config scales the whole harness. The defaults run every experiment in a
+// few minutes; Quick is for unit tests and benchmarks.
+type Config struct {
+	Cycles     uint64 // per-run cycle cap
+	Warmup     uint64 // cycles excluded from voltage statistics
+	Iterations int    // benchmark loop iterations
+	StressIter int    // stressmark loop iterations
+	Benchmarks []string
+	Seed       int64
+}
+
+// Default is the full-size configuration.
+func Default() Config {
+	return Config{
+		Cycles:     220_000,
+		Warmup:     40_000,
+		Iterations: 3000,
+		StressIter: 2500,
+	}
+}
+
+// Quick is a reduced configuration for tests and benchmarks.
+func Quick() Config {
+	return Config{
+		Cycles:     90_000,
+		Warmup:     25_000,
+		Iterations: 1200,
+		StressIter: 1000,
+		Benchmarks: []string{"swim", "gcc", "galgel"},
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Default()
+	if c.Cycles == 0 {
+		c.Cycles = d.Cycles
+	}
+	if c.Warmup == 0 {
+		c.Warmup = d.Warmup
+	}
+	if c.Iterations == 0 {
+		c.Iterations = d.Iterations
+	}
+	if c.StressIter == 0 {
+		c.StressIter = d.StressIter
+	}
+	return c
+}
+
+// benchmarks resolves the benchmark list (nil = all 26).
+func (c Config) benchmarks() []string {
+	if len(c.Benchmarks) > 0 {
+		return c.Benchmarks
+	}
+	return workload.Names()
+}
+
+// challenging resolves the control-study subset: the paper's eight most
+// voltage-variable benchmarks, intersected with any configured filter.
+func (c Config) challenging() []string {
+	eight := workload.ChallengingEight()
+	if len(c.Benchmarks) == 0 {
+		return eight
+	}
+	allowed := map[string]bool{}
+	for _, b := range c.Benchmarks {
+		allowed[b] = true
+	}
+	var out []string
+	for _, b := range eight {
+		if allowed[b] {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		return c.Benchmarks
+	}
+	return out
+}
+
+func (c Config) benchProgram(name string) (isa.Program, error) {
+	p, err := workload.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p.Iterations = c.Iterations
+	return workload.Generate(p), nil
+}
+
+func (c Config) stressProgram() isa.Program {
+	return workload.Stressmark(workload.StressmarkParams{Iterations: c.StressIter})
+}
+
+// baseOptions assembles core options for an uncontrolled run.
+func (c Config) baseOptions(pct float64) core.Options {
+	return core.Options{
+		ImpedancePct: pct,
+		MaxCycles:    c.Cycles,
+		WarmupCycles: c.Warmup,
+		Seed:         c.Seed,
+	}
+}
+
+// run executes one system.
+func run(prog isa.Program, opts core.Options) (*core.Result, error) {
+	sys, err := core.NewSystem(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// controlled executes one controlled system.
+func (c Config) controlled(prog isa.Program, pct float64, mech actuator.Mechanism, delay int, noiseMV float64) (*core.Result, error) {
+	opts := c.baseOptions(pct)
+	opts.Control = true
+	opts.Mechanism = mech
+	opts.Delay = delay
+	opts.NoiseMV = noiseMV
+	// Controlled runs take longer; leave headroom so the same program
+	// retires fully and cycle counts are comparable.
+	opts.MaxCycles = c.Cycles * 4
+	return run(prog, opts)
+}
+
+// uncontrolledFull runs without a cycle cap tighter than the controlled
+// ones so that both retire the full program (performance = cycles ratio).
+func (c Config) uncontrolledFull(prog isa.Program, pct float64) (*core.Result, error) {
+	opts := c.baseOptions(pct)
+	opts.MaxCycles = c.Cycles * 4
+	return run(prog, opts)
+}
+
+// memo caches expensive shared studies within a process (fig14 and fig15
+// render the same sweep, as do fig17 and fig18).
+var (
+	memoMu sync.Mutex
+	memo   = map[string]interface{}{}
+)
+
+func memoKey(name string, cfg Config) string {
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%v|%d", name, cfg.Cycles, cfg.Warmup, cfg.Iterations, cfg.StressIter, cfg.Benchmarks, cfg.Seed)
+}
+
+func memoized[T any](name string, cfg Config, compute func() (T, error)) (T, error) {
+	memoMu.Lock()
+	if v, ok := memo[memoKey(name, cfg)]; ok {
+		memoMu.Unlock()
+		return v.(T), nil
+	}
+	memoMu.Unlock()
+	v, err := compute()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	memoMu.Lock()
+	memo[memoKey(name, cfg)] = v
+	memoMu.Unlock()
+	return v, nil
+}
+
+// Runner executes one experiment and renders it.
+type Runner func(cfg Config, w io.Writer) error
+
+// Registry maps experiment identifiers to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1":   func(c Config, w io.Writer) error { return renderFig1(c, w) },
+		"fig2":   func(c Config, w io.Writer) error { return renderFig2(c, w) },
+		"fig3":   func(c Config, w io.Writer) error { return renderPulse(c, w, "fig3") },
+		"fig4":   func(c Config, w io.Writer) error { return renderPulse(c, w, "fig4") },
+		"fig5":   func(c Config, w io.Writer) error { return renderPulse(c, w, "fig5") },
+		"fig6":   func(c Config, w io.Writer) error { return renderPulse(c, w, "fig6") },
+		"fig9":   func(c Config, w io.Writer) error { return renderFig9(c, w) },
+		"fig10":  func(c Config, w io.Writer) error { return renderFig10(c, w) },
+		"fig11":  func(c Config, w io.Writer) error { return renderFig11(c, w) },
+		"table2": func(c Config, w io.Writer) error { return renderTable2(c, w) },
+		"table3": func(c Config, w io.Writer) error { return renderTable3(c, w) },
+		"fig14":  func(c Config, w io.Writer) error { return renderFig14(c, w) },
+		"fig15":  func(c Config, w io.Writer) error { return renderFig15(c, w) },
+		"fig16":  func(c Config, w io.Writer) error { return renderFig16(c, w) },
+		"fig17":  func(c Config, w io.Writer) error { return renderFig17(c, w) },
+		"fig18":  func(c Config, w io.Writer) error { return renderFig18(c, w) },
+		"stressmark-actuation": func(c Config, w io.Writer) error {
+			return renderStressmarkActuation(c, w)
+		},
+		// Section 6 / discussion extensions and ablations.
+		"asymmetric":      func(c Config, w io.Writer) error { return renderAsymmetric(c, w) },
+		"locality":        func(c Config, w io.Writer) error { return renderLocality(c, w) },
+		"pid":             func(c Config, w io.Writer) error { return renderPID(c, w) },
+		"ramp-policy":     func(c Config, w io.Writer) error { return renderRampPolicy(c, w) },
+		"ablation-gating": func(c Config, w io.Writer) error { return renderGatingAblation(c, w) },
+		"software-scheduling": func(c Config, w io.Writer) error {
+			return renderSoftwareScheduling(c, w)
+		},
+		"ablation-window": func(c Config, w io.Writer) error { return renderWindowAblation(c, w) },
+		"recovery-policy": func(c Config, w io.Writer) error { return renderRecovery(c, w) },
+	}
+}
+
+// IDs lists experiment identifiers in the paper's order.
+func IDs() []string {
+	ordered := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "table2",
+		"fig10", "fig11", "table3", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "stressmark-actuation",
+		// Section 6 / discussion extensions and ablations.
+		"asymmetric", "pid", "ramp-policy", "ablation-gating", "locality",
+		"software-scheduling", "ablation-window", "recovery-policy",
+	}
+	// Guard against registry drift.
+	reg := Registry()
+	var out []string
+	for _, id := range ordered {
+		if _, ok := reg[id]; ok {
+			out = append(out, id)
+		}
+	}
+	var extra []string
+	for id := range reg {
+		found := false
+		for _, o := range ordered {
+			if o == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

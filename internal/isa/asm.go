@@ -1,0 +1,310 @@
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse assembles textual assembly into a Program. The syntax is the one
+// produced by Instr.String plus labels ("name:") and comments (";" or "#"
+// to end of line). Branch targets may be labels or absolute instruction
+// indices. Example:
+//
+//	loop:
+//	  fld   f1, 0(r4)
+//	  fdiv  f3, f1, f2
+//	  fst   f3, 8(r4)
+//	  ld    r7, 8(r4)
+//	  cmovnz r3, r7, r31
+//	  addi  r5, r5, -1
+//	  bnez  r5, loop
+//	  halt
+func Parse(r io.Reader) (Program, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	var (
+		prog    Program
+		labels  = map[string]int{}
+		fixups  []pending
+		scanner = bufio.NewScanner(r)
+		lineNo  int
+	)
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels may share a line with an instruction: "loop: add ..."
+		for {
+			if i := strings.Index(line, ":"); i >= 0 && !strings.ContainsAny(line[:i], " \t,") {
+				name := strings.TrimSpace(line[:i])
+				if name == "" {
+					return nil, fmt.Errorf("isa: line %d: empty label", lineNo)
+				}
+				if _, dup := labels[name]; dup {
+					return nil, fmt.Errorf("isa: line %d: duplicate label %q", lineNo, name)
+				}
+				labels[name] = len(prog)
+				line = strings.TrimSpace(line[i+1:])
+				if line == "" {
+					break
+				}
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		in, labelRef, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %v", lineNo, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{len(prog), labelRef, lineNo})
+		}
+		prog = append(prog, in)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	for _, f := range fixups {
+		t, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: line %d: undefined label %q", f.line, f.label)
+		}
+		prog[f.instr].Imm = int64(t)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseString assembles a source string.
+func ParseString(src string) (Program, error) { return Parse(strings.NewReader(src)) }
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+func parseInstr(line string) (Instr, string, error) {
+	fields := strings.SplitN(line, " ", 2)
+	mnemonic := strings.ToLower(strings.TrimSpace(fields[0]))
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return Instr{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	var args []string
+	if len(fields) == 2 {
+		for _, a := range strings.Split(fields[1], ",") {
+			args = append(args, strings.TrimSpace(a))
+		}
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+	in := Instr{Op: op}
+	switch op {
+	case NOP, HALT, RET:
+		return in, "", need(0)
+	case ADD, SUB, AND, OR, XOR, SHL, SHR, CMPLT, CMPEQ, CMOVNZ, MUL, DIV:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Dst, err = parseReg(args[0], 'r'); err != nil {
+			return in, "", err
+		}
+		if in.Src1, err = parseReg(args[1], 'r'); err != nil {
+			return in, "", err
+		}
+		if in.Src2, err = parseReg(args[2], 'r'); err != nil {
+			return in, "", err
+		}
+		return in, "", nil
+	case FADD, FSUB, FMUL, FDIV:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Dst, err = parseReg(args[0], 'f'); err != nil {
+			return in, "", err
+		}
+		if in.Src1, err = parseReg(args[1], 'f'); err != nil {
+			return in, "", err
+		}
+		if in.Src2, err = parseReg(args[2], 'f'); err != nil {
+			return in, "", err
+		}
+		return in, "", nil
+	case ADDI:
+		if err := need(3); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Dst, err = parseReg(args[0], 'r'); err != nil {
+			return in, "", err
+		}
+		if in.Src1, err = parseReg(args[1], 'r'); err != nil {
+			return in, "", err
+		}
+		imm, err := strconv.ParseInt(args[2], 0, 64)
+		if err != nil {
+			return in, "", fmt.Errorf("bad immediate %q", args[2])
+		}
+		in.Imm = imm
+		return in, "", nil
+	case LDI:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Dst, err = parseReg(args[0], 'r'); err != nil {
+			return in, "", err
+		}
+		imm, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return in, "", fmt.Errorf("bad immediate %q", args[1])
+		}
+		in.Imm = imm
+		return in, "", nil
+	case FLDI:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Dst, err = parseReg(args[0], 'f'); err != nil {
+			return in, "", err
+		}
+		v, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return in, "", fmt.Errorf("bad float immediate %q", args[1])
+		}
+		in.Imm = FloatImm(v)
+		return in, "", nil
+	case LD, FLD:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		file := byte('r')
+		if op == FLD {
+			file = 'f'
+		}
+		var err error
+		if in.Dst, err = parseReg(args[0], file); err != nil {
+			return in, "", err
+		}
+		disp, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Imm, in.Src1 = disp, base
+		return in, "", nil
+	case ST, FST:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		file := byte('r')
+		if op == FST {
+			file = 'f'
+		}
+		var err error
+		if in.Src2, err = parseReg(args[0], file); err != nil {
+			return in, "", err
+		}
+		disp, base, err := parseMemOperand(args[1])
+		if err != nil {
+			return in, "", err
+		}
+		in.Imm, in.Src1 = disp, base
+		return in, "", nil
+	case BEQZ, BNEZ:
+		if err := need(2); err != nil {
+			return in, "", err
+		}
+		var err error
+		if in.Src1, err = parseReg(args[0], 'r'); err != nil {
+			return in, "", err
+		}
+		if t, err := strconv.ParseInt(args[1], 0, 64); err == nil {
+			in.Imm = t
+			return in, "", nil
+		}
+		return in, args[1], nil
+	case JMP, CALL:
+		if err := need(1); err != nil {
+			return in, "", err
+		}
+		if t, err := strconv.ParseInt(args[0], 0, 64); err == nil {
+			in.Imm = t
+			return in, "", nil
+		}
+		return in, args[0], nil
+	}
+	return in, "", fmt.Errorf("unhandled mnemonic %q", mnemonic)
+}
+
+func parseReg(s string, file byte) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if len(s) < 2 || s[0] != file {
+		return 0, fmt.Errorf("bad %c-register %q", file, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseMemOperand parses "disp(rN)".
+func parseMemOperand(s string) (int64, uint8, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	dispStr := strings.TrimSpace(s[:open])
+	disp := int64(0)
+	if dispStr != "" {
+		var err error
+		disp, err = strconv.ParseInt(dispStr, 0, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad displacement %q", dispStr)
+		}
+	}
+	base, err := parseReg(s[open+1:len(s)-1], 'r')
+	if err != nil {
+		return 0, 0, err
+	}
+	return disp, base, nil
+}
+
+// Disassemble renders a whole program, one instruction per line, with
+// index prefixes.
+func Disassemble(p Program) string {
+	var sb strings.Builder
+	for i, in := range p {
+		fmt.Fprintf(&sb, "%4d:  %s\n", i, in)
+	}
+	return sb.String()
+}

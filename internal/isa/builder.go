@@ -1,0 +1,142 @@
+package isa
+
+import "fmt"
+
+// Builder assembles programs in code with symbolic labels, the way the
+// workload generators construct the stressmark and synthetic benchmarks.
+// Branches may reference labels defined later; Build resolves them.
+type Builder struct {
+	instrs []Instr
+	labels map[string]int
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	instr int
+	label string
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("isa: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = len(b.instrs)
+	return b
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Instr) *Builder {
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.instrs) }
+
+// Convenience emitters. Register arguments are file indices.
+
+func (b *Builder) Nop() *Builder { return b.Emit(Instr{Op: NOP}) }
+
+func (b *Builder) Op3(op Op, dst, s1, s2 uint8) *Builder {
+	return b.Emit(Instr{Op: op, Dst: dst, Src1: s1, Src2: s2})
+}
+
+func (b *Builder) Add(dst, s1, s2 uint8) *Builder  { return b.Op3(ADD, dst, s1, s2) }
+func (b *Builder) Sub(dst, s1, s2 uint8) *Builder  { return b.Op3(SUB, dst, s1, s2) }
+func (b *Builder) And(dst, s1, s2 uint8) *Builder  { return b.Op3(AND, dst, s1, s2) }
+func (b *Builder) Or(dst, s1, s2 uint8) *Builder   { return b.Op3(OR, dst, s1, s2) }
+func (b *Builder) Xor(dst, s1, s2 uint8) *Builder  { return b.Op3(XOR, dst, s1, s2) }
+func (b *Builder) Mul(dst, s1, s2 uint8) *Builder  { return b.Op3(MUL, dst, s1, s2) }
+func (b *Builder) Div(dst, s1, s2 uint8) *Builder  { return b.Op3(DIV, dst, s1, s2) }
+func (b *Builder) FAdd(dst, s1, s2 uint8) *Builder { return b.Op3(FADD, dst, s1, s2) }
+func (b *Builder) FSub(dst, s1, s2 uint8) *Builder { return b.Op3(FSUB, dst, s1, s2) }
+func (b *Builder) FMul(dst, s1, s2 uint8) *Builder { return b.Op3(FMUL, dst, s1, s2) }
+func (b *Builder) FDiv(dst, s1, s2 uint8) *Builder { return b.Op3(FDIV, dst, s1, s2) }
+
+func (b *Builder) CmpLT(dst, s1, s2 uint8) *Builder  { return b.Op3(CMPLT, dst, s1, s2) }
+func (b *Builder) CmpEQ(dst, s1, s2 uint8) *Builder  { return b.Op3(CMPEQ, dst, s1, s2) }
+func (b *Builder) CMovNZ(dst, s1, s2 uint8) *Builder { return b.Op3(CMOVNZ, dst, s1, s2) }
+
+func (b *Builder) AddI(dst, s1 uint8, imm int64) *Builder {
+	return b.Emit(Instr{Op: ADDI, Dst: dst, Src1: s1, Imm: imm})
+}
+
+func (b *Builder) LdI(dst uint8, imm int64) *Builder {
+	return b.Emit(Instr{Op: LDI, Dst: dst, Imm: imm})
+}
+
+func (b *Builder) FLdI(dst uint8, v float64) *Builder {
+	return b.Emit(Instr{Op: FLDI, Dst: dst, Imm: FloatImm(v)})
+}
+
+func (b *Builder) Ld(dst, base uint8, disp int64) *Builder {
+	return b.Emit(Instr{Op: LD, Dst: dst, Src1: base, Imm: disp})
+}
+
+func (b *Builder) St(val, base uint8, disp int64) *Builder {
+	return b.Emit(Instr{Op: ST, Src2: val, Src1: base, Imm: disp})
+}
+
+func (b *Builder) FLd(dst, base uint8, disp int64) *Builder {
+	return b.Emit(Instr{Op: FLD, Dst: dst, Src1: base, Imm: disp})
+}
+
+func (b *Builder) FSt(val, base uint8, disp int64) *Builder {
+	return b.Emit(Instr{Op: FST, Src2: val, Src1: base, Imm: disp})
+}
+
+// branch emitters reference labels, resolved at Build time.
+
+func (b *Builder) BeqZ(cond uint8, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.instrs), label})
+	return b.Emit(Instr{Op: BEQZ, Src1: cond})
+}
+
+func (b *Builder) BneZ(cond uint8, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.instrs), label})
+	return b.Emit(Instr{Op: BNEZ, Src1: cond})
+}
+
+func (b *Builder) Jmp(label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.instrs), label})
+	return b.Emit(Instr{Op: JMP})
+}
+
+func (b *Builder) Halt() *Builder { return b.Emit(Instr{Op: HALT}) }
+
+// Build resolves labels and validates the program.
+func (b *Builder) Build() (Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := append(Program(nil), b.instrs...)
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q", f.label)
+		}
+		p[f.instr].Imm = int64(target)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build for programs constructed from trusted generators;
+// it panics on error.
+func (b *Builder) MustBuild() Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,176 @@
+package isa
+
+import "math"
+
+// ArchState is the architectural machine state: register files, data
+// memory, program counter and halt flag. The out-of-order timing model
+// executes instructions functionally against an ArchState at dispatch time
+// (the SimpleScalar sim-outorder technique); timing is layered on top.
+type ArchState struct {
+	R    [NumRegs]int64
+	F    [NumRegs]float64
+	Mem  *Memory
+	PC   int
+	Halt bool
+
+	// Retired counts instructions executed (architecturally useful work).
+	Retired uint64
+}
+
+// NewArchState returns a reset machine with fresh memory.
+func NewArchState() *ArchState {
+	return &ArchState{Mem: NewMemory()}
+}
+
+// Outcome describes the side effects of one instruction, as needed by the
+// timing model: the next PC, whether a branch was taken, and the effective
+// address of a memory operation.
+type Outcome struct {
+	NextPC  int
+	Taken   bool // meaningful for branches
+	EA      uint64
+	IsMem   bool
+	RegHigh uint64 // value written, for switching-activity power estimates
+}
+
+func (s *ArchState) readR(r uint8) int64 {
+	if r == ZeroReg {
+		return 0
+	}
+	return s.R[r]
+}
+
+func (s *ArchState) writeR(r uint8, v int64) {
+	if r != ZeroReg {
+		s.R[r] = v
+	}
+}
+
+func (s *ArchState) readF(r uint8) float64 {
+	if r == ZeroReg {
+		return 0
+	}
+	return s.F[r]
+}
+
+func (s *ArchState) writeF(r uint8, v float64) {
+	if r != ZeroReg {
+		s.F[r] = v
+	}
+}
+
+// Exec executes the instruction at the current PC functionally, updating
+// architectural state and returning the Outcome. Calling Exec after Halt
+// is a no-op that reports the same PC.
+func (s *ArchState) Exec(in Instr) Outcome {
+	out := Outcome{NextPC: s.PC + 1}
+	if s.Halt {
+		out.NextPC = s.PC
+		return out
+	}
+	switch in.Op {
+	case NOP:
+	case ADD:
+		s.writeR(in.Dst, s.readR(in.Src1)+s.readR(in.Src2))
+	case ADDI:
+		s.writeR(in.Dst, s.readR(in.Src1)+in.Imm)
+	case SUB:
+		s.writeR(in.Dst, s.readR(in.Src1)-s.readR(in.Src2))
+	case AND:
+		s.writeR(in.Dst, s.readR(in.Src1)&s.readR(in.Src2))
+	case OR:
+		s.writeR(in.Dst, s.readR(in.Src1)|s.readR(in.Src2))
+	case XOR:
+		s.writeR(in.Dst, s.readR(in.Src1)^s.readR(in.Src2))
+	case SHL:
+		s.writeR(in.Dst, s.readR(in.Src1)<<(uint64(s.readR(in.Src2))&63))
+	case SHR:
+		s.writeR(in.Dst, int64(uint64(s.readR(in.Src1))>>(uint64(s.readR(in.Src2))&63)))
+	case CMPLT:
+		if s.readR(in.Src1) < s.readR(in.Src2) {
+			s.writeR(in.Dst, 1)
+		} else {
+			s.writeR(in.Dst, 0)
+		}
+	case CMPEQ:
+		if s.readR(in.Src1) == s.readR(in.Src2) {
+			s.writeR(in.Dst, 1)
+		} else {
+			s.writeR(in.Dst, 0)
+		}
+	case CMOVNZ:
+		if s.readR(in.Src1) != 0 {
+			s.writeR(in.Dst, s.readR(in.Src2))
+		}
+	case LDI:
+		s.writeR(in.Dst, in.Imm)
+	case MUL:
+		s.writeR(in.Dst, s.readR(in.Src1)*s.readR(in.Src2))
+	case DIV:
+		d := s.readR(in.Src2)
+		if d == 0 {
+			s.writeR(in.Dst, 0)
+		} else {
+			s.writeR(in.Dst, s.readR(in.Src1)/d)
+		}
+	case FADD:
+		s.writeF(in.Dst, s.readF(in.Src1)+s.readF(in.Src2))
+	case FSUB:
+		s.writeF(in.Dst, s.readF(in.Src1)-s.readF(in.Src2))
+	case FMUL:
+		s.writeF(in.Dst, s.readF(in.Src1)*s.readF(in.Src2))
+	case FDIV:
+		d := s.readF(in.Src2)
+		if d == 0 {
+			s.writeF(in.Dst, math.Inf(1))
+		} else {
+			s.writeF(in.Dst, s.readF(in.Src1)/d)
+		}
+	case FLDI:
+		s.writeF(in.Dst, ImmFloat(in.Imm))
+	case LD:
+		ea := uint64(s.readR(in.Src1) + in.Imm)
+		out.EA, out.IsMem = ea, true
+		v := int64(s.Mem.LoadWord(ea))
+		s.writeR(in.Dst, v)
+		out.RegHigh = uint64(v)
+	case ST:
+		ea := uint64(s.readR(in.Src1) + in.Imm)
+		out.EA, out.IsMem = ea, true
+		s.Mem.StoreWord(ea, uint64(s.readR(in.Src2)))
+	case FLD:
+		ea := uint64(s.readR(in.Src1) + in.Imm)
+		out.EA, out.IsMem = ea, true
+		s.writeF(in.Dst, math.Float64frombits(s.Mem.LoadWord(ea)))
+	case FST:
+		ea := uint64(s.readR(in.Src1) + in.Imm)
+		out.EA, out.IsMem = ea, true
+		s.Mem.StoreWord(ea, math.Float64bits(s.readF(in.Src2)))
+	case BEQZ:
+		if s.readR(in.Src1) == 0 {
+			out.Taken = true
+			out.NextPC = int(in.Imm)
+		}
+	case BNEZ:
+		if s.readR(in.Src1) != 0 {
+			out.Taken = true
+			out.NextPC = int(in.Imm)
+		}
+	case JMP:
+		out.Taken = true
+		out.NextPC = int(in.Imm)
+	case CALL:
+		s.writeR(LinkReg, int64(s.PC+1))
+		out.Taken = true
+		out.NextPC = int(in.Imm)
+	case RET:
+		out.Taken = true
+		out.NextPC = int(s.readR(LinkReg))
+	case HALT:
+		s.Halt = true
+		out.NextPC = s.PC
+	}
+	s.PC = out.NextPC
+	s.Retired++
+	return out
+}

@@ -1,0 +1,51 @@
+// Package itrs models the 2001 ITRS roadmap trends the paper's Figure 1
+// presents: relative power-supply-network target impedance for
+// cost-performance and high-performance systems across technology
+// generations. The paper's reading of the roadmap: target impedance must
+// drop roughly 2x every 3-5 years, and the gap between the two system
+// classes shrinks over time.
+package itrs
+
+import "math"
+
+// Point is one roadmap year.
+type Point struct {
+	Year              int
+	HighPerformance   float64 // impedance relative to the 2001 high-perf value
+	CostPerformance   float64
+	RelativeGapFactor float64 // cost-perf / high-perf
+}
+
+// baseYear anchors the relative scale.
+const baseYear = 2001
+
+// halvingYearsHigh and halvingYearsCost capture "2x every 3-5 years": the
+// high-performance class leads (shorter halving time) while the
+// cost-performance class starts with laxer targets but catches up,
+// shrinking the relative gap — the paper's second observation.
+const (
+	halvingYearsHigh = 4.0
+	halvingYearsCost = 3.2
+	initialGap       = 3.0 // cost-perf targets start ~3x laxer
+)
+
+// Impedances returns the relative target impedances for a year.
+func Impedances(year int) (highPerf, costPerf float64) {
+	dy := float64(year - baseYear)
+	highPerf = math.Pow(2, -dy/halvingYearsHigh)
+	costPerf = initialGap * math.Pow(2, -dy/halvingYearsCost)
+	if costPerf < highPerf {
+		costPerf = highPerf // the classes converge; cost-perf never leads
+	}
+	return highPerf, costPerf
+}
+
+// Trend returns the roadmap from 2001 through the requested horizon.
+func Trend(lastYear int) []Point {
+	var out []Point
+	for y := baseYear; y <= lastYear; y++ {
+		h, c := Impedances(y)
+		out = append(out, Point{Year: y, HighPerformance: h, CostPerformance: c, RelativeGapFactor: c / h})
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package itrs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaseYearAnchored(t *testing.T) {
+	h, c := Impedances(2001)
+	if h != 1 {
+		t.Errorf("2001 high-perf = %g, want 1", h)
+	}
+	if c != 3 {
+		t.Errorf("2001 cost-perf = %g, want 3", c)
+	}
+}
+
+func TestHalvingRate(t *testing.T) {
+	// "2x every 3-5 years": after 4 years high-perf should be ~0.5.
+	h, _ := Impedances(2005)
+	if math.Abs(h-0.5) > 1e-9 {
+		t.Errorf("2005 high-perf = %g, want 0.5", h)
+	}
+}
+
+func TestTrendsMonotoneAndConverging(t *testing.T) {
+	pts := Trend(2016)
+	if len(pts) != 16 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].HighPerformance >= pts[i-1].HighPerformance {
+			t.Error("high-perf impedance must fall")
+		}
+		if pts[i].CostPerformance >= pts[i-1].CostPerformance {
+			t.Error("cost-perf impedance must fall")
+		}
+		if pts[i].RelativeGapFactor > pts[i-1].RelativeGapFactor {
+			t.Error("the class gap must shrink (the paper's second observation)")
+		}
+	}
+	for _, p := range pts {
+		if p.CostPerformance < p.HighPerformance {
+			t.Error("cost-perf targets never lead high-perf")
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package pdn models the processor power-delivery network and computes the
+// supply voltage seen by the die from a per-cycle current trace.
+//
+// The network itself is the second-order linear system of package linsys,
+// configured the way the paper configures it (Section 2.2): DC resistance
+// 0.5 mΩ, resonant frequency 50 MHz, nominal supply 1.0 V, 3 GHz CPU clock
+// (so the resonant period is 60 CPU cycles). The supply voltage is
+//
+//	V[n] = Vnom - sum_k h[k] * (I[n-k] - Ifloor)
+//
+// where h is the sampled impulse response and Ifloor is the current level
+// at which the voltage regulator holds the supply at exactly Vnom (the
+// paper assumes the regulator nulls the drop at minimum processor power).
+//
+// Network is immutable after construction; Simulator carries the mutable
+// convolution state so that one Network can serve many concurrent runs.
+package pdn
+
+import (
+	"fmt"
+	"math"
+
+	"didt/internal/linsys"
+)
+
+// Paper-reference constants (Section 2.2 and Table 1).
+const (
+	DefaultClockHz      = 3e9    // 3 GHz CPU clock
+	DefaultResonantHz   = 50e6   // package resonance
+	DefaultDCResistance = 0.5e-3 // 0.5 mOhm
+	DefaultVNominal     = 1.0    // volts
+	DefaultTolerance    = 0.05   // +-5% emergency band
+)
+
+// Params describes a power delivery network plus the electrical environment
+// it serves.
+type Params struct {
+	ClockHz      float64 // CPU clock; sets the convolution sample interval
+	ResonantHz   float64 // PDN resonant frequency
+	DCResistance float64 // ohms
+	PeakZ        float64 // peak (target-relative) impedance, ohms
+	VNominal     float64 // nominal supply voltage
+	Tolerance    float64 // allowed fractional deviation (0.05 = +-5%)
+	IFloor       float64 // amperes at which regulator holds exactly VNominal
+
+	// TruncRelTol controls impulse-response truncation: sampling stops when
+	// the response envelope decays below this fraction of its initial
+	// value. Zero selects 1e-6.
+	TruncRelTol float64
+	// MaxKernelLen caps the sampled kernel length. Zero selects 4096.
+	MaxKernelLen int
+}
+
+// withDefaults fills zero fields from the paper-reference constants.
+func (p Params) withDefaults() Params {
+	if p.ClockHz == 0 {
+		p.ClockHz = DefaultClockHz
+	}
+	if p.ResonantHz == 0 {
+		p.ResonantHz = DefaultResonantHz
+	}
+	if p.DCResistance == 0 {
+		p.DCResistance = DefaultDCResistance
+	}
+	if p.VNominal == 0 {
+		p.VNominal = DefaultVNominal
+	}
+	if p.Tolerance == 0 {
+		p.Tolerance = DefaultTolerance
+	}
+	if p.TruncRelTol == 0 {
+		p.TruncRelTol = 1e-6
+	}
+	if p.MaxKernelLen == 0 {
+		p.MaxKernelLen = 4096
+	}
+	return p
+}
+
+// Network is an immutable, sampled PDN ready for voltage simulation.
+type Network struct {
+	params Params
+	sys    *linsys.SecondOrder
+	kernel []float64 // impulse response sampled at the CPU clock, scaled by dt
+}
+
+// New constructs a Network. Zero-valued Params fields take the paper's
+// defaults; PeakZ must be positive (use Calibrate to derive it from a
+// current envelope).
+func New(p Params) (*Network, error) {
+	p = p.withDefaults()
+	if p.PeakZ <= 0 {
+		return nil, fmt.Errorf("pdn: PeakZ must be positive (got %g); use Calibrate", p.PeakZ)
+	}
+	sys, err := linsys.FromPeak(p.DCResistance, p.ResonantHz, p.PeakZ)
+	if err != nil {
+		return nil, fmt.Errorf("pdn: %w", err)
+	}
+	dt := 1 / p.ClockHz
+	kernel := sys.SampleImpulse(dt, p.TruncRelTol, p.MaxKernelLen)
+	if len(kernel) == 0 {
+		return nil, fmt.Errorf("pdn: empty impulse-response kernel")
+	}
+	return &Network{params: p, sys: sys, kernel: kernel}, nil
+}
+
+// Calibrate sets the network's peak impedance from the de facto target-
+// impedance rule the paper describes in Section 2.1: the target impedance
+// is the value that keeps the voltage within its allowed range for the
+// maximum current swing,
+//
+//	Z_target = (Tolerance * VNominal) / (iMax - iMin).
+//
+// impedancePct then scales it: 1.0 reproduces the 100% column of Table 2
+// (the network meets spec), 2.0 the cheaper 200% network, and so on.
+// Note the resonant worst case stays comfortably inside the band at 100%
+// (the square wave's fundamental carries 4/pi of half the swing), which is
+// why Table 2's leftmost column has zero emergencies by definition while
+// the 200% network is where the stressmark begins to break through.
+func Calibrate(p Params, iMin, iMax, impedancePct float64) (*Network, error) {
+	p = p.withDefaults()
+	if iMax <= iMin {
+		return nil, fmt.Errorf("pdn: iMax (%g) must exceed iMin (%g)", iMax, iMin)
+	}
+	if impedancePct <= 0 {
+		return nil, fmt.Errorf("pdn: impedancePct must be positive (got %g)", impedancePct)
+	}
+	zTarget := p.Tolerance * p.VNominal / (iMax - iMin)
+	p.PeakZ = zTarget * impedancePct
+	if p.PeakZ <= p.DCResistance {
+		return nil, fmt.Errorf("pdn: target impedance %.3gmΩ does not exceed DC resistance %.3gmΩ; reduce DCResistance or the current envelope", p.PeakZ*1e3, p.DCResistance*1e3)
+	}
+	return New(p)
+}
+
+// Params returns the parameters the network was built with (PeakZ reflects
+// any calibration).
+func (n *Network) Params() Params { return n.params }
+
+// System exposes the underlying second-order model.
+func (n *Network) System() *linsys.SecondOrder { return n.sys }
+
+// KernelLen reports the truncated impulse-response length in cycles.
+func (n *Network) KernelLen() int { return len(n.kernel) }
+
+// ResonantPeriodCycles returns the resonant period expressed in CPU cycles,
+// rounded to the nearest integer (60 for the paper's defaults).
+func (n *Network) ResonantPeriodCycles() int {
+	return int(math.Round(n.params.ClockHz / n.params.ResonantHz))
+}
+
+// VMin and VMax return the emergency boundaries.
+func (n *Network) VMin() float64 { return n.params.VNominal * (1 - n.params.Tolerance) }
+func (n *Network) VMax() float64 { return n.params.VNominal * (1 + n.params.Tolerance) }
+
+// VoltageTrace convolves an entire current trace (amperes per cycle) and
+// returns the per-cycle supply voltage. It is a convenience for offline
+// analysis; closed-loop simulation uses Simulator.
+func (n *Network) VoltageTrace(current []float64) []float64 {
+	sim := n.NewSimulator()
+	out := make([]float64, len(current))
+	for i, c := range current {
+		out[i] = sim.Step(c)
+	}
+	return out
+}
+
+// WorstCaseDeviation drives the network with a sustained square wave
+// between iMin and iMax at the resonant period and returns the maximum
+// absolute deviation from nominal once the waveform has built up (it
+// simulates long enough for transients to saturate).
+func (n *Network) WorstCaseDeviation(iMin, iMax float64) float64 {
+	period := n.ResonantPeriodCycles()
+	if period < 2 {
+		period = 2
+	}
+	cycles := len(n.kernel) + 20*period
+	sim := n.NewSimulator()
+	worst := 0.0
+	for c := 0; c < cycles; c++ {
+		cur := iMin
+		if c%period < period/2 {
+			cur = iMax
+		}
+		v := sim.Step(cur)
+		if d := math.Abs(v - n.params.VNominal); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Simulator carries the mutable streaming-convolution state for one run.
+// It is not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	net  *Network
+	hist []float64 // ring buffer of past current deviations (I - IFloor)
+	pos  int       // next write index
+	n    int       // cycles processed
+}
+
+// NewSimulator creates a fresh streaming voltage simulator whose history is
+// all at IFloor (quiescent, V = VNominal).
+func (n *Network) NewSimulator() *Simulator {
+	return &Simulator{net: n, hist: make([]float64, len(n.kernel))}
+}
+
+// Step advances one CPU cycle with the given load current (amperes) and
+// returns the supply voltage at this cycle.
+func (s *Simulator) Step(current float64) float64 {
+	k := s.net.kernel
+	s.hist[s.pos] = current - s.net.params.IFloor
+	// kernel index 0 multiplies the newest sample.
+	drop := 0.0
+	idx := s.pos
+	for i := 0; i < len(k); i++ {
+		drop += k[i] * s.hist[idx]
+		idx--
+		if idx < 0 {
+			idx = len(s.hist) - 1
+		}
+	}
+	s.pos++
+	if s.pos == len(s.hist) {
+		s.pos = 0
+	}
+	s.n++
+	return s.net.params.VNominal - drop
+}
+
+// Peek returns the voltage that would result if the given current were
+// applied this cycle, without committing it. Controllers use this for
+// lookahead analysis in tests; the closed loop itself never peeks.
+func (s *Simulator) Peek(current float64) float64 {
+	k := s.net.kernel
+	drop := k[0] * (current - s.net.params.IFloor)
+	idx := s.pos - 1
+	if idx < 0 {
+		idx = len(s.hist) - 1
+	}
+	for i := 1; i < len(k); i++ {
+		drop += k[i] * s.hist[idx]
+		idx--
+		if idx < 0 {
+			idx = len(s.hist) - 1
+		}
+	}
+	return s.net.params.VNominal - drop
+}
+
+// Cycles reports how many cycles have been simulated.
+func (s *Simulator) Cycles() int { return s.n }
+
+// Reset returns the simulator to the quiescent state.
+func (s *Simulator) Reset() {
+	for i := range s.hist {
+		s.hist[i] = 0
+	}
+	s.pos = 0
+	s.n = 0
+}

@@ -1,0 +1,436 @@
+// Package power is the structural, Wattch-style power model: it converts
+// the core's per-cycle Activity reports into per-cycle power and current.
+//
+// Modeling choices mirror Section 3.1 of the paper:
+//
+//   - Conditional clock gating ("cc3"): an idle unit still draws a fixed
+//     fraction of its peak power (default 10%). A unit hard-gated by the
+//     dI/dt actuator draws a smaller residual (default 2%).
+//   - Multi-cycle operations (divides, fp multiplies) spread their energy
+//     over their full execution latency rather than charging it all at
+//     issue, which would overstate cycle-to-cycle current swings.
+//   - The clock tree has a fixed floor plus a component that tracks how
+//     much of the chip is active.
+//   - Peak unit powers are calibrated to a ~60 W, 3 GHz, 1.0 V processor
+//     (ITRS-derived scaling), and current is power divided by nominal
+//     voltage — supply ripple is ±5%, so the linearization error is small
+//     and is the same approximation the paper's toolchain makes.
+//
+// The model also implements the actuator's "phantom firing": when the
+// controller requests extra current draw, the controlled units are charged
+// at full activity regardless of real utilization.
+package power
+
+import (
+	"fmt"
+
+	"didt/internal/cpu"
+	"didt/internal/isa"
+)
+
+// Unit identifies one power-modeled structure.
+type Unit int
+
+const (
+	UnitClock Unit = iota
+	UnitFetch
+	UnitBpred
+	UnitRename
+	UnitWindow
+	UnitLSQ
+	UnitRegFile
+	UnitL1I
+	UnitL1D
+	UnitL2
+	UnitIntALU
+	UnitIntMult
+	UnitFPALU
+	UnitFPMult
+	UnitResultBus
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{
+	"clock", "fetch", "bpred", "rename", "window", "lsq", "regfile",
+	"l1i", "l1d", "l2", "int-alu", "int-mult", "fp-alu", "fp-mult",
+	"result-bus",
+}
+
+// String names the unit.
+func (u Unit) String() string {
+	if u >= 0 && int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("unit(%d)", int(u))
+}
+
+// Params configures the model. Zero values take defaults.
+type Params struct {
+	VNominal      float64 // volts; default 1.0
+	ClockHz       float64 // default 3 GHz
+	IdleFraction  float64 // cc3 residual for an idle unit; default 0.10
+	GatedFraction float64 // residual for an actuator-gated unit; default 0.02
+
+	// Peak per-unit power in watts; zero takes DefaultUnitPowers.
+	Peak [NumUnits]float64
+}
+
+// DefaultUnitPowers is the peak power budget (watts) of the modeled 3 GHz
+// 1.0 V core, roughly 62 W total, with a Wattch-like breakdown.
+func DefaultUnitPowers() [NumUnits]float64 {
+	return [NumUnits]float64{
+		UnitClock:     12.0,
+		UnitFetch:     4.0,
+		UnitBpred:     2.5,
+		UnitRename:    2.0,
+		UnitWindow:    9.0,
+		UnitLSQ:       3.5,
+		UnitRegFile:   5.0,
+		UnitL1I:       5.0,
+		UnitL1D:       7.0,
+		UnitL2:        4.5,
+		UnitIntALU:    6.5,
+		UnitIntMult:   1.5,
+		UnitFPALU:     4.0,
+		UnitFPMult:    2.5,
+		UnitResultBus: 3.0,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	if p.VNominal == 0 {
+		p.VNominal = 1.0
+	}
+	if p.ClockHz == 0 {
+		p.ClockHz = 3e9
+	}
+	if p.IdleFraction == 0 {
+		p.IdleFraction = 0.10
+	}
+	if p.GatedFraction == 0 {
+		p.GatedFraction = 0.02
+	}
+	allZero := true
+	for _, v := range p.Peak {
+		if v != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		p.Peak = DefaultUnitPowers()
+	}
+	return p
+}
+
+// Phantom is the actuator's phantom-firing request: charge the named
+// structures at full activity to raise current draw (voltage-high
+// response). Phantom firings do no architectural work.
+type Phantom struct {
+	FUs bool
+	DL1 bool
+	IL1 bool
+}
+
+// CycleReport is one cycle's power accounting.
+type CycleReport struct {
+	Power   float64 // watts
+	Current float64 // amperes (Power / VNominal)
+	PerUnit [NumUnits]float64
+}
+
+// Model converts Activity to power. It carries the energy-spreading
+// calendars for multi-cycle operations and accumulates total energy; it is
+// not safe for concurrent use.
+type Model struct {
+	p   Params
+	cfg cpu.Config
+
+	// spread[class] is a ring of "units busy" counts for future cycles,
+	// fed at issue time with the operation's full latency.
+	spread [isa.NumClasses][]float64
+	pos    int
+
+	cycles      uint64
+	totalEnergy float64 // joules
+}
+
+const spreadLen = 64 // exceeds the longest FU latency
+
+// New builds a model for the given core configuration.
+func New(p Params, cfg cpu.Config) *Model {
+	m := &Model{p: p.withDefaults(), cfg: cfg}
+	for c := range m.spread {
+		m.spread[c] = make([]float64, spreadLen)
+	}
+	return m
+}
+
+// Params returns the resolved parameters.
+func (m *Model) Params() Params { return m.p }
+
+// classLatency mirrors the core's execution latencies for spreading.
+func (m *Model) classLatency(cl isa.Class) int {
+	switch cl {
+	case isa.ClassIntALU, isa.ClassBranch:
+		return max1(m.cfg.LatIntALU)
+	case isa.ClassIntMult:
+		return max1(m.cfg.LatIntMult)
+	case isa.ClassIntDiv:
+		return max1(m.cfg.LatIntDiv)
+	case isa.ClassFPAdd:
+		return max1(m.cfg.LatFPAdd)
+	case isa.ClassFPMult:
+		return max1(m.cfg.LatFPMult)
+	case isa.ClassFPDiv:
+		return max1(m.cfg.LatFPDiv)
+	}
+	return 1
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Step accounts one cycle of activity and returns its power.
+func (m *Model) Step(act cpu.Activity, ph Phantom) CycleReport {
+	// Feed the spreading calendars with this cycle's issues.
+	for cl, n := range act.IssuedByClass {
+		if n == 0 {
+			continue
+		}
+		lat := m.classLatency(isa.Class(cl))
+		for k := 0; k < lat && k < spreadLen; k++ {
+			m.spread[cl][(m.pos+k)%spreadLen] += float64(n)
+		}
+	}
+	busy := func(cl isa.Class) float64 { return m.spread[cl][m.pos] }
+
+	var r CycleReport
+	idle := m.p.IdleFraction
+	gated := m.p.GatedFraction
+
+	// util computes a unit's power given its activity fraction and whether
+	// the actuator has hard-gated it.
+	util := func(u Unit, frac float64, hardGated, phantom bool) float64 {
+		peak := m.p.Peak[u]
+		switch {
+		case phantom:
+			return peak // phantom firing: full rail
+		case hardGated:
+			return peak * gated
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		// cc3: idle floor plus activity-proportional dynamic power.
+		return peak * (idle + (1-idle)*frac)
+	}
+
+	fw := float64(m.cfg.FetchWidth)
+	iw := float64(m.cfg.IssueWidth)
+
+	// Front end.
+	r.PerUnit[UnitFetch] = util(UnitFetch, float64(act.Fetched)/fw, act.IL1Gated, ph.IL1)
+	r.PerUnit[UnitBpred] = util(UnitBpred, float64(act.BpredLookups)/2, act.IL1Gated, ph.IL1)
+	r.PerUnit[UnitL1I] = util(UnitL1I, float64(act.ICacheAccess), act.IL1Gated, ph.IL1)
+	r.PerUnit[UnitRename] = util(UnitRename, float64(act.Dispatched)/float64(m.cfg.DecodeWidth), false, false)
+
+	// Window and register machinery.
+	occFrac := float64(act.RUUOccupancy) / float64(m.cfg.RUUSize)
+	issFrac := float64(act.Issued) / iw
+	r.PerUnit[UnitWindow] = util(UnitWindow, 0.45*occFrac+0.55*issFrac, false, false)
+	lsqFrac := float64(act.LSQOccupancy) / float64(m.cfg.LSQSize)
+	memIss := float64(act.IssuedByClass[isa.ClassLoad]+act.IssuedByClass[isa.ClassStore]) / float64(m.cfg.MemPorts)
+	r.PerUnit[UnitLSQ] = util(UnitLSQ, 0.4*lsqFrac+0.6*memIss, false, false)
+	r.PerUnit[UnitRegFile] = util(UnitRegFile, float64(act.RegReads+act.RegWrites)/(3*iw), false, false)
+	r.PerUnit[UnitResultBus] = util(UnitResultBus, float64(act.Completed)/iw, false, false)
+
+	// Execution units, with multi-cycle spreading.
+	r.PerUnit[UnitIntALU] = util(UnitIntALU,
+		(busy(isa.ClassIntALU)+busy(isa.ClassBranch))/float64(m.cfg.IntALU),
+		act.FUsGated, ph.FUs)
+	r.PerUnit[UnitIntMult] = util(UnitIntMult,
+		(busy(isa.ClassIntMult)+busy(isa.ClassIntDiv))/float64(m.cfg.IntMult),
+		act.FUsGated, ph.FUs)
+	r.PerUnit[UnitFPALU] = util(UnitFPALU,
+		busy(isa.ClassFPAdd)/float64(m.cfg.FPALU),
+		act.FUsGated, ph.FUs)
+	r.PerUnit[UnitFPMult] = util(UnitFPMult,
+		(busy(isa.ClassFPMult)+busy(isa.ClassFPDiv))/float64(m.cfg.FPMult),
+		act.FUsGated, ph.FUs)
+
+	// Data-side caches.
+	r.PerUnit[UnitL1D] = util(UnitL1D, float64(act.DCacheAccess)/float64(m.cfg.MemPorts),
+		act.DL1Gated, ph.DL1)
+	r.PerUnit[UnitL2] = util(UnitL2, float64(act.L2Access), false, false)
+
+	// Clock tree: fixed floor plus a share tracking overall chip activity.
+	var sum, sumPeak float64
+	for u := Unit(1); u < NumUnits; u++ {
+		sum += r.PerUnit[u]
+		sumPeak += m.p.Peak[u]
+	}
+	activityFrac := 0.0
+	if sumPeak > 0 {
+		activityFrac = sum / sumPeak
+	}
+	r.PerUnit[UnitClock] = m.p.Peak[UnitClock] * (0.35 + 0.65*activityFrac)
+
+	for u := Unit(0); u < NumUnits; u++ {
+		r.Power += r.PerUnit[u]
+	}
+	r.Current = r.Power / m.p.VNominal
+
+	m.totalEnergy += r.Power / m.p.ClockHz
+	m.cycles++
+
+	// Advance the spreading calendar.
+	for c := range m.spread {
+		m.spread[c][m.pos] = 0
+	}
+	m.pos = (m.pos + 1) % spreadLen
+	return r
+}
+
+// TotalEnergy returns the accumulated energy in joules.
+func (m *Model) TotalEnergy() float64 { return m.totalEnergy }
+
+// Cycles returns how many cycles have been accounted.
+func (m *Model) Cycles() uint64 { return m.cycles }
+
+// MinCurrent returns the quiescent current: every unit idle under
+// conditional clock gating. This is the regulator's calibration point
+// (IFloor) and the floor the actuator can force current toward.
+func (m *Model) MinCurrent() float64 {
+	var p float64
+	for u := Unit(1); u < NumUnits; u++ {
+		p += m.p.Peak[u] * m.p.IdleFraction
+	}
+	var sumPeak float64
+	for u := Unit(1); u < NumUnits; u++ {
+		sumPeak += m.p.Peak[u]
+	}
+	p += m.p.Peak[UnitClock] * (0.35 + 0.65*m.p.IdleFraction)
+	return p / m.p.VNominal
+}
+
+// MaxCurrent returns the absolute worst-case current: every unit at peak.
+func (m *Model) MaxCurrent() float64 {
+	var p float64
+	for u := Unit(0); u < NumUnits; u++ {
+		p += m.p.Peak[u]
+	}
+	return p / m.p.VNominal
+}
+
+// sustainedFraction is the activity level the un-gated parts of the chip
+// can sustain over a short gating window: the machine keeps fetching and
+// accessing caches for tens of cycles while only some units are gated, so
+// the worst-case analysis must assume an adversarial workload keeps them
+// nearly saturated.
+const sustainedFraction = 0.8
+
+// gatingScope classifies each unit under an actuation decision: directly
+// hard-gated, indirectly stalled within a couple of cycles (its upstream
+// work source is gated), or still running.
+type gatingScope int
+
+const (
+	scopeRunning gatingScope = iota
+	scopeStalled
+	scopeGated
+)
+
+func classify(u Unit, fus, dl1, il1 bool) gatingScope {
+	switch u {
+	case UnitIntALU, UnitIntMult, UnitFPALU, UnitFPMult:
+		if fus {
+			return scopeGated
+		}
+	case UnitL1D:
+		if dl1 {
+			return scopeGated
+		}
+	case UnitL1I, UnitFetch, UnitBpred:
+		if il1 {
+			return scopeGated
+		}
+	case UnitResultBus, UnitRegFile:
+		// Results stop flowing as soon as the execution units stop.
+		if fus {
+			return scopeStalled
+		}
+	case UnitLSQ, UnitL2:
+		// Memory traffic stops when the D-cache is gated.
+		if dl1 {
+			return scopeStalled
+		}
+	case UnitRename:
+		// Dispatch stops when fetch stops.
+		if il1 {
+			return scopeStalled
+		}
+	case UnitWindow:
+		if fus && dl1 {
+			return scopeStalled // nothing issues at all
+		}
+	}
+	return scopeRunning
+}
+
+// GatedFloorCurrent returns the current the actuator can force within the
+// control-relevant horizon (a fraction of the resonant period) by
+// hard-gating the given unit groups. Crucially, units outside the gated
+// scope keep running at a sustained activity level — this is why FU-only
+// actuation "does not have the necessary leverage to reshape voltage
+// quickly" (Section 5.2): the front end and caches carry on.
+func (m *Model) GatedFloorCurrent(fus, dl1, il1 bool) float64 {
+	var p, sumPeak float64
+	for u := Unit(1); u < NumUnits; u++ {
+		switch classify(u, fus, dl1, il1) {
+		case scopeGated:
+			p += m.p.Peak[u] * m.p.GatedFraction
+		case scopeStalled:
+			p += m.p.Peak[u] * m.p.IdleFraction
+		default:
+			p += m.p.Peak[u] * sustainedFraction
+		}
+		sumPeak += m.p.Peak[u]
+	}
+	p += m.p.Peak[UnitClock] * (0.35 + 0.65*(p/sumPeak))
+	return p / m.p.VNominal
+}
+
+// PhantomCeilingCurrent returns the current reached when the actuator
+// phantom-fires the given groups. Phantom firing happens in voltage-high
+// states, which follow low activity, so the un-fired remainder of the
+// chip is charged at the idle floor.
+func (m *Model) PhantomCeilingCurrent(fus, dl1, il1 bool) float64 {
+	var p, sumPeak float64
+	for u := Unit(1); u < NumUnits; u++ {
+		full := false
+		switch u {
+		case UnitIntALU, UnitIntMult, UnitFPALU, UnitFPMult:
+			full = fus
+		case UnitL1D:
+			full = dl1
+		case UnitL1I, UnitFetch, UnitBpred:
+			full = il1
+		}
+		if full {
+			p += m.p.Peak[u]
+		} else {
+			p += m.p.Peak[u] * m.p.IdleFraction
+		}
+		sumPeak += m.p.Peak[u]
+	}
+	p += m.p.Peak[UnitClock] * (0.35 + 0.65*(p/sumPeak))
+	return p / m.p.VNominal
+}

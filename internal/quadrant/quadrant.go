@@ -1,0 +1,192 @@
+// Package quadrant implements the paper's final future-work item
+// (Section 6): "improving the locality at which we model dI/dt effects.
+// Local power supply swings in different chip quadrants can be an
+// important issue to consider, in addition to the more global effects."
+//
+// The chip's power grid is modeled as a global second-order network (the
+// package, exactly as in internal/pdn) plus one smaller second-order
+// network per floorplan quadrant (the local grid segment feeding that
+// region). A quadrant's supply voltage is the nominal rail minus the
+// global droop (driven by total chip current) minus the local droop
+// (driven by that quadrant's own current). Local grids resonate higher —
+// the upper end of the paper's troublesome 50-200 MHz band — and expose
+// emergencies a uniform model averages away: a quadrant whose units swing
+// together (the execution cluster under the stressmark) dips further than
+// the chip-wide mean.
+package quadrant
+
+import (
+	"fmt"
+
+	"didt/internal/pdn"
+	"didt/internal/power"
+)
+
+// NumQuadrants is the floorplan partition size.
+const NumQuadrants = 4
+
+// Quadrant indexes the floorplan partition.
+type Quadrant int
+
+const (
+	FrontEnd Quadrant = iota // fetch, branch prediction, I-cache, rename
+	Execute                  // integer + fp pipelines, register file
+	Memory                   // D-cache, LSQ, L2 interface
+	Window                   // issue window, result bus, clock spine share
+)
+
+var quadrantNames = [NumQuadrants]string{"front-end", "execute", "memory", "window"}
+
+// String names the quadrant.
+func (q Quadrant) String() string {
+	if q >= 0 && int(q) < NumQuadrants {
+		return quadrantNames[q]
+	}
+	return fmt.Sprintf("quadrant(%d)", int(q))
+}
+
+// UnitQuadrant maps each power-model unit to its floorplan quadrant. The
+// clock tree is distributed: its power is split evenly across quadrants.
+func UnitQuadrant(u power.Unit) (Quadrant, bool) {
+	switch u {
+	case power.UnitFetch, power.UnitBpred, power.UnitL1I, power.UnitRename:
+		return FrontEnd, true
+	case power.UnitIntALU, power.UnitIntMult, power.UnitFPALU, power.UnitFPMult, power.UnitRegFile:
+		return Execute, true
+	case power.UnitL1D, power.UnitLSQ, power.UnitL2:
+		return Memory, true
+	case power.UnitWindow, power.UnitResultBus:
+		return Window, true
+	}
+	return 0, false // distributed (clock)
+}
+
+// Params configures the localized model.
+type Params struct {
+	// Global network parameters (zero fields take pdn defaults). The
+	// global network is calibrated against the whole-chip envelope.
+	Global pdn.Params
+	// ImpedancePct scales the global target impedance as in Table 2.
+	ImpedancePct float64
+	// LocalResonantHz is the per-quadrant grid resonance; defaults to
+	// 150 MHz, the top of the paper's mid-frequency band.
+	LocalResonantHz float64
+	// LocalShare is the fraction of the +-5% budget allocated to local
+	// droop when calibrating quadrant grids; default 0.4.
+	LocalShare float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.ImpedancePct == 0 {
+		p.ImpedancePct = 2
+	}
+	if p.LocalResonantHz == 0 {
+		p.LocalResonantHz = 150e6
+	}
+	if p.LocalShare == 0 {
+		p.LocalShare = 0.4
+	}
+	return p
+}
+
+// Model is the localized PDN: one global simulator plus one per quadrant.
+// It is not safe for concurrent use.
+type Model struct {
+	params Params
+
+	global    *pdn.Network
+	globalSim *pdn.Simulator
+
+	local    [NumQuadrants]*pdn.Network
+	localSim [NumQuadrants]*pdn.Simulator
+
+	// Per-quadrant quiescent and peak currents, used for calibration and
+	// as each local loop's regulator reference.
+	qMin [NumQuadrants]float64
+	qMax [NumQuadrants]float64
+}
+
+// New builds the localized model for a power model whose chip-wide
+// envelope is [iMin, iMax] (measured the same way core does).
+func New(p Params, pm *power.Model, iMin, iMax float64) (*Model, error) {
+	p = p.withDefaults()
+	gp := p.Global
+	gp.IFloor = 0.5 * (iMin + iMax)
+	global, err := pdn.Calibrate(gp, iMin, iMax, p.ImpedancePct)
+	if err != nil {
+		return nil, fmt.Errorf("quadrant: global: %w", err)
+	}
+	m := &Model{params: p, global: global, globalSim: global.NewSimulator()}
+
+	// Per-quadrant envelopes from the unit peak powers: the quadrant's
+	// share of the chip envelope, apportioned by peak power.
+	peaks := pm.Params().Peak
+	var totalPeak float64
+	var qPeak [NumQuadrants]float64
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if q, ok := UnitQuadrant(u); ok {
+			qPeak[q] += peaks[u]
+		} else {
+			for i := range qPeak {
+				qPeak[i] += peaks[u] / NumQuadrants
+			}
+		}
+		totalPeak += peaks[u]
+	}
+	for q := 0; q < NumQuadrants; q++ {
+		share := qPeak[q] / totalPeak
+		m.qMin[q] = iMin * share
+		m.qMax[q] = iMax * share
+		lp := pdn.Params{
+			ResonantHz:   p.LocalResonantHz,
+			DCResistance: p.Global.DCResistance, // same metal class
+			Tolerance:    global.Params().Tolerance * p.LocalShare,
+			VNominal:     global.Params().VNominal,
+			IFloor:       0.5 * (m.qMin[q] + m.qMax[q]),
+			ClockHz:      p.Global.ClockHz,
+		}
+		net, err := pdn.Calibrate(lp, m.qMin[q], m.qMax[q], p.ImpedancePct)
+		if err != nil {
+			return nil, fmt.Errorf("quadrant: %s: %w", Quadrant(q), err)
+		}
+		m.local[q] = net
+		m.localSim[q] = net.NewSimulator()
+	}
+	return m, nil
+}
+
+// Global exposes the chip-level network.
+func (m *Model) Global() *pdn.Network { return m.global }
+
+// Local exposes a quadrant's network.
+func (m *Model) Local(q Quadrant) *pdn.Network { return m.local[q] }
+
+// CycleVoltages ingests one cycle's power report and returns the supply
+// voltage seen by each quadrant plus the chip-wide (global-only) voltage.
+func (m *Model) CycleVoltages(rep power.CycleReport) (global float64, locals [NumQuadrants]float64) {
+	var qCur [NumQuadrants]float64
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if q, ok := UnitQuadrant(u); ok {
+			qCur[q] += rep.PerUnit[u]
+		} else {
+			for i := range qCur {
+				qCur[i] += rep.PerUnit[u] / NumQuadrants
+			}
+		}
+	}
+	vNom := m.global.Params().VNominal
+	global = m.globalSim.Step(rep.Current)
+	globalDroop := vNom - global
+	for q := 0; q < NumQuadrants; q++ {
+		vLocal := m.localSim[q].Step(qCur[q] / m.global.Params().VNominal)
+		localDroop := vNom - vLocal
+		locals[q] = vNom - globalDroop - localDroop
+	}
+	return global, locals
+}
+
+// Band returns the emergency band shared by all quadrants (the chip's
+// logic does not care which grid segment sagged).
+func (m *Model) Band() (vMin, vMax float64) {
+	return m.global.VMin(), m.global.VMax()
+}

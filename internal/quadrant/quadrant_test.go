@@ -1,0 +1,116 @@
+package quadrant
+
+import (
+	"testing"
+
+	"didt/internal/cpu"
+	"didt/internal/isa"
+	"didt/internal/power"
+)
+
+func newModel(t *testing.T) (*Model, *power.Model) {
+	t.Helper()
+	pm := power.New(power.Params{}, cpu.DefaultConfig())
+	m, err := New(Params{}, pm, 11, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pm
+}
+
+func TestUnitQuadrantPartition(t *testing.T) {
+	counts := map[Quadrant]int{}
+	distributed := 0
+	for u := power.Unit(0); u < power.NumUnits; u++ {
+		if q, ok := UnitQuadrant(u); ok {
+			counts[q]++
+		} else {
+			distributed++
+		}
+	}
+	if distributed != 1 {
+		t.Errorf("expected exactly the clock tree to be distributed, got %d units", distributed)
+	}
+	for q := Quadrant(0); q < NumQuadrants; q++ {
+		if counts[q] == 0 {
+			t.Errorf("quadrant %s has no units", q)
+		}
+	}
+}
+
+func TestQuadrantNames(t *testing.T) {
+	if FrontEnd.String() != "front-end" || Execute.String() != "execute" {
+		t.Error("quadrant names")
+	}
+	if Quadrant(9).String() == "" {
+		t.Error("out-of-range name empty")
+	}
+}
+
+func TestQuiescentVoltagesNearNominal(t *testing.T) {
+	m, pm := newModel(t)
+	// Feed idle cycles: all voltages should sit near (slightly above)
+	// nominal since idle current is below each regulator reference.
+	var rep power.CycleReport
+	for i := 0; i < 500; i++ {
+		rep = pm.Step(cpu.Activity{}, power.Phantom{})
+		g, locals := m.CycleVoltages(rep)
+		if g < 0.99 || g > 1.05 {
+			t.Fatalf("cycle %d: global voltage %g implausible", i, g)
+		}
+		for q, v := range locals {
+			if v < 0.98 || v > 1.06 {
+				t.Fatalf("cycle %d: quadrant %s voltage %g implausible", i, Quadrant(q), v)
+			}
+		}
+	}
+}
+
+func TestLocalSwingExceedsGlobalForClusteredActivity(t *testing.T) {
+	m, pm := newModel(t)
+	cfg := cpu.DefaultConfig()
+	// Alternate every half resonant period of the LOCAL grid between an
+	// execution-heavy burst and idle: the execute quadrant must see deeper
+	// local dips than the chip-wide voltage indicates.
+	period := int(3e9 / 150e6) // 20 cycles
+	minGlobal, minExec := 2.0, 2.0
+	for i := 0; i < 4000; i++ {
+		var act cpu.Activity
+		if i%period < period/2 {
+			act.Issued = cfg.IssueWidth
+			act.IssuedByClass[isa.ClassIntALU] = cfg.IntALU
+			act.IssuedByClass[isa.ClassFPAdd] = cfg.FPALU
+			act.RegReads = 16
+			act.RegWrites = 8
+		}
+		rep := pm.Step(act, power.Phantom{})
+		g, locals := m.CycleVoltages(rep)
+		if i < 1000 {
+			continue // build up
+		}
+		if g < minGlobal {
+			minGlobal = g
+		}
+		if locals[Execute] < minExec {
+			minExec = locals[Execute]
+		}
+	}
+	if minExec >= minGlobal {
+		t.Errorf("execute-quadrant dip %.4f should undercut the global dip %.4f", minExec, minGlobal)
+	}
+}
+
+func TestBandMatchesGlobal(t *testing.T) {
+	m, _ := newModel(t)
+	lo, hi := m.Band()
+	if lo != m.Global().VMin() || hi != m.Global().VMax() {
+		t.Error("band must come from the global network")
+	}
+}
+
+func TestBadEnvelopeRejected(t *testing.T) {
+	pm := power.New(power.Params{}, cpu.DefaultConfig())
+	if _, err := New(Params{}, pm, 50, 11); err == nil {
+		t.Error("want error for inverted envelope")
+	}
+}

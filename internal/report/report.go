@@ -1,0 +1,242 @@
+// Package report renders the experiment harness's tables and figures as
+// text: aligned tables for the paper's tables and ASCII line/bar plots for
+// its figures. Keeping the renderer dependency-free lets every experiment
+// print the same rows and series the paper reports without a plotting
+// stack.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid. Rows need not all have the same width; cells are
+// right-aligned under their headers.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row formatting each value with %v (floats with %g).
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			} else if i >= len(widths) {
+				widths = append(widths, len(c))
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, h := range t.Headers {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	fmt.Fprintln(w, strings.Repeat("-", lineWidth(widths)))
+	for _, row := range t.Rows {
+		sb.Reset()
+		for i, c := range row {
+			width := 8
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&sb, "%-*s  ", width, c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func lineWidth(widths []int) int {
+	total := 0
+	for _, v := range widths {
+		total += v + 2
+	}
+	if total > 2 {
+		total -= 2
+	}
+	return total
+}
+
+// LinePlot renders one or more series as an ASCII chart. All series share
+// the x axis (sample index) and the y scale.
+type LinePlot struct {
+	Title  string
+	YLabel string
+	Series []Series
+	Width  int // columns; default 72
+	Height int // rows; default 16
+	Notes  []string
+}
+
+// Series is one named line.
+type Series struct {
+	Name string
+	Data []float64
+}
+
+// Render draws the plot.
+func (p *LinePlot) Render(w io.Writer) {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 16
+	}
+	if p.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", p.Title, strings.Repeat("=", len(p.Title)))
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, s := range p.Series {
+		for _, v := range s.Data {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(s.Data) > maxLen {
+			maxLen = len(s.Data)
+		}
+	}
+	if maxLen == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		mark := marks[si%len(marks)]
+		for x := 0; x < width; x++ {
+			idx := x * (len(s.Data) - 1) / maxCol(width-1)
+			if idx >= len(s.Data) {
+				continue
+			}
+			v := s.Data[idx]
+			row := int(float64(height-1) * (hi - v) / (hi - lo))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][x] = mark
+		}
+	}
+	for r, line := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%9.4g ", hi)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%9.4g ", lo)
+		} else if r == height/2 {
+			label = fmt.Sprintf("%9.4g ", (hi+lo)/2)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	var legend []string
+	for si, s := range p.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", marks[si%len(marks)], s.Name))
+	}
+	fmt.Fprintf(w, "           %s", strings.Join(legend, "   "))
+	if p.YLabel != "" {
+		fmt.Fprintf(w, "   (y: %s)", p.YLabel)
+	}
+	fmt.Fprintln(w)
+	for _, n := range p.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func maxCol(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// BarChart renders labeled horizontal bars (used for the Figure 10 voltage
+// distributions and per-benchmark comparisons).
+type BarChart struct {
+	Title  string
+	Unit   string
+	Labels []string
+	Values []float64
+	Width  int // bar columns; default 50
+	Notes  []string
+}
+
+// Render draws the chart.
+func (b *BarChart) Render(w io.Writer) {
+	width := b.Width
+	if width <= 0 {
+		width = 50
+	}
+	if b.Title != "" {
+		fmt.Fprintf(w, "%s\n%s\n", b.Title, strings.Repeat("=", len(b.Title)))
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for i, v := range b.Values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if i < len(b.Labels) && len(b.Labels[i]) > maxLabel {
+			maxLabel = len(b.Labels[i])
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+	for i, v := range b.Values {
+		label := ""
+		if i < len(b.Labels) {
+			label = b.Labels[i]
+		}
+		n := int(float64(width) * v / maxVal)
+		fmt.Fprintf(w, "%-*s |%s %.4g%s\n", maxLabel, label, strings.Repeat("#", n), v, b.Unit)
+	}
+	for _, n := range b.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRowf("beta", 2.5)
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta", "2.5", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tbl := &Table{Headers: []string{"a"}}
+	tbl.AddRow("x", "extra", "cells")
+	var buf bytes.Buffer
+	tbl.Render(&buf) // must not panic
+	if !strings.Contains(buf.String(), "extra") {
+		t.Error("extra cells dropped")
+	}
+}
+
+func TestLinePlotRender(t *testing.T) {
+	p := &LinePlot{
+		Title:  "Wave",
+		YLabel: "V",
+		Series: []report_series{{Name: "s1", Data: []float64{0, 1, 0, -1, 0}}},
+	}
+	var buf bytes.Buffer
+	p.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "Wave") || !strings.Contains(out, "s1") || !strings.Contains(out, "*") {
+		t.Errorf("plot output:\n%s", out)
+	}
+}
+
+// alias so the test file documents that Series is the exported name.
+type report_series = Series
+
+func TestLinePlotEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	(&LinePlot{Title: "Empty"}).Render(&buf)
+	if !strings.Contains(buf.String(), "no data") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestLinePlotConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	(&LinePlot{Series: []Series{{Name: "c", Data: []float64{5, 5, 5}}}}).Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("constant series must render")
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	b := &BarChart{
+		Title:  "Bars",
+		Labels: []string{"one", "two"},
+		Values: []float64{1, 2},
+		Unit:   "mV",
+	}
+	var buf bytes.Buffer
+	b.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "one") || !strings.Contains(out, "##") {
+		t.Errorf("bar chart output:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	var buf bytes.Buffer
+	(&BarChart{Labels: []string{"z"}, Values: []float64{0}}).Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("zero-valued chart must render")
+	}
+}

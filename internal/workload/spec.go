@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"didt/internal/isa"
+)
+
+// Profile parameterizes one synthetic benchmark. The 26 named profiles in
+// Profiles() stand in for SPEC2000: the paper uses SPEC only as a source of
+// current variability (cache misses and fills, branch mispredictions, and
+// natural variances in ILP — Section 3), so each profile is tuned to
+// reproduce the corresponding benchmark's qualitative microarchitectural
+// signature rather than its computation.
+type Profile struct {
+	Name string
+
+	// Busy block: a burst of parallel work per loop iteration.
+	BusyOps   int     // instructions in the busy block
+	FPFrac    float64 // fraction of busy ALU work that is floating point
+	MemFrac   float64 // fraction of busy ops that touch memory
+	StoreFrac float64 // of those, fraction that are stores
+
+	// Quiet block: the stall generator between bursts.
+	QuietDivs  int // chained FDIVs (fp pipelines stall)
+	QuietLoads int // serialized pointer-chase loads (memory stall)
+
+	// Memory behavior.
+	WorkingSetKB int // pointer-chase footprint; > cache sizes means misses
+	StrideBytes  int // busy-block load/store stride
+
+	// Branch behavior.
+	BranchBlock   int     // micro-branches per iteration
+	BranchEntropy float64 // fraction of those that are LCG-random (mispredict)
+
+	Iterations int // loop trip count; 0 takes the generator default
+}
+
+// Generate builds the benchmark program for a profile. Generation is fully
+// deterministic.
+func Generate(p Profile) isa.Program {
+	if p.Iterations == 0 {
+		p.Iterations = 3000
+	}
+	if p.WorkingSetKB <= 0 {
+		p.WorkingSetKB = 16
+	}
+	if p.StrideBytes <= 0 {
+		p.StrideBytes = 8
+	}
+	wsBytes := int64(nextPow2(p.WorkingSetKB * 1024))
+
+	const (
+		chaseBase = 1 << 22 // pointer-chase region
+		dataBase  = 1 << 21 // busy-block data region
+	)
+	// Register plan:
+	//  r1  busy data pointer          r2  busy stride
+	//  r3  busy wrap mask             r4  data base
+	//  r5  LCG multiplier             r6  LCG state
+	//  r7  const 1                    r8  scratch (branch bit)
+	//  r9  loop counter               r10..r17 busy int results
+	//  r20 chase pointer              r21 chase scratch
+	//  r22 chase base                 r23 prologue counter
+	//  r24 prologue cursor            r25 prologue next
+	//  f2,f3 constants                f4 quiet-div chain
+	//  f10..f17 busy fp results
+	b := isa.NewBuilder()
+	b.LdI(4, dataBase)
+	b.LdI(1, dataBase)
+	b.LdI(2, int64(p.StrideBytes))
+	b.LdI(3, wsBytes-1)
+	b.LdI(5, 6364136223846793005)
+	b.LdI(6, int64(hashName(p.Name))|1)
+	b.LdI(7, 1)
+	b.LdI(9, int64(p.Iterations))
+	b.FLdI(2, 1.0000001192092896)
+	b.FLdI(3, 0.9999998807907104)
+	b.FLdI(4, 1.2345678901234567)
+
+	// Pointer-chase prologue: link chaseBase into a strided cycle so that
+	// "ld r20, 0(r20)" marches through WorkingSetKB of memory. A stride of
+	// several cache lines defeats spatial locality; the entry count is
+	// capped so the prologue stays a small fraction of the run.
+	chaseStride := int64(nextPow2(max(int(wsBytes/2048), max(p.StrideBytes, 256))))
+	chaseEntries := wsBytes / chaseStride
+	if chaseEntries < 1 {
+		chaseEntries = 1
+	}
+	b.LdI(22, chaseBase)
+	b.LdI(24, chaseBase)
+	b.LdI(23, chaseEntries)
+	b.Label("chain")
+	b.AddI(25, 24, chaseStride)
+	b.Sub(21, 25, 22)
+	b.And(21, 21, 3) // wrap offset
+	b.Add(25, 22, 21)
+	b.St(25, 24, 0)
+	b.AddI(24, 24, chaseStride)
+	b.AddI(23, 23, -1)
+	b.BneZ(23, "chain")
+	b.LdI(20, chaseBase)
+
+	rng := hashName(p.Name)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+
+	// Phase coupling: when the profile has a divide-stall phase, the busy
+	// block reads r26, which the quiet block refreshes from the divide
+	// chain through memory (the stressmark's trick). That forces the
+	// machine to alternate between stall and burst instead of letting the
+	// out-of-order window smear the phases together.
+	phaseSrc := uint8(7)
+	if p.QuietDivs > 0 {
+		phaseSrc = 26
+		b.LdI(26, 1)
+	}
+
+	b.LdI(27, 15) // mask register for phase-modulation bits
+
+	b.Label("loop")
+	// One LCG step per iteration drives runtime phase modulation (and the
+	// random branches below).
+	b.Mul(6, 6, 5)
+	b.AddI(6, 6, 1442695040888963407)
+
+	// March the busy-block data pointer once per iteration (strided
+	// streaming through the working set, wrapped to its footprint).
+	b.Add(1, 1, 2)
+	b.Sub(21, 1, 4)
+	b.And(21, 21, 3)
+	b.Add(1, 4, 21)
+
+	// The body is split into sub-bodies with build-time-jittered sizes and
+	// runtime-conditional quiet extensions. Real programs do not oscillate
+	// at a single frequency; the jitter spreads the current spectrum so
+	// deep resonant alignments are rare tail events, as in the paper's
+	// Table 2 emergency frequencies.
+	const subBodies = 3
+	branchIdx := 0
+	nRandom := int(float64(p.BranchBlock) * p.BranchEntropy)
+	for sub := 0; sub < subBodies; sub++ {
+		// ---- Busy block: interleaved, predominantly independent work.
+		busyOps := p.BusyOps / subBodies
+		busyOps = busyOps * (60 + next(80)) / 100 // +-40% jitter
+		memBudget := int(float64(busyOps) * p.MemFrac)
+		fpBudget := int(float64(busyOps-memBudget) * p.FPFrac)
+		aluBudget := busyOps - memBudget - fpBudget
+		for aluBudget+fpBudget+memBudget > 0 {
+			switch {
+			case aluBudget > 0 && (fpBudget+memBudget == 0 || next(3) == 0):
+				dst := uint8(10 + next(8))
+				// Only a third of the integer work couples to the stall
+				// phase; the rest free-runs, so bursts are partial (real
+				// programs never swing rail to rail).
+				src := uint8(7)
+				if next(4) == 0 {
+					src = phaseSrc
+				}
+				switch next(4) {
+				case 0:
+					b.Add(dst, src, 2)
+				case 1:
+					b.Xor(dst, src, 7)
+				case 2:
+					b.Sub(dst, src, 2)
+				default:
+					b.Or(dst, uint8(10+next(8)), 7) // occasional short chain
+				}
+				aluBudget--
+			case fpBudget > 0 && (memBudget == 0 || next(2) == 0):
+				dst := uint8(10 + next(8))
+				if next(4) == 0 {
+					b.FMul(dst, 2, 3)
+				} else if p.QuietDivs > 0 && next(8) == 0 {
+					b.FAdd(dst, 4, 3) // couple a little fp work to the divide chain
+				} else {
+					b.FAdd(dst, 2, 3)
+				}
+				fpBudget--
+			case memBudget > 0:
+				if float64(next(100)) < p.StoreFrac*100 {
+					b.St(uint8(10+next(8)), 1, int64(8*next(32)))
+				} else {
+					b.Ld(uint8(18+next(4)), 1, int64(8*next(32)))
+				}
+				memBudget--
+			}
+		}
+
+		// ---- Branch block share: controlled predictability.
+		for ; branchIdx < p.BranchBlock*(sub+1)/subBodies; branchIdx++ {
+			skip := fmt.Sprintf("skip%d", branchIdx)
+			if branchIdx < nRandom {
+				// Coin flip from this iteration's LCG state.
+				b.LdI(8, int64(20+3*branchIdx)%60)
+				b.Emit(isa.Instr{Op: isa.SHR, Dst: 8, Src1: 6, Src2: 8})
+				b.And(8, 8, 7)
+				b.BeqZ(8, skip)
+			} else {
+				// Perfectly biased branch: predictable after warmup.
+				b.BeqZ(isa.ZeroReg, skip)
+			}
+			b.Add(uint8(10+branchIdx%8), uint8(10+branchIdx%8), 7)
+			b.Label(skip)
+		}
+
+		// ---- Quiet block share: stalls, each individually present with
+		// probability 1/2 per iteration (distinct LCG bits). Real stall
+		// behavior is data-dependent, not metronomic; the randomized duty
+		// spreads the current spectrum so a deep resonant excursion needs a
+		// rare run of aligned iterations — the tail events behind Table 2's
+		// small emergency frequencies.
+		divs := 2 * share(p.QuietDivs, sub, subBodies)
+		loads := 2 * share(p.QuietLoads, sub, subBodies)
+		bit := 8 + 11*sub
+		for i := 0; i < divs; i++ {
+			skip := fmt.Sprintf("qd%d_%d", sub, i)
+			b.LdI(8, int64((bit+3*i)%60))
+			b.Emit(isa.Instr{Op: isa.SHR, Dst: 8, Src1: 6, Src2: 8})
+			b.And(8, 8, 7)
+			b.BneZ(8, skip)
+			b.FDiv(4, 4, 2)
+			b.Label(skip)
+		}
+		for i := 0; i < loads; i += 2 {
+			skip := fmt.Sprintf("ql%d_%d", sub, i)
+			b.LdI(8, int64((bit+5+3*i)%60))
+			b.Emit(isa.Instr{Op: isa.SHR, Dst: 8, Src1: 6, Src2: 8})
+			b.And(8, 8, 7)
+			b.BneZ(8, skip)
+			b.Ld(20, 20, 0) // serialized chase; each step can miss
+			if i+1 < loads {
+				b.Ld(20, 20, 0)
+			}
+			b.Label(skip)
+		}
+	}
+	if p.QuietDivs > 0 {
+		// Publish the divide result for the next iteration's busy blocks:
+		// store it and load it back as an integer (cross-file move through
+		// memory, as in the stressmark).
+		b.FSt(4, 4, 1024)
+		b.Ld(26, 4, 1024)
+	}
+
+	b.AddI(9, 9, -1)
+	b.BneZ(9, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// share splits total across n chunks, front-loading remainders.
+func share(total, idx, n int) int {
+	base := total / n
+	if idx < total%n {
+		return base + 1
+	}
+	return base
+}
+
+func nextPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func hashName(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Profiles returns the 26 synthetic SPEC2000 stand-ins keyed by name.
+// Tunings target each benchmark's published microarchitectural signature:
+// IPC class, cache behavior, branch behavior, and — the property the paper
+// cares about — how much mid-frequency current variability it produces
+// (Figure 10's spread, Table 2's rare emergencies at high impedance).
+func Profiles() []Profile {
+	return []Profile{
+		// ---- SPECint 2000 ----
+		{Name: "bzip2", BusyOps: 95, MemFrac: 0.25, StoreFrac: 0.4, BranchBlock: 6, BranchEntropy: 0.25, QuietLoads: 1, WorkingSetKB: 256, StrideBytes: 64},
+		{Name: "crafty", BusyOps: 140, MemFrac: 0.2, StoreFrac: 0.2, BranchBlock: 8, BranchEntropy: 0.2, WorkingSetKB: 32},
+		{Name: "eon", BusyOps: 70, FPFrac: 0.3, MemFrac: 0.25, StoreFrac: 0.35, BranchBlock: 8, BranchEntropy: 0.5, QuietDivs: 1, WorkingSetKB: 24},
+		{Name: "gap", BusyOps: 110, MemFrac: 0.3, StoreFrac: 0.3, BranchBlock: 5, BranchEntropy: 0.2, QuietLoads: 1, WorkingSetKB: 192, StrideBytes: 64},
+		{Name: "gcc", BusyOps: 100, MemFrac: 0.3, StoreFrac: 0.4, BranchBlock: 10, BranchEntropy: 0.6, QuietLoads: 2, WorkingSetKB: 512, StrideBytes: 128},
+		{Name: "gzip", BusyOps: 120, MemFrac: 0.3, StoreFrac: 0.35, BranchBlock: 6, BranchEntropy: 0.3, WorkingSetKB: 128, StrideBytes: 32},
+		{Name: "mcf", BusyOps: 30, MemFrac: 0.5, StoreFrac: 0.1, BranchBlock: 3, BranchEntropy: 0.4, QuietLoads: 6, WorkingSetKB: 8192, StrideBytes: 512},
+		{Name: "parser", BusyOps: 100, MemFrac: 0.35, StoreFrac: 0.3, BranchBlock: 8, BranchEntropy: 0.45, QuietLoads: 2, WorkingSetKB: 1024, StrideBytes: 128},
+		{Name: "perlbmk", BusyOps: 85, MemFrac: 0.3, StoreFrac: 0.35, BranchBlock: 8, BranchEntropy: 0.3, QuietLoads: 1, WorkingSetKB: 96},
+		{Name: "twolf", BusyOps: 110, MemFrac: 0.3, StoreFrac: 0.25, BranchBlock: 8, BranchEntropy: 0.45, QuietLoads: 2, WorkingSetKB: 384, StrideBytes: 128},
+		{Name: "vortex", BusyOps: 120, MemFrac: 0.35, StoreFrac: 0.4, BranchBlock: 6, BranchEntropy: 0.25, WorkingSetKB: 256, StrideBytes: 64},
+		{Name: "vpr", BusyOps: 80, MemFrac: 0.3, StoreFrac: 0.3, BranchBlock: 8, BranchEntropy: 0.5, QuietLoads: 2, WorkingSetKB: 512, StrideBytes: 128},
+
+		// ---- SPECfp 2000 ----
+		{Name: "ammp", BusyOps: 60, FPFrac: 0.6, MemFrac: 0.4, StoreFrac: 0.2, BranchBlock: 2, QuietLoads: 8, WorkingSetKB: 4096, StrideBytes: 256},
+		{Name: "applu", BusyOps: 80, FPFrac: 0.6, MemFrac: 0.3, StoreFrac: 0.3, BranchBlock: 2, QuietDivs: 1, WorkingSetKB: 2048, StrideBytes: 64},
+		{Name: "apsi", BusyOps: 65, FPFrac: 0.5, MemFrac: 0.3, StoreFrac: 0.3, BranchBlock: 3, BranchEntropy: 0.15, QuietDivs: 1, WorkingSetKB: 512, StrideBytes: 64},
+		{Name: "art", BusyOps: 60, FPFrac: 0.5, MemFrac: 0.45, StoreFrac: 0.1, BranchBlock: 3, QuietLoads: 5, WorkingSetKB: 4096, StrideBytes: 256},
+		{Name: "equake", BusyOps: 75, FPFrac: 0.5, MemFrac: 0.4, StoreFrac: 0.2, BranchBlock: 3, BranchEntropy: 0.1, QuietLoads: 3, WorkingSetKB: 2048, StrideBytes: 128},
+		{Name: "facerec", BusyOps: 62, FPFrac: 0.6, MemFrac: 0.25, StoreFrac: 0.25, BranchBlock: 3, BranchEntropy: 0.15, QuietDivs: 1, WorkingSetKB: 1024, StrideBytes: 64},
+		{Name: "fma3d", BusyOps: 55, FPFrac: 0.55, MemFrac: 0.3, StoreFrac: 0.3, BranchBlock: 4, BranchEntropy: 0.2, QuietDivs: 1, WorkingSetKB: 1024, StrideBytes: 64},
+		{Name: "galgel", BusyOps: 130, FPFrac: 0.65, MemFrac: 0.25, StoreFrac: 0.3, BranchBlock: 2, QuietDivs: 2, WorkingSetKB: 256, StrideBytes: 64},
+		{Name: "lucas", BusyOps: 55, FPFrac: 0.6, MemFrac: 0.35, StoreFrac: 0.2, BranchBlock: 1, QuietLoads: 5, WorkingSetKB: 4096, StrideBytes: 512},
+		{Name: "mesa", BusyOps: 55, FPFrac: 0.4, MemFrac: 0.3, StoreFrac: 0.35, BranchBlock: 5, BranchEntropy: 0.2, QuietLoads: 1, WorkingSetKB: 64},
+		{Name: "mgrid", BusyOps: 65, FPFrac: 0.65, MemFrac: 0.3, StoreFrac: 0.25, BranchBlock: 1, QuietDivs: 1, WorkingSetKB: 2048, StrideBytes: 64},
+		{Name: "sixtrack", BusyOps: 48, FPFrac: 0.6, MemFrac: 0.25, StoreFrac: 0.25, BranchBlock: 3, BranchEntropy: 0.2, QuietDivs: 1, WorkingSetKB: 128},
+		{Name: "swim", BusyOps: 65, FPFrac: 0.65, MemFrac: 0.35, StoreFrac: 0.3, BranchBlock: 1, QuietDivs: 1, WorkingSetKB: 4096, StrideBytes: 64},
+		{Name: "wupwise", BusyOps: 70, FPFrac: 0.55, MemFrac: 0.3, StoreFrac: 0.3, BranchBlock: 2, BranchEntropy: 0.1, QuietDivs: 1, WorkingSetKB: 512, StrideBytes: 64},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// ChallengingEight returns the paper's most-voltage-variable subset used in
+// Sections 4 and 5.
+func ChallengingEight() []string {
+	return []string{"swim", "mgrid", "gcc", "galgel", "facerec", "sixtrack", "eon", "applu"}
+}
+
+// Names returns all benchmark names, sorted.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	sort.Strings(out)
+	return out
+}

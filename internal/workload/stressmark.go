@@ -1,0 +1,208 @@
+// Package workload generates the instruction streams the paper evaluates:
+// the hand-crafted dI/dt stressmark of Section 3.2 and synthetic stand-ins
+// for the 26 SPEC2000 benchmarks of Section 3.3.
+//
+// The stressmark follows the paper's Figure 8 recipe exactly: a loop whose
+// body opens with chained floating-point divides (long stalls, minimal
+// current) and closes with a broad burst of operations that all depend on
+// the divide result (store the result, re-load it, then fan out), so the
+// machine swings between near-idle and full-width issue with a loop period
+// matched to the package's resonant period. Dependences carry across
+// iterations through memory (the burst stores what the next iteration's
+// load reads), preventing the out-of-order window from smearing the
+// phases together.
+package workload
+
+import (
+	"didt/internal/isa"
+)
+
+// StressmarkParams shapes the loop. The defaults approximate the paper's
+// 60-cycle resonant period at 3 GHz / 50 MHz; TuneStressmark searches the
+// neighborhood for the deepest voltage swing on a specific system.
+type StressmarkParams struct {
+	Iterations  int // loop trip count; default 2000
+	ChainedDivs int // chained FDIVs forming the quiet phase; default 3
+	BurstALU    int // parallel integer ops in the burst; default 80
+	BurstStores int // parallel stores in the burst; default 40
+	BurstFPAdd  int // parallel fp adds in the burst; default 32
+	BurstFP     int // parallel fp multiplies (pipelined) in the burst; default 12
+	BurstMul    int // parallel integer multiplies in the burst; default 6
+	// Occupying divides: issued once at burst start, they hold a
+	// (non-pipelined) multiply/divide unit busy for many cycles at the
+	// cost of a single issue slot. Integer divides fit the burst length;
+	// floating-point ones are off by default because they contend with the
+	// quiet phase's critical divide chain, and integer ones because their
+	// in-order commit delays the burst's store retirement into the quiet
+	// phase. Negative values disable.
+	BurstFDivs int // default off
+	BurstIDivs int // default off
+
+	// SmoothedBurst applies the software mitigation of the related work
+	// (Toburen's dI/dt-aware instruction scheduling; Pant et al.'s gradual
+	// power stepping): the burst's operations are re-scheduled into short
+	// dependent chains so issue width — and therefore current — steps up
+	// gradually instead of jumping rail to rail. The same instructions
+	// execute; only their dependence structure changes.
+	SmoothedBurst bool
+}
+
+func (p StressmarkParams) withDefaults() StressmarkParams {
+	if p.Iterations == 0 {
+		p.Iterations = 2000
+	}
+	if p.ChainedDivs == 0 {
+		p.ChainedDivs = 3
+	}
+	if p.BurstALU == 0 {
+		p.BurstALU = 80
+	}
+	if p.BurstStores == 0 {
+		p.BurstStores = 40
+	}
+	if p.BurstFPAdd == 0 {
+		p.BurstFPAdd = 32
+	}
+	if p.BurstFP == 0 {
+		p.BurstFP = 12
+	}
+	if p.BurstMul == 0 {
+		p.BurstMul = 6
+	}
+	if p.BurstFDivs == 0 {
+		p.BurstFDivs = -1
+	}
+	if p.BurstIDivs == 0 {
+		p.BurstIDivs = -1 // they delay store commits into the quiet phase
+	}
+	return p
+}
+
+// Stressmark builds the dI/dt stressmark program.
+//
+// Register plan: r4 = primary buffer, r5 = scatter buffer, r9 = trip
+// count; f2 = divisor; burst results land in r10..r25 and f10..f17 (all
+// dead values, like the paper's stores through $31).
+func Stressmark(p StressmarkParams) isa.Program {
+	p = p.withDefaults()
+	b := isa.NewBuilder()
+
+	const (
+		bufA = 1 << 16
+		bufB = 1 << 17
+	)
+	b.LdI(4, bufA)
+	b.LdI(5, bufB)
+	b.LdI(9, int64(p.Iterations))
+	// Operand chosen near 1.0 so chained divides neither overflow nor
+	// denormalize over millions of iterations (maximum mantissa activity,
+	// as the paper notes operands are picked for transition activity).
+	b.FLdI(2, 1.0000001192092896)
+	b.FLdI(1, 1.5707963267948966)
+	b.FSt(1, 4, 0) // seed the cross-iteration memory dependence
+
+	b.Label("loop")
+	// ---- Quiet phase: serialized long-latency divides. The load of f1
+	// depends on the previous iteration's store, so the window cannot
+	// start this iteration's burst early.
+	b.FLd(1, 4, 0)
+	prev := uint8(1)
+	for i := 0; i < p.ChainedDivs; i++ {
+		b.FDiv(3, prev, 2)
+		prev = 3
+	}
+	// ---- Burst phase: everything below depends (transitively) on f3.
+	b.FSt(3, 4, 8)
+	b.Ld(7, 4, 8) // reload the bits as an integer: the paper's ldq
+	b.CMovNZ(3+0, 7, isa.ZeroReg)
+	// Store the result back for the next iteration's fld (cross-iteration
+	// chain). Store the FP value so the next divide chain stays sane.
+	b.FSt(3, 4, 0)
+	// Occupying divides first (oldest = issue priority): two dead FDIVs
+	// saturate the FPMult units and two dead DIVs the IntMult units for
+	// the burst's duration, each costing one issue slot.
+	for i := 0; i < p.BurstFDivs; i++ {
+		b.FDiv(uint8(27+i%2), 3, 2)
+	}
+	for i := 0; i < p.BurstIDivs; i++ {
+		b.Div(uint8(27+i%2), 7, 4)
+	}
+	// Interleaved fan-out: mixing op kinds in program order keeps the
+	// oldest-first issue stage feeding every unit class each cycle. All
+	// operands trace back to r7/f3 so nothing starts before the divide
+	// chain resolves.
+	nALU, nSt, nFA, nMul, nFM := p.BurstALU, p.BurstStores, max0(p.BurstFPAdd), max0(p.BurstMul), max0(p.BurstFP)
+	// Smoothed scheduling: each op joins a rotating dependence chain so at
+	// most a few operations are ready per cycle and the current ramp is
+	// gradual. chainReg tracks the tail of each chain.
+	var chainReg [4]uint8
+	for i := range chainReg {
+		chainReg[i] = 7 // seeded from the burst trigger
+	}
+	smoothSrc := func(i int) uint8 {
+		if !p.SmoothedBurst {
+			return 7
+		}
+		return chainReg[i%len(chainReg)]
+	}
+	smoothDst := func(i int, dst uint8) uint8 {
+		if p.SmoothedBurst {
+			chainReg[i%len(chainReg)] = dst
+		}
+		return dst
+	}
+	for i := 0; nALU+nSt+nFA+nMul+nFM > 0; i++ {
+		if nALU > 0 {
+			dst := smoothDst(i, uint8(10+i%16))
+			src := smoothSrc(i)
+			switch i % 4 {
+			case 0:
+				b.Add(dst, src, uint8(10+(i+5)%16))
+			case 1:
+				b.Xor(dst, src, uint8(10+(i+9)%16))
+			case 2:
+				b.Sub(dst, src, uint8(10+(i+3)%16))
+			default:
+				b.Or(dst, src, uint8(10+(i+7)%16))
+			}
+			nALU--
+			if nALU > 0 && i%2 == 0 { // two ALU ops per round
+				b.And(uint8(10+(i+1)%16), src, uint8(10+(i+11)%16))
+				nALU--
+			}
+		}
+		if nSt > 0 {
+			b.St(smoothSrc(i+1), 5, int64(8*(nSt-1)))
+			nSt--
+		}
+		if nFA > 0 {
+			b.FAdd(uint8(10+i%8), 3, uint8(10+(i+3)%8))
+			nFA--
+		}
+		if nMul > 0 && i%4 == 0 {
+			b.Mul(26, 7, uint8(10+i%16))
+			nMul--
+		}
+		if nFM > 0 && i%2 == 0 {
+			b.FMul(uint8(18+i%8), 3, 2)
+			nFM--
+		}
+	}
+	b.AddI(9, 9, -1)
+	b.BneZ(9, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func max0(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StressmarkAssembly renders the stressmark as assembly text, the form the
+// paper presents in Figure 8.
+func StressmarkAssembly(p StressmarkParams) string {
+	return isa.Disassemble(Stressmark(p))
+}
