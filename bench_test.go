@@ -16,7 +16,10 @@ import (
 	"io"
 	"testing"
 
+	"didt/internal/core"
 	"didt/internal/experiments"
+	"didt/internal/pdn"
+	"didt/internal/workload"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -120,3 +123,48 @@ func BenchmarkControlledCycles(b *testing.B) {
 		sys.StepCycle()
 	}
 }
+
+// --------------------------------------------------------- sweep engine
+
+// sweepBenchConfig is a reduced multi-experiment sweep: large enough that
+// the worker pool has real work to distribute, small enough for -bench
+// runs to finish quickly.
+func sweepBenchConfig(parallel int) experiments.Config {
+	cfg := experiments.Quick()
+	cfg.Cycles = 30_000
+	cfg.Warmup = 10_000
+	cfg.Iterations = 300
+	cfg.StressIter = 250
+	cfg.Benchmarks = []string{"swim", "gcc"}
+	cfg.Parallel = parallel
+	return cfg
+}
+
+func benchSweep(b *testing.B, parallel int) {
+	b.Helper()
+	ids := []string{"table2", "fig14", "stressmark-actuation", "ablation-window"}
+	reg := experiments.Registry()
+	cfg := sweepBenchConfig(parallel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Reset every memo so each iteration pays the full simulation
+		// cost; otherwise iterations after the first measure rendering.
+		experiments.ResetMemo()
+		workload.ResetProgramCache()
+		pdn.ResetKernelCache()
+		core.ResetEnvelopeCache()
+		for _, id := range ids {
+			if err := reg[id](cfg, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepSerial runs the sweep-heavy experiment set on one worker.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same set with one worker per core;
+// output is byte-identical to the serial run (see internal/experiments
+// TestParallelOutputIdentical).
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }

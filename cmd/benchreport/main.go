@@ -1,0 +1,154 @@
+// Command benchreport times the sweep-heavy experiment set serially and in
+// parallel and writes the comparison to BENCH_sweep.json.
+//
+// Usage:
+//
+//	benchreport                  # writes BENCH_sweep.json in the CWD
+//	benchreport -o out.json -repeat 3
+//
+// Four timings are reported: serial cold (one worker, all caches flushed),
+// parallel cold (one worker per core, caches flushed), serial warm (memos
+// populated — measures the kernel/program/envelope cache win) and the
+// derived speedups. On a single-core machine the parallel/serial ratio is
+// expected to hover near 1; the warm/cold ratio shows the cache win
+// regardless of core count.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"didt/internal/core"
+	"didt/internal/experiments"
+	"didt/internal/pdn"
+	"didt/internal/workload"
+)
+
+var sweepIDs = []string{"table2", "fig14", "stressmark-actuation", "ablation-window"}
+
+// Report is the schema of BENCH_sweep.json.
+type Report struct {
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	NumCPU        int      `json:"num_cpu"`
+	Experiments   []string `json:"experiments"`
+	Repeat        int      `json:"repeat"`
+	SerialColdNs  int64    `json:"serial_cold_ns_per_op"`
+	ParallelNs    int64    `json:"parallel_cold_ns_per_op"`
+	SerialWarmNs  int64    `json:"serial_warm_ns_per_op"`
+	Speedup       float64  `json:"parallel_speedup"`
+	CacheSpeedup  float64  `json:"warm_cache_speedup"`
+	GeneratedUnix int64    `json:"generated_unix"`
+}
+
+func resetCaches() {
+	experiments.ResetMemo()
+	workload.ResetProgramCache()
+	pdn.ResetKernelCache()
+	core.ResetEnvelopeCache()
+}
+
+func runSet(cfg experiments.Config) error {
+	reg := experiments.Registry()
+	for _, id := range sweepIDs {
+		if err := reg[id](cfg, io.Discard); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// timeSet returns the best-of-repeat wall time of one full sweep-set run.
+func timeSet(cfg experiments.Config, repeat int, warm bool) (time.Duration, error) {
+	best := time.Duration(0)
+	for r := 0; r < repeat; r++ {
+		if !warm {
+			resetCaches()
+		}
+		start := time.Now()
+		if err := runSet(cfg); err != nil {
+			return 0, err
+		}
+		el := time.Since(start)
+		if r == 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	var (
+		out    = flag.String("o", "BENCH_sweep.json", "output path")
+		repeat = flag.Int("repeat", 2, "timed repetitions per configuration (best is kept)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	cfg.Cycles = 30_000
+	cfg.Warmup = 10_000
+	cfg.Iterations = 300
+	cfg.StressIter = 250
+	cfg.Benchmarks = []string{"swim", "gcc"}
+
+	serialCfg := cfg
+	serialCfg.Parallel = 1
+	parallelCfg := cfg
+	parallelCfg.Parallel = runtime.GOMAXPROCS(0)
+
+	serialCold, err := timeSet(serialCfg, *repeat, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	parallelCold, err := timeSet(parallelCfg, *repeat, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Warm pass: memos already populated by the run above, so this measures
+	// render + cache-hit cost. Re-prime with the serial config first so the
+	// memo keys match (Parallel is excluded from the key, so either works).
+	serialWarm, err := timeSet(serialCfg, *repeat, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Experiments:   sweepIDs,
+		Repeat:        *repeat,
+		SerialColdNs:  serialCold.Nanoseconds(),
+		ParallelNs:    parallelCold.Nanoseconds(),
+		SerialWarmNs:  serialWarm.Nanoseconds(),
+		Speedup:       float64(serialCold) / float64(parallelCold),
+		CacheSpeedup:  float64(serialCold) / float64(serialWarm),
+		GeneratedUnix: time.Now().Unix(),
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: serial %v, parallel(%d) %v (%.2fx), warm %v (%.1fx cache win)\n",
+		*out, serialCold.Round(time.Millisecond), rep.GOMAXPROCS,
+		parallelCold.Round(time.Millisecond), rep.Speedup,
+		serialWarm.Round(time.Millisecond), rep.CacheSpeedup)
+}

@@ -1,28 +1,36 @@
-// Command didtsim runs one workload through the coupled
+// Command didtsim runs workloads through the coupled
 // processor/power/PDN/controller simulation and prints run statistics.
 //
 // Usage:
 //
 //	didtsim -workload stressmark -impedance 2 -control -delay 2
 //	didtsim -workload gcc -impedance 3
+//	didtsim -workload swim,gcc,galgel -parallel 4
 //	didtsim -asm program.s -control -mechanism FU/DL1
+//
+// -workload accepts a comma-separated list; independent runs are fanned
+// out across -parallel workers and reported in list order (results are
+// identical at any worker count).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"didt/internal/actuator"
 	"didt/internal/core"
 	"didt/internal/isa"
+	"didt/internal/sim"
 	"didt/internal/trace"
 	"didt/internal/workload"
 )
 
 func main() {
 	var (
-		wl        = flag.String("workload", "stressmark", "stressmark, a SPEC2000 name (see workload.Names), or 'asm'")
+		wl        = flag.String("workload", "stressmark", "comma-separated list of: stressmark, a SPEC2000 name (see workload.Names), or 'asm'")
 		asmPath   = flag.String("asm", "", "path to an assembly file (used with -workload asm)")
 		impedance = flag.Float64("impedance", 2, "impedance as a multiple of target (1 = meets spec)")
 		control   = flag.Bool("control", false, "enable the dI/dt threshold controller")
@@ -32,14 +40,15 @@ func main() {
 		cycles    = flag.Uint64("cycles", 400000, "maximum cycles")
 		iters     = flag.Int("iterations", 3000, "workload loop iterations")
 		seed      = flag.Int64("seed", 0, "noise seed")
-		dumpCur   = flag.String("dump-current", "", "write the per-cycle current trace (CSV) to this path")
-		dumpVolt  = flag.String("dump-voltage", "", "write the per-cycle voltage trace (CSV) to this path")
+		parallel  = flag.Int("parallel", 0, "worker count for multi-workload runs (0 = GOMAXPROCS)")
+		dumpCur   = flag.String("dump-current", "", "write the per-cycle current trace (CSV) to this path (single workload only)")
+		dumpVolt  = flag.String("dump-voltage", "", "write the per-cycle voltage trace (CSV) to this path (single workload only)")
 	)
 	flag.Parse()
 
-	prog, err := loadProgram(*wl, *asmPath, *iters)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	workloads := strings.Split(*wl, ",")
+	if len(workloads) > 1 && (*dumpCur != "" || *dumpVolt != "") {
+		fmt.Fprintln(os.Stderr, "-dump-current/-dump-voltage require a single workload")
 		os.Exit(2)
 	}
 	mech, err := mechanism(*mechName)
@@ -48,48 +57,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	sys, err := core.NewSystem(prog, core.Options{
-		ImpedancePct: *impedance,
-		Control:      *control,
-		Mechanism:    mech,
-		Delay:        *delay,
-		NoiseMV:      *noise,
-		MaxCycles:    *cycles,
-		Seed:         *seed,
-		RecordTraces: *dumpCur != "" || *dumpVolt != "",
+	type outcome struct {
+		name string
+		res  *core.Result
+	}
+	results, err := sim.Sweep(context.Background(), *parallel, workloads, func(_ context.Context, name string) (outcome, error) {
+		prog, err := loadProgram(name, *asmPath, *iters)
+		if err != nil {
+			return outcome{}, err
+		}
+		sys, err := core.NewSystem(prog, core.Options{
+			ImpedancePct: *impedance,
+			Control:      *control,
+			Mechanism:    mech,
+			Delay:        *delay,
+			NoiseMV:      *noise,
+			MaxCycles:    *cycles,
+			Seed:         *seed,
+			RecordTraces: *dumpCur != "" || *dumpVolt != "",
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		defer sys.Close()
+		res, err := sys.Run()
+		if err != nil {
+			return outcome{}, err
+		}
+		return outcome{name: name, res: res}, nil
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := sys.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
 
-	fmt.Printf("workload            %s\n", *wl)
-	fmt.Printf("impedance           %.0f%% of target\n", *impedance*100)
-	fmt.Printf("cycles              %d\n", res.Cycles)
-	fmt.Printf("instructions        %d (IPC %.2f)\n", res.Stats.Instructions, res.IPC())
-	fmt.Printf("current envelope    [%.1f, %.1f] A\n", res.IMin, res.IMax)
-	fmt.Printf("voltage range       [%.4f, %.4f] V (nominal %.2f)\n", res.MinV, res.MaxV, res.VNominal)
-	fmt.Printf("emergencies         %d cycles (%.4g%% of measured)\n", res.Emergencies, res.EmergencyFreq*100)
-	fmt.Printf("energy              %.4g J (avg power %.1f W)\n", res.Energy, res.AvgPower)
-	fmt.Printf("branch mispredicts  %d / %d lookups\n", res.Stats.Mispredicts, res.Stats.BranchLookups)
-	fmt.Printf("L1D/L1I/L2 miss     %.2f%% / %.2f%% / %.2f%%\n",
-		res.Stats.L1DMissRate*100, res.Stats.L1IMissRate*100, res.Stats.L2MissRate*100)
-	if *control {
-		th := res.Thresholds
-		fmt.Printf("controller          %s, delay %d, noise %.0fmV\n", mech.Name, *delay, *noise)
-		if th.Stable {
-			fmt.Printf("thresholds          low %.4f V / high %.4f V (window %.1f mV)\n", th.Low, th.High, th.SafeWindow*1e3)
-		} else {
-			fmt.Printf("thresholds          UNSTABLE (no guaranteed pair exists; conservative fallback used)\n")
+	for i, o := range results {
+		if i > 0 {
+			fmt.Println()
 		}
-		fmt.Printf("actuations          %d gating, %d phantom-firing\n", res.LowEvents, res.HighEvents)
+		report(o.name, o.res, *impedance, *control, mech, *delay, *noise)
 	}
 
+	res := results[len(results)-1].res
 	if *dumpCur != "" {
 		if err := writeTrace(*dumpCur, res.CurrentTrace, "current_A"); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -106,6 +115,30 @@ func main() {
 	}
 }
 
+func report(wl string, res *core.Result, impedance float64, control bool, mech actuator.Mechanism, delay int, noise float64) {
+	fmt.Printf("workload            %s\n", wl)
+	fmt.Printf("impedance           %.0f%% of target\n", impedance*100)
+	fmt.Printf("cycles              %d\n", res.Cycles)
+	fmt.Printf("instructions        %d (IPC %.2f)\n", res.Stats.Instructions, res.IPC())
+	fmt.Printf("current envelope    [%.1f, %.1f] A\n", res.IMin, res.IMax)
+	fmt.Printf("voltage range       [%.4f, %.4f] V (nominal %.2f)\n", res.MinV, res.MaxV, res.VNominal)
+	fmt.Printf("emergencies         %d cycles (%.4g%% of measured)\n", res.Emergencies, res.EmergencyFreq*100)
+	fmt.Printf("energy              %.4g J (avg power %.1f W)\n", res.Energy, res.AvgPower)
+	fmt.Printf("branch mispredicts  %d / %d lookups\n", res.Stats.Mispredicts, res.Stats.BranchLookups)
+	fmt.Printf("L1D/L1I/L2 miss     %.2f%% / %.2f%% / %.2f%%\n",
+		res.Stats.L1DMissRate*100, res.Stats.L1IMissRate*100, res.Stats.L2MissRate*100)
+	if control {
+		th := res.Thresholds
+		fmt.Printf("controller          %s, delay %d, noise %.0fmV\n", mech.Name, delay, noise)
+		if th.Stable {
+			fmt.Printf("thresholds          low %.4f V / high %.4f V (window %.1f mV)\n", th.Low, th.High, th.SafeWindow*1e3)
+		} else {
+			fmt.Printf("thresholds          UNSTABLE (no guaranteed pair exists; conservative fallback used)\n")
+		}
+		fmt.Printf("actuations          %d gating, %d phantom-firing\n", res.LowEvents, res.HighEvents)
+	}
+}
+
 func writeTrace(path string, tr trace.Trace, name string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -118,7 +151,7 @@ func writeTrace(path string, tr trace.Trace, name string) error {
 func loadProgram(wl, asmPath string, iters int) (isa.Program, error) {
 	switch wl {
 	case "stressmark":
-		return workload.Stressmark(workload.StressmarkParams{Iterations: iters}), nil
+		return workload.StressmarkCached(workload.StressmarkParams{Iterations: iters}), nil
 	case "asm":
 		f, err := os.Open(asmPath)
 		if err != nil {
@@ -132,7 +165,7 @@ func loadProgram(wl, asmPath string, iters int) (isa.Program, error) {
 			return nil, err
 		}
 		p.Iterations = iters
-		return workload.Generate(p), nil
+		return workload.GenerateCached(p), nil
 	}
 }
 

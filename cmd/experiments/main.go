@@ -15,18 +15,20 @@ import (
 	"time"
 
 	"didt/internal/experiments"
+	"didt/internal/sim"
 )
 
 func main() {
 	var (
-		runID  = flag.String("run", "all", "experiment id (see -list) or 'all'")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		cycles = flag.Uint64("cycles", 0, "per-run cycle budget (0 = default)")
-		warmup = flag.Uint64("warmup", 0, "warmup cycles excluded from voltage stats (0 = default)")
-		iters  = flag.Int("iterations", 0, "benchmark loop iterations (0 = default)")
-		quick  = flag.Bool("quick", false, "use the reduced quick configuration")
-		bench  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
-		seed   = flag.Int64("seed", 0, "noise/workload seed")
+		runID    = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		cycles   = flag.Uint64("cycles", 0, "per-run cycle budget (0 = default)")
+		warmup   = flag.Uint64("warmup", 0, "warmup cycles excluded from voltage stats (0 = default)")
+		iters    = flag.Int("iterations", 0, "benchmark loop iterations (0 = default)")
+		quick    = flag.Bool("quick", false, "use the reduced quick configuration")
+		bench    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		seed     = flag.Int64("seed", 0, "noise/workload seed")
+		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	)
 	flag.Parse()
 
@@ -53,7 +55,16 @@ func main() {
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
 	}
-	cfg.Seed = *seed
+	// Apply the seed only when the flag was explicitly set: its default
+	// (0) must not override whatever seed the selected configuration
+	// carries.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			cfg.Seed = *seed
+		}
+	})
+	cfg.Parallel = *parallel
+	sim.SetDefaultWorkers(*parallel)
 
 	reg := experiments.Registry()
 	ids := []string{*runID}

@@ -261,6 +261,17 @@ func NewSystem(prog isa.Program, opts Options) (*System, error) {
 // when control is disabled.
 func (s *System) Thresholds() control.Thresholds { return s.thresholds }
 
+// Close releases pooled resources (the PDN simulator's ring buffer) back
+// for reuse by other runs against the same network. The system must not be
+// stepped afterwards; Close is optional but sweeps that build hundreds of
+// systems should call it.
+func (s *System) Close() {
+	if s.Sim != nil {
+		s.Sim.Release()
+		s.Sim = nil
+	}
+}
+
 // Envelope returns the calibration current envelope.
 func (s *System) Envelope() (iMin, iMax float64) { return s.iMin, s.iMax }
 

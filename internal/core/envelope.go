@@ -6,7 +6,31 @@ import (
 	"didt/internal/cpu"
 	"didt/internal/isa"
 	"didt/internal/power"
+	"didt/internal/sim"
 )
+
+// envelope is a measured current envelope in amperes.
+type envelope struct {
+	iMin, iMax float64
+}
+
+// envelopeKey identifies one envelope measurement; both configs are
+// comparable value types.
+type envelopeKey struct {
+	cpu   cpu.Config
+	power power.Params
+}
+
+// envelopeCache memoizes the saturation-probe measurement: every NewSystem
+// without an explicit envelope runs the same ~28k-cycle probe, and a sweep
+// builds hundreds of systems from the same configuration. The probe is
+// deterministic in its inputs, so cached and fresh envelopes are
+// identical.
+var envelopeCache = sim.NewCache[envelopeKey, envelope](64)
+
+// ResetEnvelopeCache empties the shared envelope cache (benchmarks use it
+// to measure cold-start cost).
+func ResetEnvelopeCache() { envelopeCache.Reset() }
 
 // measureEnvelope determines the processor's current envelope the way the
 // paper's Figure 13 flow does ("examine the processor power model to find
@@ -19,13 +43,22 @@ import (
 // unreachable envelope would make every real workload look artificially
 // tame (and every threshold artificially loose).
 func measureEnvelope(cfg cpu.Config, pp power.Params) (iMin, iMax float64, err error) {
-	probe := saturationProbe()
-	c, err := cpu.New(cfg, probe)
+	env, err := envelopeCache.Get(envelopeKey{cpu: cfg, power: pp}, func() (envelope, error) {
+		return measureEnvelopeUncached(cfg, pp)
+	})
 	if err != nil {
 		return 0, 0, err
 	}
+	return env.iMin, env.iMax, nil
+}
+
+func measureEnvelopeUncached(cfg cpu.Config, pp power.Params) (envelope, error) {
+	probe := saturationProbe()
+	c, err := cpu.New(cfg, probe)
+	if err != nil {
+		return envelope{}, err
+	}
 	pm := power.New(pp, c.Config())
-	var samples []float64
 	// The probe's code footprint must first stream in from cold memory
 	// (~300 cycles per line), so the measurement window sits well past the
 	// warm-up transient.
@@ -33,6 +66,7 @@ func measureEnvelope(cfg cpu.Config, pp power.Params) (iMin, iMax float64, err e
 		warmup = 20000
 		window = 8000
 	)
+	samples := make([]float64, 0, window)
 	for i := 0; i < warmup+window; i++ {
 		act, done := c.Step()
 		rep := pm.Step(act, power.Phantom{})
@@ -44,8 +78,7 @@ func measureEnvelope(cfg cpu.Config, pp power.Params) (iMin, iMax float64, err e
 		}
 	}
 	sort.Float64s(samples)
-	iMax = samples[len(samples)*98/100]
-	return pm.MinCurrent(), iMax, nil
+	return envelope{iMin: pm.MinCurrent(), iMax: samples[len(samples)*98/100]}, nil
 }
 
 // saturationProbe builds an endless-enough loop of independent, cache-warm,

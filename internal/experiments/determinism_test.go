@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"didt/internal/core"
+	"didt/internal/pdn"
+	"didt/internal/workload"
+)
+
+// tinyConfig keeps the determinism comparison fast enough to run under
+// -race on a single core while still exercising multi-item sweeps.
+func tinyConfig() Config {
+	return Config{
+		Cycles:     30_000,
+		Warmup:     10_000,
+		Iterations: 300,
+		StressIter: 250,
+		Benchmarks: []string{"swim", "gcc"},
+	}
+}
+
+func resetAllCaches() {
+	ResetMemo()
+	workload.ResetProgramCache()
+	pdn.ResetKernelCache()
+	core.ResetEnvelopeCache()
+}
+
+// TestParallelOutputIdentical is the correctness contract of the sweep
+// engine: rendered experiment output must be byte-identical regardless of
+// the worker count. It covers representatives of every sweep shape —
+// a benchmark×parameter grid (table2), a delay-major grid (fig14), a
+// mechanism-major grid (stressmark-actuation) and plain list sweeps
+// (ablation-window, asymmetric).
+func TestParallelOutputIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism comparison is slow")
+	}
+	ids := []string{"table2", "fig14", "stressmark-actuation", "ablation-window", "asymmetric"}
+	reg := Registry()
+
+	render := func(parallel int) []byte {
+		resetAllCaches()
+		cfg := tinyConfig()
+		cfg.Parallel = parallel
+		var buf bytes.Buffer
+		for _, id := range ids {
+			if err := reg[id](cfg, &buf); err != nil {
+				t.Fatalf("parallel=%d %s: %v", parallel, id, err)
+			}
+		}
+		return buf.Bytes()
+	}
+
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		line := 1
+		for i := 0; i < len(serial) && i < len(parallel); i++ {
+			if serial[i] != parallel[i] {
+				t.Fatalf("output diverges at byte %d (line %d): serial %q vs parallel %q",
+					i, line, excerpt(serial, i), excerpt(parallel, i))
+			}
+			if serial[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("output lengths differ: serial %d bytes, parallel %d bytes", len(serial), len(parallel))
+	}
+}
+
+func excerpt(b []byte, at int) string {
+	lo, hi := at-30, at+30
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return string(b[lo:hi])
+}

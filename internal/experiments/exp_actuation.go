@@ -6,7 +6,6 @@ import (
 
 	"didt/internal/actuator"
 	"didt/internal/cpu"
-	"didt/internal/isa"
 	"didt/internal/report"
 	"didt/internal/stats"
 )
@@ -34,37 +33,68 @@ func actuationStudy(cfg Config) (*ActuationStudy, error) {
 	cfg = cfg.withDefaults()
 	return memoized("actuation", cfg, func() (*ActuationStudy, error) {
 		benches := cfg.challenging()
+		mechs := actuator.Granularities()
+		const delays = 6
+
 		type base struct{ cycles, energy float64 }
-		bases := map[string]base{}
-		progs := map[string]isa.Program{}
-		for _, name := range benches {
+		bases, err := sweep(cfg, benches, func(name string) (base, error) {
 			prog, err := cfg.benchProgram(name)
 			if err != nil {
-				return nil, err
+				return base{}, err
 			}
-			progs[name] = prog
 			res, err := cfg.uncontrolledFull(prog, 2)
 			if err != nil {
-				return nil, err
+				return base{}, err
 			}
-			bases[name] = base{float64(res.Cycles), res.Energy}
+			return base{float64(res.Cycles), res.Energy}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+
+		// The full (mechanism, delay, benchmark) grid, flattened
+		// mechanism-major so per-point aggregation reads results in the
+		// serial loop's exact order.
+		type outcome struct {
+			perfPct, energyPct float64
+			emergencies        uint64
+			stable             bool
+		}
+		nb := len(benches)
+		runs, err := sweep(cfg, seq(len(mechs)*delays*nb), func(j int) (outcome, error) {
+			m, d, i := j/(delays*nb), (j/nb)%delays, j%nb
+			prog, err := cfg.benchProgram(benches[i])
+			if err != nil {
+				return outcome{}, err
+			}
+			res, err := cfg.controlled(prog, 2, mechs[m], d, 0)
+			if err != nil {
+				return outcome{}, err
+			}
+			b := bases[i]
+			return outcome{
+				perfPct:     100 * (float64(res.Cycles)/b.cycles - 1),
+				energyPct:   100 * (res.Energy/b.energy - 1),
+				emergencies: res.Emergencies,
+				stable:      res.Thresholds.Stable,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
 		st := &ActuationStudy{}
-		for _, mech := range actuator.Granularities() {
-			for d := 0; d <= 5; d++ {
+		for m, mech := range mechs {
+			for d := 0; d < delays; d++ {
 				var perf, energy []float64
 				var emerg uint64
 				stable := true
-				for _, name := range benches {
-					res, err := cfg.controlled(progs[name], 2, mech, d, 0)
-					if err != nil {
-						return nil, err
-					}
-					b := bases[name]
-					perf = append(perf, 100*(float64(res.Cycles)/b.cycles-1))
-					energy = append(energy, 100*(res.Energy/b.energy-1))
-					emerg += res.Emergencies
-					stable = stable && res.Thresholds.Stable
+				for i := 0; i < nb; i++ {
+					o := runs[m*delays*nb+d*nb+i]
+					perf = append(perf, o.perfPct)
+					energy = append(energy, o.energyPct)
+					emerg += o.emergencies
+					stable = stable && o.stable
 				}
 				st.Points = append(st.Points, ActuationPoint{
 					Mechanism:       mech.Name,
@@ -165,24 +195,27 @@ func stressmarkActuation(cfg Config) (*StressmarkActuationStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := &StressmarkActuationStudy{}
-		for _, mech := range actuator.Granularities() {
-			for d := 0; d <= 5; d++ {
-				res, err := cfg.controlled(prog, 2, mech, d, 0)
-				if err != nil {
-					return nil, err
-				}
-				st.Points = append(st.Points, StressActuationPoint{
-					Mechanism:   mech.Name,
-					Delay:       d,
-					PerfLossPct: 100 * (float64(res.Cycles)/float64(baseRes.Cycles) - 1),
-					EnergyPct:   100 * (res.Energy/baseRes.Energy - 1),
-					Emergencies: res.Emergencies,
-					Stable:      res.Thresholds.Stable,
-				})
+		mechs := actuator.Granularities()
+		const delays = 6
+		points, err := sweep(cfg, seq(len(mechs)*delays), func(j int) (StressActuationPoint, error) {
+			m, d := j/delays, j%delays
+			res, err := cfg.controlled(prog, 2, mechs[m], d, 0)
+			if err != nil {
+				return StressActuationPoint{}, err
 			}
+			return StressActuationPoint{
+				Mechanism:   mechs[m].Name,
+				Delay:       d,
+				PerfLossPct: 100 * (float64(res.Cycles)/float64(baseRes.Cycles) - 1),
+				EnergyPct:   100 * (res.Energy/baseRes.Energy - 1),
+				Emergencies: res.Emergencies,
+				Stable:      res.Thresholds.Stable,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		return st, nil
+		return &StressmarkActuationStudy{Points: points}, nil
 	})
 }
 

@@ -116,34 +116,54 @@ type Table2Result struct {
 	Stressmark Table2Row
 }
 
-// Table2 sweeps every benchmark across 100-400% of target impedance.
+// Table2 sweeps every benchmark across 100-400% of target impedance. The
+// (workload, impedance) grid is embarrassingly parallel — every point is
+// an independent closed-loop run — so it fans out on the sweep engine.
 func Table2(cfg Config) (*Table2Result, error) {
 	cfg = cfg.withDefaults()
 	return memoized("table2", cfg, func() (*Table2Result, error) {
 		r := &Table2Result{Pcts: []int{100, 200, 300, 400}}
-		for _, name := range cfg.benchmarks() {
-			prog, err := cfg.benchProgram(name)
-			if err != nil {
-				return nil, err
-			}
-			row := Table2Row{Name: name, Freq: map[int]float64{}}
+		type job struct {
+			bench string // "" = stressmark
+			pct   int
+		}
+		var jobs []job
+		names := cfg.benchmarks()
+		for _, name := range names {
 			for _, pct := range r.Pcts {
-				res, err := run(prog, cfg.baseOptions(float64(pct)/100))
-				if err != nil {
-					return nil, err
+				jobs = append(jobs, job{bench: name, pct: pct})
+			}
+		}
+		for _, pct := range r.Pcts {
+			jobs = append(jobs, job{pct: pct})
+		}
+		freqs, err := sweep(cfg, jobs, func(j job) (float64, error) {
+			prog := cfg.stressProgram()
+			if j.bench != "" {
+				var err error
+				if prog, err = cfg.benchProgram(j.bench); err != nil {
+					return 0, err
 				}
-				row.Freq[pct] = res.EmergencyFreq
+			}
+			res, err := run(prog, cfg.baseOptions(float64(j.pct)/100))
+			if err != nil {
+				return 0, err
+			}
+			return res.EmergencyFreq, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, name := range names {
+			row := Table2Row{Name: name, Freq: map[int]float64{}}
+			for k, pct := range r.Pcts {
+				row.Freq[pct] = freqs[i*len(r.Pcts)+k]
 			}
 			r.Rows = append(r.Rows, row)
 		}
 		r.Stressmark = Table2Row{Name: "stressmark", Freq: map[int]float64{}}
-		sp := cfg.stressProgram()
-		for _, pct := range r.Pcts {
-			res, err := run(sp, cfg.baseOptions(float64(pct)/100))
-			if err != nil {
-				return nil, err
-			}
-			r.Stressmark.Freq[pct] = res.EmergencyFreq
+		for k, pct := range r.Pcts {
+			r.Stressmark.Freq[pct] = freqs[len(names)*len(r.Pcts)+k]
 		}
 		return r, nil
 	})
@@ -242,16 +262,21 @@ type Fig10Result struct {
 	Stressmark Fig10Row
 }
 
-// Fig10 measures voltage distributions for every benchmark at 100%.
+// Fig10 measures voltage distributions for every benchmark at 100%, one
+// independent run per workload, fanned out on the sweep engine.
 func Fig10(cfg Config) (*Fig10Result, error) {
 	cfg = cfg.withDefaults()
 	return memoized("fig10", cfg, func() (*Fig10Result, error) {
-		r := &Fig10Result{}
-		measure := func(name string, progErr error, prog func() (*core.Result, error)) (Fig10Row, error) {
-			if progErr != nil {
-				return Fig10Row{}, progErr
+		names := append(append([]string{}, cfg.benchmarks()...), "stressmark")
+		rows, err := sweep(cfg, names, func(name string) (Fig10Row, error) {
+			prog := cfg.stressProgram()
+			if name != "stressmark" {
+				var err error
+				if prog, err = cfg.benchProgram(name); err != nil {
+					return Fig10Row{}, err
+				}
 			}
-			res, err := prog()
+			res, err := run(prog, cfg.baseOptions(1))
 			if err != nil {
 				return Fig10Row{}, err
 			}
@@ -260,25 +285,14 @@ func Fig10(cfg Config) (*Fig10Result, error) {
 				MinV: res.MinV, MaxV: res.MaxV,
 				Spread: res.Hist.Spread(),
 			}, nil
-		}
-		for _, name := range cfg.benchmarks() {
-			prog, err := cfg.benchProgram(name)
-			row, err2 := measure(name, err, func() (*core.Result, error) {
-				return run(prog, cfg.baseOptions(1))
-			})
-			if err2 != nil {
-				return nil, err2
-			}
-			r.Rows = append(r.Rows, row)
-		}
-		row, err := measure("stressmark", nil, func() (*core.Result, error) {
-			return run(cfg.stressProgram(), cfg.baseOptions(1))
 		})
 		if err != nil {
 			return nil, err
 		}
-		r.Stressmark = row
-		return r, nil
+		return &Fig10Result{
+			Rows:       rows[:len(rows)-1],
+			Stressmark: rows[len(rows)-1],
+		}, nil
 	})
 }
 

@@ -117,54 +117,79 @@ func sensorDelayStudy(cfg Config) (*SensorDelayStudy, error) {
 	cfg = cfg.withDefaults()
 	return memoized("sensor-delay", cfg, func() (*SensorDelayStudy, error) {
 		benches := cfg.challenging()
-		type base struct{ cycles, energy float64 }
-		bases := map[string]base{}
-		progs := map[string]isa.Program{}
-		for _, name := range benches {
-			prog, err := cfg.benchProgram(name)
-			if err != nil {
-				return nil, err
+		// Workload index len(benches) is the stressmark throughout.
+		workloads := len(benches) + 1
+		program := func(i int) (isa.Program, error) {
+			if i == len(benches) {
+				return cfg.stressProgram(), nil
 			}
-			progs[name] = prog
+			return cfg.benchProgram(benches[i])
+		}
+
+		type base struct{ cycles, energy float64 }
+		bases, err := sweep(cfg, seq(workloads), func(i int) (base, error) {
+			prog, err := program(i)
+			if err != nil {
+				return base{}, err
+			}
 			res, err := cfg.uncontrolledFull(prog, 2)
 			if err != nil {
-				return nil, err
+				return base{}, err
 			}
-			bases[name] = base{float64(res.Cycles), res.Energy}
-		}
-		sprog := cfg.stressProgram()
-		sres, err := cfg.uncontrolledFull(sprog, 2)
+			return base{float64(res.Cycles), res.Energy}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		sbase := base{float64(sres.Cycles), sres.Energy}
+
+		// One controlled run per (delay, workload); the flattened grid
+		// keeps results in (delay-major, bench-order) submission order so
+		// the per-delay means sum in exactly the serial order.
+		const delays = 7
+		type outcome struct {
+			perfPct, energyPct float64
+			emergencies        uint64
+		}
+		runs, err := sweep(cfg, seq(delays*workloads), func(j int) (outcome, error) {
+			d, i := j/workloads, j%workloads
+			prog, err := program(i)
+			if err != nil {
+				return outcome{}, err
+			}
+			res, err := cfg.controlled(prog, 2, actuator.Ideal, d, 0)
+			if err != nil {
+				return outcome{}, err
+			}
+			b := bases[i]
+			return outcome{
+				perfPct:     100 * (float64(res.Cycles)/b.cycles - 1),
+				energyPct:   100 * (res.Energy/b.energy - 1),
+				emergencies: res.Emergencies,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 
 		st := &SensorDelayStudy{}
-		for d := 0; d <= 6; d++ {
+		for d := 0; d < delays; d++ {
 			var perf, energy []float64
 			var emerg uint64
-			for _, name := range benches {
-				res, err := cfg.controlled(progs[name], 2, actuator.Ideal, d, 0)
-				if err != nil {
-					return nil, err
-				}
-				b := bases[name]
-				perf = append(perf, 100*(float64(res.Cycles)/b.cycles-1))
-				energy = append(energy, 100*(res.Energy/b.energy-1))
-				emerg += res.Emergencies
+			for i := 0; i < len(benches); i++ {
+				o := runs[d*workloads+i]
+				perf = append(perf, o.perfPct)
+				energy = append(energy, o.energyPct)
+				emerg += o.emergencies
 			}
-			resS, err := cfg.controlled(sprog, 2, actuator.Ideal, d, 0)
-			if err != nil {
-				return nil, err
-			}
+			stress := runs[d*workloads+len(benches)]
 			st.Points = append(st.Points, DelayPoint{
 				Delay:           d,
 				SpecPerfLossPct: stats.Mean(perf),
 				SpecEnergyPct:   stats.Mean(energy),
-				StressPerfPct:   100 * (float64(resS.Cycles)/sbase.cycles - 1),
-				StressEnergyPct: 100 * (resS.Energy/sbase.energy - 1),
+				StressPerfPct:   stress.perfPct,
+				StressEnergyPct: stress.energyPct,
 				SpecEmergencies: emerg,
-				StressEmerg:     resS.Emergencies,
+				StressEmerg:     stress.emergencies,
 			})
 		}
 		return st, nil
@@ -242,31 +267,52 @@ func sensorErrorStudy(cfg Config) (*SensorErrorStudy, error) {
 	return memoized("sensor-error", cfg, func() (*SensorErrorStudy, error) {
 		const delay = 2
 		benches := cfg.challenging()
-		st := &SensorErrorStudy{Delay: delay}
+		noises := []float64{0, 10, 15, 20, 25}
+
 		type base struct{ cycles, energy float64 }
-		bases := map[string]base{}
-		for _, name := range benches {
+		bases, err := sweep(cfg, benches, func(name string) (base, error) {
 			prog, err := cfg.benchProgram(name)
 			if err != nil {
-				return nil, err
+				return base{}, err
 			}
 			res, err := cfg.uncontrolledFull(prog, 2)
 			if err != nil {
-				return nil, err
+				return base{}, err
 			}
-			bases[name] = base{float64(res.Cycles), res.Energy}
+			return base{float64(res.Cycles), res.Energy}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		for _, noise := range []float64{0, 10, 15, 20, 25} {
+
+		type outcome struct{ perfPct, energyPct float64 }
+		runs, err := sweep(cfg, seq(len(noises)*len(benches)), func(j int) (outcome, error) {
+			n, i := j/len(benches), j%len(benches)
+			prog, err := cfg.benchProgram(benches[i])
+			if err != nil {
+				return outcome{}, err
+			}
+			res, err := cfg.controlled(prog, 2, actuator.Ideal, delay, noises[n])
+			if err != nil {
+				return outcome{}, err
+			}
+			b := bases[i]
+			return outcome{
+				perfPct:   100 * (float64(res.Cycles)/b.cycles - 1),
+				energyPct: 100 * (res.Energy/b.energy - 1),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		st := &SensorErrorStudy{Delay: delay}
+		for n, noise := range noises {
 			var perf, energy []float64
-			for _, name := range benches {
-				prog, _ := cfg.benchProgram(name)
-				res, err := cfg.controlled(prog, 2, actuator.Ideal, delay, noise)
-				if err != nil {
-					return nil, err
-				}
-				b := bases[name]
-				perf = append(perf, 100*(float64(res.Cycles)/b.cycles-1))
-				energy = append(energy, 100*(res.Energy/b.energy-1))
+			for i := range benches {
+				o := runs[n*len(benches)+i]
+				perf = append(perf, o.perfPct)
+				energy = append(energy, o.energyPct)
 			}
 			st.Points = append(st.Points, NoisePoint{
 				NoiseMV:         noise,

@@ -52,13 +52,12 @@ func asymmetricStudy(cfg Config) (*AsymmetricStudy, error) {
 		if err != nil {
 			return nil, err
 		}
-		st := &AsymmetricStudy{Delay: delay}
 		responders := []actuator.Responder{
 			actuator.FUDL1IL1,
 			actuator.GateWideFireNarrow,
 			actuator.Asymmetric{Name: "gate FU/DL1, fire FU/DL1/IL1", Low: actuator.FUDL1, High: actuator.FUDL1IL1},
 		}
-		for _, r := range responders {
+		points, err := sweep(cfg, responders, func(r actuator.Responder) (AsymmetricPoint, error) {
 			opts := cfg.baseOptions(2)
 			opts.Control = true
 			opts.Responder = r
@@ -66,17 +65,20 @@ func asymmetricStudy(cfg Config) (*AsymmetricStudy, error) {
 			opts.MaxCycles = cfg.Cycles * 4
 			res, err := run(prog, opts)
 			if err != nil {
-				return nil, err
+				return AsymmetricPoint{}, err
 			}
-			st.Points = append(st.Points, AsymmetricPoint{
+			return AsymmetricPoint{
 				Label:       r.Label(),
 				PerfLossPct: 100 * (float64(res.Cycles)/float64(base.Cycles) - 1),
 				EnergyPct:   100 * (res.Energy/base.Energy - 1),
 				Emergencies: res.Emergencies,
 				HighEvents:  res.HighEvents,
-			})
+			}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		return st, nil
+		return &AsymmetricStudy{Delay: delay, Points: points}, nil
 	})
 }
 
@@ -235,27 +237,25 @@ func gatingAblation(cfg Config) ([]GatingAblationPoint, error) {
 	cfg = cfg.withDefaults()
 	return memoized("ablation-gating", cfg, func() ([]GatingAblationPoint, error) {
 		prog := cfg.stressProgram()
-		var out []GatingAblationPoint
-		for _, idle := range []float64{0.05, 0.10, 0.25, 0.50} {
+		return sweep(cfg, []float64{0.05, 0.10, 0.25, 0.50}, func(idle float64) (GatingAblationPoint, error) {
 			opts := cfg.baseOptions(2)
 			opts.Power = power.Params{IdleFraction: idle}
 			res, err := run(prog, opts)
 			if err != nil {
-				return nil, err
+				return GatingAblationPoint{}, err
 			}
 			dev := res.VNominal - res.MinV
 			if up := res.MaxV - res.VNominal; up > dev {
 				dev = up
 			}
-			out = append(out, GatingAblationPoint{
+			return GatingAblationPoint{
 				IdleFraction: idle,
 				IMin:         res.IMin,
 				IMax:         res.IMax,
 				StressDevMV:  dev * 1e3,
 				Emergencies:  res.Emergencies,
-			})
-		}
-		return out, nil
+			}, nil
+		})
 	})
 }
 

@@ -25,26 +25,24 @@ func windowAblation(cfg Config) ([]WindowPoint, error) {
 	cfg = cfg.withDefaults()
 	return memoized("ablation-window", cfg, func() ([]WindowPoint, error) {
 		prog := cfg.stressProgram()
-		var out []WindowPoint
-		for _, ruu := range []int{32, 64, 128, 256} {
+		return sweep(cfg, []int{32, 64, 128, 256}, func(ruu int) (WindowPoint, error) {
 			opts := cfg.baseOptions(2)
 			opts.CPU = cpu.Config{RUUSize: ruu, LSQSize: ruu / 2}
 			res, err := run(prog, opts)
 			if err != nil {
-				return nil, err
+				return WindowPoint{}, err
 			}
 			dev := res.VNominal - res.MinV
 			if up := res.MaxV - res.VNominal; up > dev {
 				dev = up
 			}
-			out = append(out, WindowPoint{
+			return WindowPoint{
 				RUUSize:     ruu,
 				IPC:         res.IPC(),
 				MaxDevMV:    dev * 1e3,
 				Emergencies: res.Emergencies,
-			})
-		}
-		return out, nil
+			}, nil
+		})
 	})
 }
 

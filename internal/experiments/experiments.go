@@ -12,14 +12,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
-	"sync"
 
 	"didt/internal/actuator"
 	"didt/internal/core"
 	"didt/internal/isa"
+	"didt/internal/sim"
 	"didt/internal/workload"
 )
 
@@ -32,6 +33,12 @@ type Config struct {
 	StressIter int    // stressmark loop iterations
 	Benchmarks []string
 	Seed       int64
+
+	// Parallel bounds the worker count for the sweep-heavy experiments;
+	// 0 takes the process default (GOMAXPROCS, or sim.SetDefaultWorkers).
+	// Every simulation takes explicit seeds, so the worker count never
+	// changes results — parallel output is byte-identical to serial.
+	Parallel int
 }
 
 // Default is the full-size configuration.
@@ -109,11 +116,37 @@ func (c Config) benchProgram(name string) (isa.Program, error) {
 		return nil, err
 	}
 	p.Iterations = c.Iterations
-	return workload.Generate(p), nil
+	return workload.GenerateCached(p), nil
 }
 
 func (c Config) stressProgram() isa.Program {
-	return workload.Stressmark(workload.StressmarkParams{Iterations: c.StressIter})
+	return workload.StressmarkCached(workload.StressmarkParams{Iterations: c.StressIter})
+}
+
+// workers resolves the sweep worker count for this configuration.
+func (c Config) workers() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return sim.DefaultWorkers()
+}
+
+// sweep fans fn out over items on the configured worker pool, returning
+// results in item order (the determinism contract: identical output at any
+// worker count).
+func sweep[In, Out any](cfg Config, items []In, fn func(In) (Out, error)) ([]Out, error) {
+	return sim.Sweep(context.Background(), cfg.workers(), items, func(_ context.Context, item In) (Out, error) {
+		return fn(item)
+	})
+}
+
+// seq returns [0, 1, ..., n-1], the index list for grid sweeps.
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }
 
 // baseOptions assembles core options for an uncontrolled run.
@@ -126,12 +159,13 @@ func (c Config) baseOptions(pct float64) core.Options {
 	}
 }
 
-// run executes one system.
+// run executes one system, recycling pooled buffers afterwards.
 func run(prog isa.Program, opts core.Options) (*core.Result, error) {
 	sys, err := core.NewSystem(prog, opts)
 	if err != nil {
 		return nil, err
 	}
+	defer sys.Close()
 	return sys.Run()
 }
 
@@ -157,32 +191,33 @@ func (c Config) uncontrolledFull(prog isa.Program, pct float64) (*core.Result, e
 }
 
 // memo caches expensive shared studies within a process (fig14 and fig15
-// render the same sweep, as do fig17 and fig18).
-var (
-	memoMu sync.Mutex
-	memo   = map[string]interface{}{}
-)
+// render the same sweep, as do fig17 and fig18) with singleflight
+// semantics: concurrent experiments never compute the same study twice.
+// The capacity bound keeps long-lived processes (benchmark harnesses,
+// future servers) from growing it without limit.
+var memo = sim.NewCache[string, interface{}](64)
 
+// ResetMemo drops every cached study. Benchmarks and determinism tests use
+// it to force recomputation.
+func ResetMemo() { memo.Reset() }
+
+// memoKey folds in every Config field that affects results: Cycles,
+// Warmup, Iterations, StressIter, Benchmarks, and Seed. Parallel is
+// deliberately excluded — the worker count must never change results, and
+// keying on it would defeat the fig14/fig15 (and fig17/fig18) sharing.
 func memoKey(name string, cfg Config) string {
-	return fmt.Sprintf("%s|%d|%d|%d|%d|%v|%d", name, cfg.Cycles, cfg.Warmup, cfg.Iterations, cfg.StressIter, cfg.Benchmarks, cfg.Seed)
+	return fmt.Sprintf("%s|%d|%d|%d|%d|%q|%d", name, cfg.Cycles, cfg.Warmup, cfg.Iterations, cfg.StressIter, cfg.Benchmarks, cfg.Seed)
 }
 
 func memoized[T any](name string, cfg Config, compute func() (T, error)) (T, error) {
-	memoMu.Lock()
-	if v, ok := memo[memoKey(name, cfg)]; ok {
-		memoMu.Unlock()
-		return v.(T), nil
-	}
-	memoMu.Unlock()
-	v, err := compute()
+	v, err := memo.Get(memoKey(name, cfg), func() (interface{}, error) {
+		return compute()
+	})
 	if err != nil {
 		var zero T
 		return zero, err
 	}
-	memoMu.Lock()
-	memo[memoKey(name, cfg)] = v
-	memoMu.Unlock()
-	return v, nil
+	return v.(T), nil
 }
 
 // Runner executes one experiment and renders it.

@@ -19,8 +19,10 @@ package pdn
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"didt/internal/linsys"
+	"didt/internal/sim"
 )
 
 // Paper-reference constants (Section 2.2 and Table 1).
@@ -82,7 +84,29 @@ type Network struct {
 	params Params
 	sys    *linsys.SecondOrder
 	kernel []float64 // impulse response sampled at the CPU clock, scaled by dt
+
+	simPool sync.Pool // recycled Simulator history buffers ([]float64)
 }
+
+// sampled pairs the derived artifacts a Network shares with every other
+// Network built from the same parameters: the analytic system and the
+// sampled impulse-response kernel. Both are immutable after construction.
+type sampled struct {
+	sys    *linsys.SecondOrder
+	kernel []float64
+}
+
+// kernelCache memoizes kernel sampling across Networks. A sweep
+// recalibrates the same handful of (envelope, impedance) points hundreds
+// of times, and re-deriving and re-sampling the 4096-tap kernel each run
+// dominated Network construction. Params is a comparable value type, and
+// sampling is a pure function of it, so cached and fresh kernels are
+// bit-identical.
+var kernelCache = sim.NewCache[Params, sampled](256)
+
+// ResetKernelCache empties the shared impulse-response cache (benchmarks
+// use it to measure cold-start cost).
+func ResetKernelCache() { kernelCache.Reset() }
 
 // New constructs a Network. Zero-valued Params fields take the paper's
 // defaults; PeakZ must be positive (use Calibrate to derive it from a
@@ -92,16 +116,21 @@ func New(p Params) (*Network, error) {
 	if p.PeakZ <= 0 {
 		return nil, fmt.Errorf("pdn: PeakZ must be positive (got %g); use Calibrate", p.PeakZ)
 	}
-	sys, err := linsys.FromPeak(p.DCResistance, p.ResonantHz, p.PeakZ)
+	sk, err := kernelCache.Get(p, func() (sampled, error) {
+		sys, err := linsys.FromPeak(p.DCResistance, p.ResonantHz, p.PeakZ)
+		if err != nil {
+			return sampled{}, fmt.Errorf("pdn: %w", err)
+		}
+		kernel := sys.SampleImpulse(1/p.ClockHz, p.TruncRelTol, p.MaxKernelLen)
+		if len(kernel) == 0 {
+			return sampled{}, fmt.Errorf("pdn: empty impulse-response kernel")
+		}
+		return sampled{sys: sys, kernel: kernel}, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("pdn: %w", err)
+		return nil, err
 	}
-	dt := 1 / p.ClockHz
-	kernel := sys.SampleImpulse(dt, p.TruncRelTol, p.MaxKernelLen)
-	if len(kernel) == 0 {
-		return nil, fmt.Errorf("pdn: empty impulse-response kernel")
-	}
-	return &Network{params: p, sys: sys, kernel: kernel}, nil
+	return &Network{params: p, sys: sk.sys, kernel: sk.kernel}, nil
 }
 
 // Calibrate sets the network's peak impedance from the de facto target-
@@ -200,28 +229,55 @@ type Simulator struct {
 }
 
 // NewSimulator creates a fresh streaming voltage simulator whose history is
-// all at IFloor (quiescent, V = VNominal).
+// all at IFloor (quiescent, V = VNominal). History buffers are recycled
+// across runs via the network's pool; call Release when done with a
+// simulator to return its buffer.
 func (n *Network) NewSimulator() *Simulator {
+	if h, ok := n.simPool.Get().([]float64); ok && len(h) == len(n.kernel) {
+		for i := range h {
+			h[i] = 0
+		}
+		return &Simulator{net: n, hist: h}
+	}
 	return &Simulator{net: n, hist: make([]float64, len(n.kernel))}
+}
+
+// Release returns the simulator's history buffer to the network's pool.
+// The simulator must not be used afterwards.
+func (s *Simulator) Release() {
+	if s.hist == nil {
+		return
+	}
+	s.net.simPool.Put(s.hist)
+	s.hist = nil
 }
 
 // Step advances one CPU cycle with the given load current (amperes) and
 // returns the supply voltage at this cycle.
+//
+// This is the hottest loop in the repository (kernel-length multiply-adds
+// per simulated cycle), so the ring-buffer walk is split into its two
+// contiguous halves instead of testing for wrap every tap. The summation
+// order is unchanged — newest sample first — so results stay bit-identical
+// to the naive loop.
 func (s *Simulator) Step(current float64) float64 {
 	k := s.net.kernel
-	s.hist[s.pos] = current - s.net.params.IFloor
-	// kernel index 0 multiplies the newest sample.
+	h := s.hist
+	h[s.pos] = current - s.net.params.IFloor
 	drop := 0.0
-	idx := s.pos
-	for i := 0; i < len(k); i++ {
-		drop += k[i] * s.hist[idx]
-		idx--
-		if idx < 0 {
-			idx = len(s.hist) - 1
-		}
+	// kernel index 0 multiplies the newest sample: h[pos], h[pos-1], ...,
+	// h[0], then h[len-1] down to h[pos+1].
+	i := 0
+	for idx := s.pos; idx >= 0 && i < len(k); idx-- {
+		drop += k[i] * h[idx]
+		i++
+	}
+	for idx := len(h) - 1; i < len(k); idx-- {
+		drop += k[i] * h[idx]
+		i++
 	}
 	s.pos++
-	if s.pos == len(s.hist) {
+	if s.pos == len(h) {
 		s.pos = 0
 	}
 	s.n++
@@ -233,17 +289,16 @@ func (s *Simulator) Step(current float64) float64 {
 // lookahead analysis in tests; the closed loop itself never peeks.
 func (s *Simulator) Peek(current float64) float64 {
 	k := s.net.kernel
+	h := s.hist
 	drop := k[0] * (current - s.net.params.IFloor)
-	idx := s.pos - 1
-	if idx < 0 {
-		idx = len(s.hist) - 1
+	i := 1
+	for idx := s.pos - 1; idx >= 0 && i < len(k); idx-- {
+		drop += k[i] * h[idx]
+		i++
 	}
-	for i := 1; i < len(k); i++ {
-		drop += k[i] * s.hist[idx]
-		idx--
-		if idx < 0 {
-			idx = len(s.hist) - 1
-		}
+	for idx := len(h) - 1; i < len(k); idx-- {
+		drop += k[i] * h[idx]
+		i++
 	}
 	return s.net.params.VNominal - drop
 }

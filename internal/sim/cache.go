@@ -1,0 +1,75 @@
+package sim
+
+import "sync"
+
+// Cache memoizes a deterministic computation keyed by K with singleflight
+// semantics: when several goroutines ask for the same key at once, exactly
+// one runs the computation and the rest wait for its result. Values must
+// be deterministic functions of their key (every cached artifact in this
+// repository is — sampled PDN kernels, generated programs, measured
+// envelopes), so it never matters which goroutine populated an entry.
+//
+// Capacity bounds the map for long-lived processes: inserting beyond it
+// evicts every completed entry (a full flush — cheap, and correct for
+// caches of recomputable values). Errors are not cached; a failed key is
+// recomputed on the next Get.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*cacheEntry[V]
+	cap     int
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// NewCache creates a cache holding at most capacity entries; capacity <= 0
+// means unbounded.
+func NewCache[K comparable, V any](capacity int) *Cache[K, V] {
+	return &Cache[K, V]{entries: map[K]*cacheEntry[V]{}, cap: capacity}
+}
+
+// Get returns the cached value for k, computing it via compute on first
+// use. Concurrent Gets of the same key share one computation.
+func (c *Cache[K, V]) Get(k K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		if c.cap > 0 && len(c.entries) >= c.cap {
+			c.entries = map[K]*cacheEntry[V]{}
+		}
+		e = &cacheEntry[V]{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.val, e.err = compute()
+		if e.err != nil {
+			c.mu.Lock()
+			// Drop the failed entry so a later Get retries, unless an
+			// eviction already replaced it.
+			if cur, ok := c.entries[k]; ok && cur == e {
+				delete(c.entries, k)
+			}
+			c.mu.Unlock()
+		}
+	})
+	return e.val, e.err
+}
+
+// Len reports the number of resident entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset empties the cache.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[K]*cacheEntry[V]{}
+}

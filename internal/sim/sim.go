@@ -1,0 +1,182 @@
+// Package sim is the parallel sweep engine: every experiment in the suite
+// is a sweep of independent closed-loop simulations (table2 alone is 26
+// benchmarks x 4 impedance points), and this package fans those jobs out
+// across a bounded worker pool while preserving the determinism contract —
+// results come back in submission order, so parallel output is
+// byte-identical to serial output.
+//
+// Three pieces:
+//
+//   - Map / Sweep: run n independent jobs with bounded parallelism and
+//     return their results in submission order regardless of completion
+//     order. Workers <= 0 selects the process-wide default (GOMAXPROCS
+//     unless overridden by SetDefaultWorkers, e.g. from a -parallel flag).
+//   - Pool: the same engine with a fixed worker count, for callers that
+//     want to share one configuration across many sweeps.
+//   - Cache: a singleflight memoization cache for the deterministic
+//     derived artifacts the sweeps share (sampled PDN kernels, generated
+//     workload programs, measured current envelopes); concurrent callers
+//     of the same key compute it exactly once.
+package sim
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the process-wide worker default; <= 0 means
+// GOMAXPROCS at sweep time.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker count used when a
+// sweep is invoked with workers <= 0. n <= 0 restores GOMAXPROCS.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers reports the effective default worker count.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// resolveWorkers clamps a requested worker count to [1, n].
+func resolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// jobError carries the submission index so error propagation is
+// deterministic: whichever goroutine fails, Map reports the error of the
+// lowest-indexed failing job.
+type jobError struct {
+	index int
+	err   error
+}
+
+// Map runs fn(ctx, i) for i in [0, n) with at most `workers` goroutines
+// and returns the results in index order. On error it cancels the
+// remaining jobs and returns the error of the lowest-indexed failing job;
+// if ctx is cancelled first, ctx's error is returned. workers <= 0 selects
+// DefaultWorkers; workers == 1 runs inline with no goroutines at all.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers = resolveWorkers(workers, n)
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	errc := make(chan jobError, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				v, err := fn(ctx, i)
+				if err != nil {
+					errc <- jobError{i, err}
+					cancel()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errc)
+
+	first := jobError{index: n}
+	for je := range errc {
+		if je.index < first.index {
+			first = je
+		}
+	}
+	if first.err != nil {
+		return nil, first.err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sweep maps fn over items with bounded parallelism, preserving order.
+func Sweep[In, Out any](ctx context.Context, workers int, items []In, fn func(ctx context.Context, item In) (Out, error)) ([]Out, error) {
+	return Map(ctx, workers, len(items), func(ctx context.Context, i int) (Out, error) {
+		return fn(ctx, items[i])
+	})
+}
+
+// Pool is a fixed-width sweep configuration shared across many sweeps.
+// The zero value uses the process default.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool running at most `workers` jobs concurrently;
+// workers <= 0 selects DefaultWorkers at each sweep.
+func NewPool(workers int) *Pool {
+	if workers < 0 {
+		workers = 0
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's effective worker count.
+func (p *Pool) Workers() int {
+	if p == nil || p.workers <= 0 {
+		return DefaultWorkers()
+	}
+	return p.workers
+}
+
+// Run executes fn(ctx, i) for i in [0, n) on the pool (no results).
+func (p *Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, p.Workers(), n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapPreservesSubmissionOrder(t *testing.T) {
+	// Later jobs finish first; results must still come back by index.
+	const n = 64
+	for _, workers := range []int{1, 2, 8, n} {
+		out, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
+			time.Sleep(time.Duration(n-i) * 10 * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != n {
+			t.Fatalf("workers=%d: %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), workers, 40, func(_ context.Context, i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent jobs, cap %d", p, workers)
+	}
+}
+
+func TestMapErrorPropagation(t *testing.T) {
+	wantErr := errors.New("job 5 exploded")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 32, func(_ context.Context, i int) (int, error) {
+			if i == 5 {
+				return 0, wantErr
+			}
+			if i == 20 {
+				return 0, errors.New("job 20 exploded")
+			}
+			return i, nil
+		})
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("workers=%d: got %v, want lowest-index error %v", workers, err, wantErr)
+		}
+	}
+}
+
+func TestMapErrorStopsDispatch(t *testing.T) {
+	// After a failure, undispatched jobs must not run.
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 2, 1000, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	if n := ran.Load(); n > 100 {
+		t.Fatalf("%d jobs ran after early failure", n)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		out, err = Map(ctx, 2, 1000, func(ctx context.Context, i int) (int, error) {
+			if started.Add(1) == 3 {
+				cancel()
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(50 * time.Millisecond):
+			}
+			return i, nil
+		})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("cancelled Map returned results")
+	}
+	// Serial path honors pre-cancelled contexts too.
+	pre, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := Map(pre, 1, 4, func(context.Context, int) (int, error) { return 0, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial path ignored cancelled context: %v", err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	items := []string{"a", "bb", "ccc"}
+	out, err := Sweep(context.Background(), 2, items, func(_ context.Context, s string) (int, error) {
+		return len(s), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(out) != "[1 2 3]" {
+		t.Fatalf("got %v", out)
+	}
+	if out, err := Sweep(context.Background(), 4, []int(nil), func(_ context.Context, i int) (int, error) { return i, nil }); err != nil || out != nil {
+		t.Fatalf("empty sweep: %v %v", out, err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefaultWorkers(7)
+	if got := DefaultWorkers(); got != 7 {
+		t.Fatalf("got %d after SetDefaultWorkers(7)", got)
+	}
+	SetDefaultWorkers(-3)
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("negative override must restore GOMAXPROCS, got %d", got)
+	}
+	p := NewPool(0)
+	if p.Workers() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("pool workers %d", p.Workers())
+	}
+}
+
+func TestPoolRun(t *testing.T) {
+	var sum atomic.Int64
+	if err := NewPool(4).Run(context.Background(), 10, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Fatalf("sum %d", sum.Load())
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache[string, int](0)
+	var computes atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, err := c.Get("k", func() (int, error) {
+				computes.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("got %d, %v", v, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want exactly 1", n)
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache[int, int](0)
+	boom := errors.New("boom")
+	calls := 0
+	if _, err := c.Get(1, func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	v, err := c.Get(1, func() (int, error) { calls++; return 9, nil })
+	if err != nil || v != 9 {
+		t.Fatalf("retry got %d, %v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("%d compute calls", calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheCapacityAndReset(t *testing.T) {
+	c := NewCache[int, int](4)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Get(i, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n > 4 {
+		t.Fatalf("capacity not enforced: %d entries", n)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatal("reset left entries")
+	}
+	// Values survive for warm keys.
+	v, _ := c.Get(3, func() (int, error) { return 33, nil })
+	v2, _ := c.Get(3, func() (int, error) { return -1, nil })
+	if v != 33 || v2 != 33 {
+		t.Fatalf("got %d then %d", v, v2)
+	}
+}

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"didt/internal/isa"
+
+	"didt/internal/sim"
+)
+
+// Program generation is fully deterministic in its parameters, and the
+// experiment sweeps regenerate the same handful of programs hundreds of
+// times (every delay/impedance/noise point of a study re-runs the same
+// benchmark). These caches memoize the generated isa.Program per profile;
+// both Profile and StressmarkParams are comparable value types, so they key
+// the caches directly. Cached programs are shared across callers —
+// isa.Program is read-only after construction (the CPU only ever indexes
+// into it), so concurrent simulations can safely execute one instance.
+var (
+	programCache    = sim.NewCache[Profile, isa.Program](128)
+	stressmarkCache = sim.NewCache[StressmarkParams, isa.Program](64)
+)
+
+// ResetProgramCache empties both program caches (benchmarks use it to
+// measure cold-start cost).
+func ResetProgramCache() {
+	programCache.Reset()
+	stressmarkCache.Reset()
+}
+
+// GenerateCached returns the (shared, read-only) program for a profile,
+// generating it at most once per distinct profile.
+func GenerateCached(p Profile) isa.Program {
+	prog, _ := programCache.Get(p, func() (isa.Program, error) {
+		return Generate(p), nil
+	})
+	return prog
+}
+
+// StressmarkCached returns the (shared, read-only) stressmark program for
+// the given parameters, generating it at most once per distinct parameter
+// set.
+func StressmarkCached(p StressmarkParams) isa.Program {
+	prog, _ := stressmarkCache.Get(p, func() (isa.Program, error) {
+		return Stressmark(p), nil
+	})
+	return prog
+}
