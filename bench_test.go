@@ -124,6 +124,46 @@ func BenchmarkControlledCycles(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOff measures coupled throughput with a tracer attached
+// but disabled — the configuration every production sweep runs in. The
+// observability contract is that this stays within 2% of
+// BenchmarkCoupledCycles: the per-cycle cost of disabled telemetry is one
+// pointer test plus one atomic load.
+func BenchmarkTelemetryOff(b *testing.B) {
+	tracer := NewTracer(0)
+	tracer.SetEnabled(false)
+	prog := Stressmark(StressmarkParams{Iterations: 1 << 30})
+	sys, err := NewSystem(prog, Options{
+		ImpedancePct: 2, MaxCycles: 1 << 62,
+		Telemetry: tracer, TelemetryName: "bench",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.StepCycle()
+	}
+}
+
+// BenchmarkTelemetryOn measures coupled throughput with cycle tracing
+// live, bounding the cost of a fully-instrumented run.
+func BenchmarkTelemetryOn(b *testing.B) {
+	tracer := NewTracer(0)
+	prog := Stressmark(StressmarkParams{Iterations: 1 << 30})
+	sys, err := NewSystem(prog, Options{
+		ImpedancePct: 2, MaxCycles: 1 << 62,
+		Telemetry: tracer, TelemetryName: "bench",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.StepCycle()
+	}
+}
+
 // --------------------------------------------------------- sweep engine
 
 // sweepBenchConfig is a reduced multi-experiment sweep: large enough that

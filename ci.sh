@@ -7,3 +7,15 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Determinism with telemetry enabled: rendered output AND serialized
+# traces must be byte-identical at any worker count.
+go test -race -count=1 -run TestParallelOutputIdenticalWithTelemetry ./internal/experiments
+
+# Perf gate: the telemetry-off hot path (a disabled tracer attached to
+# every system, the configuration all production sweeps run in) must stay
+# within CI_BENCH_TOLERANCE_PCT (default 5%) of the committed
+# BENCH_sweep.json baseline. Regenerate the baseline with
+# `go run ./cmd/benchreport` after intentional perf changes.
+go run ./cmd/benchreport -check -baseline BENCH_sweep.json \
+    -tolerance "${CI_BENCH_TOLERANCE_PCT:-5}"

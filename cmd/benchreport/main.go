@@ -5,13 +5,21 @@
 //
 //	benchreport                  # writes BENCH_sweep.json in the CWD
 //	benchreport -o out.json -repeat 3
+//	benchreport -check           # CI gate: telemetry-off regression check
 //
-// Four timings are reported: serial cold (one worker, all caches flushed),
+// Five timings are reported: serial cold (one worker, all caches flushed),
 // parallel cold (one worker per core, caches flushed), serial warm (memos
-// populated — measures the kernel/program/envelope cache win) and the
-// derived speedups. On a single-core machine the parallel/serial ratio is
-// expected to hover near 1; the warm/cold ratio shows the cache win
-// regardless of core count.
+// populated — measures the kernel/program/envelope cache win), serial cold
+// with a disabled telemetry tracer attached (the "telemetry off" tax,
+// which must stay under a few percent), and the derived speedups. The
+// report also snapshots every shared cache's hit/miss/eviction counts
+// after the warm pass, so the perf trajectory captures cache
+// effectiveness, not just wall time.
+//
+// -check compares a fresh telemetry-off measurement against the committed
+// baseline and exits non-zero on a regression beyond -tolerance percent
+// (wall-clock comparisons are machine-sensitive; regenerate the baseline
+// with plain benchreport when moving machines).
 package main
 
 import (
@@ -26,6 +34,8 @@ import (
 	"didt/internal/core"
 	"didt/internal/experiments"
 	"didt/internal/pdn"
+	"didt/internal/sim"
+	"didt/internal/telemetry"
 	"didt/internal/workload"
 )
 
@@ -33,16 +43,19 @@ var sweepIDs = []string{"table2", "fig14", "stressmark-actuation", "ablation-win
 
 // Report is the schema of BENCH_sweep.json.
 type Report struct {
-	GOMAXPROCS    int      `json:"gomaxprocs"`
-	NumCPU        int      `json:"num_cpu"`
-	Experiments   []string `json:"experiments"`
-	Repeat        int      `json:"repeat"`
-	SerialColdNs  int64    `json:"serial_cold_ns_per_op"`
-	ParallelNs    int64    `json:"parallel_cold_ns_per_op"`
-	SerialWarmNs  int64    `json:"serial_warm_ns_per_op"`
-	Speedup       float64  `json:"parallel_speedup"`
-	CacheSpeedup  float64  `json:"warm_cache_speedup"`
-	GeneratedUnix int64    `json:"generated_unix"`
+	GOMAXPROCS      int                       `json:"gomaxprocs"`
+	NumCPU          int                       `json:"num_cpu"`
+	Experiments     []string                  `json:"experiments"`
+	Repeat          int                       `json:"repeat"`
+	SerialColdNs    int64                     `json:"serial_cold_ns_per_op"`
+	ParallelNs      int64                     `json:"parallel_cold_ns_per_op"`
+	SerialWarmNs    int64                     `json:"serial_warm_ns_per_op"`
+	TelemetryOffNs  int64                     `json:"telemetry_off_ns_per_op"`
+	Speedup         float64                   `json:"parallel_speedup"`
+	CacheSpeedup    float64                   `json:"warm_cache_speedup"`
+	TelemetryOffPct float64                   `json:"telemetry_off_overhead_pct"`
+	Caches          map[string]sim.CacheStats `json:"caches"`
+	GeneratedUnix   int64                     `json:"generated_unix"`
 }
 
 func resetCaches() {
@@ -50,6 +63,17 @@ func resetCaches() {
 	workload.ResetProgramCache()
 	pdn.ResetKernelCache()
 	core.ResetEnvelopeCache()
+}
+
+// cacheStats gathers every shared cache's counters under stable names.
+func cacheStats() map[string]sim.CacheStats {
+	return map[string]sim.CacheStats{
+		"pdn_kernel":          pdn.KernelCacheStats(),
+		"workload_program":    workload.ProgramCacheStats(),
+		"workload_stressmark": workload.StressmarkCacheStats(),
+		"core_envelope":       core.EnvelopeCacheStats(),
+		"experiments_memo":    experiments.MemoStats(),
+	}
 }
 
 func runSet(cfg experiments.Config) error {
@@ -81,20 +105,79 @@ func timeSet(cfg experiments.Config, repeat int, warm bool) (time.Duration, erro
 	return best, nil
 }
 
-func main() {
-	var (
-		out    = flag.String("o", "BENCH_sweep.json", "output path")
-		repeat = flag.Int("repeat", 2, "timed repetitions per configuration (best is kept)")
-	)
-	flag.Parse()
-
+func benchConfig() experiments.Config {
 	cfg := experiments.Quick()
 	cfg.Cycles = 30_000
 	cfg.Warmup = 10_000
 	cfg.Iterations = 300
 	cfg.StressIter = 250
 	cfg.Benchmarks = []string{"swim", "gcc"}
+	return cfg
+}
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// measureTelemetryOff times the serial cold sweep set with a disabled
+// tracer attached to every system — the configuration whose cost the <2%
+// overhead contract bounds.
+func measureTelemetryOff(repeat int) (time.Duration, error) {
+	cfg := benchConfig()
+	cfg.Parallel = 1
+	tracer := telemetry.NewTracer(0)
+	tracer.SetEnabled(false)
+	cfg.Telemetry = tracer
+	return timeSet(cfg, repeat, false)
+}
+
+func check(baselinePath string, repeat int, tolerancePct float64) {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("benchreport -check: no baseline: %w", err))
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatal(fmt.Errorf("benchreport -check: bad baseline %s: %w", baselinePath, err))
+	}
+	ref := base.TelemetryOffNs
+	if ref == 0 {
+		// Baselines predating the telemetry field: gate on serial cold.
+		ref = base.SerialColdNs
+	}
+	measured, err := measureTelemetryOff(repeat)
+	if err != nil {
+		fatal(err)
+	}
+	limit := time.Duration(float64(ref) * (1 + tolerancePct/100))
+	fmt.Printf("telemetry-off sweep: measured %v, baseline %v, limit %v (+%.0f%%)\n",
+		measured.Round(time.Millisecond), time.Duration(ref).Round(time.Millisecond),
+		limit.Round(time.Millisecond), tolerancePct)
+	if measured > limit {
+		fmt.Fprintf(os.Stderr, "FAIL: telemetry-off hot path regressed beyond %.0f%% of the committed baseline %s\n",
+			tolerancePct, baselinePath)
+		os.Exit(1)
+	}
+	fmt.Println("ok: telemetry-off hot path within baseline")
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_sweep.json", "output path")
+		repeat    = flag.Int("repeat", 2, "timed repetitions per configuration (best is kept)")
+		doCheck   = flag.Bool("check", false, "compare against -baseline and fail on regression instead of writing a report")
+		baseline  = flag.String("baseline", "BENCH_sweep.json", "baseline report for -check")
+		tolerance = flag.Float64("tolerance", 5, "allowed regression percent for -check")
+	)
+	flag.Parse()
+
+	if *doCheck {
+		check(*baseline, *repeat, *tolerance)
+		return
+	}
+
+	cfg := benchConfig()
 	serialCfg := cfg
 	serialCfg.Parallel = 1
 	parallelCfg := cfg
@@ -102,53 +185,56 @@ func main() {
 
 	serialCold, err := timeSet(serialCfg, *repeat, false)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	parallelCold, err := timeSet(parallelCfg, *repeat, false)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	// Warm pass: memos already populated by the run above, so this measures
 	// render + cache-hit cost. Re-prime with the serial config first so the
 	// memo keys match (Parallel is excluded from the key, so either works).
 	serialWarm, err := timeSet(serialCfg, *repeat, true)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
+	}
+	caches := cacheStats()
+	telemOff, err := measureTelemetryOff(*repeat)
+	if err != nil {
+		fatal(err)
 	}
 
 	rep := Report{
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		NumCPU:        runtime.NumCPU(),
-		Experiments:   sweepIDs,
-		Repeat:        *repeat,
-		SerialColdNs:  serialCold.Nanoseconds(),
-		ParallelNs:    parallelCold.Nanoseconds(),
-		SerialWarmNs:  serialWarm.Nanoseconds(),
-		Speedup:       float64(serialCold) / float64(parallelCold),
-		CacheSpeedup:  float64(serialCold) / float64(serialWarm),
-		GeneratedUnix: time.Now().Unix(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Experiments:     sweepIDs,
+		Repeat:          *repeat,
+		SerialColdNs:    serialCold.Nanoseconds(),
+		ParallelNs:      parallelCold.Nanoseconds(),
+		SerialWarmNs:    serialWarm.Nanoseconds(),
+		TelemetryOffNs:  telemOff.Nanoseconds(),
+		Speedup:         float64(serialCold) / float64(parallelCold),
+		CacheSpeedup:    float64(serialCold) / float64(serialWarm),
+		TelemetryOffPct: 100 * (float64(telemOff)/float64(serialCold) - 1),
+		Caches:          caches,
+		GeneratedUnix:   time.Now().Unix(),
 	}
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("wrote %s: serial %v, parallel(%d) %v (%.2fx), warm %v (%.1fx cache win)\n",
+	fmt.Printf("wrote %s: serial %v, parallel(%d) %v (%.2fx), warm %v (%.1fx cache win), telemetry-off %v (%+.1f%%)\n",
 		*out, serialCold.Round(time.Millisecond), rep.GOMAXPROCS,
 		parallelCold.Round(time.Millisecond), rep.Speedup,
-		serialWarm.Round(time.Millisecond), rep.CacheSpeedup)
+		serialWarm.Round(time.Millisecond), rep.CacheSpeedup,
+		telemOff.Round(time.Millisecond), rep.TelemetryOffPct)
 }

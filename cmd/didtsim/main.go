@@ -11,6 +11,13 @@
 // -workload accepts a comma-separated list; independent runs are fanned
 // out across -parallel workers and reported in list order (results are
 // identical at any worker count).
+//
+// Observability: -trace-out writes a cycle-level event trace of every run
+// (Chrome trace-event format by default, one stream per workload — open in
+// Perfetto or chrome://tracing; -trace-format jsonl for line-oriented
+// JSON); -metrics-out writes the metrics run manifest; -cpuprofile and
+// -memprofile write pprof profiles; -progress keeps a live status line on
+// stderr for multi-workload runs.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"didt/internal/core"
 	"didt/internal/isa"
 	"didt/internal/sim"
+	"didt/internal/telemetry"
 	"didt/internal/trace"
 	"didt/internal/workload"
 )
@@ -43,6 +51,14 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "worker count for multi-workload runs (0 = GOMAXPROCS)")
 		dumpCur   = flag.String("dump-current", "", "write the per-cycle current trace (CSV) to this path (single workload only)")
 		dumpVolt  = flag.String("dump-voltage", "", "write the per-cycle voltage trace (CSV) to this path (single workload only)")
+
+		traceOut    = flag.String("trace-out", "", "write a cycle-level event trace to this path")
+		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto/chrome://tracing) or jsonl")
+		traceRing   = flag.Int("trace-ring", 0, "events retained per trace stream (0 = default)")
+		metricsOut  = flag.String("metrics-out", "", "write the metrics run manifest (JSON) to this path")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this path")
+		progress    = flag.Bool("progress", false, "live progress line on stderr")
 	)
 	flag.Parse()
 
@@ -57,6 +73,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		if *traceFormat != "chrome" && *traceFormat != "jsonl" {
+			fmt.Fprintf(os.Stderr, "unknown -trace-format %q (chrome or jsonl)\n", *traceFormat)
+			os.Exit(2)
+		}
+		tracer = telemetry.NewTracer(*traceRing)
+	}
+	if *progress {
+		pl := telemetry.NewProgress(os.Stderr, "didtsim", 0)
+		sim.SetProgress(pl.Update)
+		defer pl.Done()
+	}
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	type outcome struct {
 		name string
 		res  *core.Result
@@ -67,14 +102,16 @@ func main() {
 			return outcome{}, err
 		}
 		sys, err := core.NewSystem(prog, core.Options{
-			ImpedancePct: *impedance,
-			Control:      *control,
-			Mechanism:    mech,
-			Delay:        *delay,
-			NoiseMV:      *noise,
-			MaxCycles:    *cycles,
-			Seed:         *seed,
-			RecordTraces: *dumpCur != "" || *dumpVolt != "",
+			ImpedancePct:  *impedance,
+			Control:       *control,
+			Mechanism:     mech,
+			Delay:         *delay,
+			NoiseMV:       *noise,
+			MaxCycles:     *cycles,
+			Seed:          *seed,
+			RecordTraces:  *dumpCur != "" || *dumpVolt != "",
+			Telemetry:     tracer,
+			TelemetryName: name,
 		})
 		if err != nil {
 			return outcome{}, err
@@ -113,6 +150,55 @@ func main() {
 		}
 		fmt.Printf("voltage trace       %s (%d samples)\n", *dumpVolt, len(res.VoltageTrace))
 	}
+
+	if err := stopCPU(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if tracer != nil {
+		if err := writeEventTrace(*traceOut, *traceFormat, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("event trace         %s (%d streams)\n", *traceOut, len(tracer.Streams()))
+	}
+	if *metricsOut != "" {
+		m := telemetry.NewManifest("didtsim", sim.DefaultWorkers(), telemetry.Default(), tracer)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = m.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics manifest    %s\n", *metricsOut)
+	}
+}
+
+func writeEventTrace(path, format string, tracer *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "jsonl" {
+		err = telemetry.WriteJSONL(f, tracer)
+	} else {
+		err = telemetry.WriteChromeTrace(f, tracer, 0)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func report(wl string, res *core.Result, impedance float64, control bool, mech actuator.Mechanism, delay int, noise float64) {

@@ -5,6 +5,17 @@
 //	experiments -list
 //	experiments -run table2
 //	experiments -run all -cycles 220000
+//	experiments -run fig11 -trace-out fig11.trace.json -metrics-out fig11.metrics.json
+//	experiments -run table2 -progress -cpuprofile cpu.pprof
+//
+// Observability: -trace-out captures every simulated system's cycle-level
+// events (Chrome trace-event format by default — open in Perfetto or
+// chrome://tracing — or JSONL with -trace-format jsonl); -metrics-out
+// writes the run manifest (counters, gauges, histograms, cache hit rates,
+// sweep-pool utilization); -cpuprofile/-memprofile write pprof profiles;
+// -progress keeps a live sweep-status line on stderr. None of these change
+// the rendered experiment output, which stays byte-identical at any
+// -parallel setting.
 package main
 
 import (
@@ -16,6 +27,7 @@ import (
 
 	"didt/internal/experiments"
 	"didt/internal/sim"
+	"didt/internal/telemetry"
 )
 
 func main() {
@@ -29,6 +41,14 @@ func main() {
 		bench    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
 		seed     = flag.Int64("seed", 0, "noise/workload seed")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+
+		traceOut    = flag.String("trace-out", "", "write a cycle-level event trace to this path")
+		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto/chrome://tracing) or jsonl")
+		traceRing   = flag.Int("trace-ring", 0, "events retained per trace stream (0 = default)")
+		metricsOut  = flag.String("metrics-out", "", "write the metrics run manifest (JSON) to this path")
+		cpuProfile  = flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this path")
+		progress    = flag.Bool("progress", false, "live sweep progress line on stderr")
 	)
 	flag.Parse()
 
@@ -66,6 +86,26 @@ func main() {
 	cfg.Parallel = *parallel
 	sim.SetDefaultWorkers(*parallel)
 
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		if *traceFormat != "chrome" && *traceFormat != "jsonl" {
+			fmt.Fprintf(os.Stderr, "unknown -trace-format %q (chrome or jsonl)\n", *traceFormat)
+			os.Exit(2)
+		}
+		tracer = telemetry.NewTracer(*traceRing)
+		cfg.Telemetry = tracer
+	}
+	if *progress {
+		pl := telemetry.NewProgress(os.Stderr, "sweep", 0)
+		sim.SetProgress(pl.Update)
+		defer pl.Done()
+	}
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	reg := experiments.Registry()
 	ids := []string{*runID}
 	if *runID == "all" {
@@ -84,4 +124,57 @@ func main() {
 		}
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+
+	if err := stopCPU(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if tracer != nil {
+		if err := writeTraceFile(*traceOut, *traceFormat, tracer); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace %s (%d streams)\n", *traceOut, len(tracer.Streams()))
+	}
+	if *metricsOut != "" {
+		m := telemetry.NewManifest("experiments", sim.DefaultWorkers(), telemetry.Default(), tracer)
+		m.Experiments = ids
+		if err := writeManifestFile(*metricsOut, m); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics manifest %s\n", *metricsOut)
+	}
+}
+
+func writeTraceFile(path, format string, tracer *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "jsonl" {
+		err = telemetry.WriteJSONL(f, tracer)
+	} else {
+		err = telemetry.WriteChromeTrace(f, tracer, 0)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func writeManifestFile(path string, m telemetry.Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = m.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -34,6 +34,7 @@ import (
 	"didt/internal/isa"
 	"didt/internal/pdn"
 	"didt/internal/power"
+	"didt/internal/telemetry"
 	"didt/internal/workload"
 )
 
@@ -70,6 +71,16 @@ type (
 
 	// ExperimentConfig scales the table/figure harness.
 	ExperimentConfig = experiments.Config
+
+	// Tracer collects cycle-level telemetry events; attach one through
+	// Options.Telemetry or ExperimentConfig.Telemetry and serialize it with
+	// WriteChromeTrace or WriteJSONL.
+	Tracer = telemetry.Tracer
+	// MetricsRegistry holds counters, gauges and histograms; the process
+	// default is Metrics().
+	MetricsRegistry = telemetry.Registry
+	// MetricsManifest is the machine-readable run summary.
+	MetricsManifest = telemetry.Manifest
 )
 
 // Actuation mechanisms (Section 5.1 granularities plus the ideal actuator
@@ -127,6 +138,25 @@ func DefaultExperimentConfig() ExperimentConfig { return experiments.Default() }
 
 // QuickExperimentConfig is a reduced configuration for smoke tests.
 func QuickExperimentConfig() ExperimentConfig { return experiments.Quick() }
+
+// NewTracer builds a cycle tracer whose streams retain at most ringCap
+// events each (0 = default). Tracers are nil-safe: a nil *Tracer attached
+// anywhere records nothing at no cost.
+func NewTracer(ringCap int) *Tracer { return telemetry.NewTracer(ringCap) }
+
+// Metrics is the process-wide metrics registry that the simulator's
+// subsystems publish into.
+func Metrics() *MetricsRegistry { return telemetry.Default() }
+
+// WriteChromeTrace serializes a tracer in Chrome trace-event format
+// (loadable in Perfetto or chrome://tracing). clockHz scales cycle
+// timestamps to microseconds; 0 uses the paper's 3 GHz clock.
+func WriteChromeTrace(w io.Writer, t *Tracer, clockHz float64) error {
+	return telemetry.WriteChromeTrace(w, t, clockHz)
+}
+
+// WriteJSONL serializes a tracer as line-oriented JSON, one event per line.
+func WriteJSONL(w io.Writer, t *Tracer) error { return telemetry.WriteJSONL(w, t) }
 
 // UnknownExperimentError reports a bad experiment identifier.
 type UnknownExperimentError struct{ ID string }

@@ -56,3 +56,39 @@ func (m Mechanism) Envelope(pm *power.Model) (floor, ceil float64) {
 	return pm.GatedFloorCurrent(m.FUs, m.DL1, m.IL1),
 		pm.PhantomCeilingCurrent(m.FUs, m.DL1, m.IL1)
 }
+
+// Counting wraps a Responder and tallies how it is exercised — one plain
+// integer increment per cycle, harvested once per run by the telemetry
+// layer. The closed loop installs it around whatever responder a run
+// configures, so actuation counts appear in metrics manifests for the
+// paper's mechanisms and custom responders alike.
+type Counting struct {
+	R Responder
+
+	LowResponses    uint64 // cycles responding to a voltage-low reading
+	HighResponses   uint64 // cycles responding to a voltage-high reading
+	NormalResponses uint64 // cycles with both actuations released
+}
+
+var _ Responder = (*Counting)(nil)
+
+// Label implements Responder, delegating to the wrapped responder.
+func (c *Counting) Label() string { return c.R.Label() }
+
+// Respond implements Responder, counting by sensed level.
+func (c *Counting) Respond(l sensor.Level) (cpu.Gating, power.Phantom) {
+	switch l {
+	case sensor.Low:
+		c.LowResponses++
+	case sensor.High:
+		c.HighResponses++
+	default:
+		c.NormalResponses++
+	}
+	return c.R.Respond(l)
+}
+
+// Envelope implements Responder, delegating to the wrapped responder.
+func (c *Counting) Envelope(pm *power.Model) (floor, ceil float64) {
+	return c.R.Envelope(pm)
+}

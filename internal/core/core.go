@@ -23,6 +23,7 @@ import (
 	"didt/internal/power"
 	"didt/internal/sensor"
 	"didt/internal/stats"
+	"didt/internal/telemetry"
 	"didt/internal/trace"
 )
 
@@ -67,6 +68,14 @@ type Options struct {
 	MaxCycles    uint64 // hard cycle cap; default 20M
 	WarmupCycles uint64 // cycles excluded from voltage statistics; default 1000
 	RecordTraces bool   // keep per-cycle current/voltage traces
+
+	// Telemetry, when non-nil, receives typed per-cycle events (sensor
+	// transitions, actuation engage/release, emergencies, voltage and
+	// current samples) on a stream named TelemetryName. A nil tracer — or
+	// a disabled one — costs one pointer test and one atomic load per
+	// cycle, so the hot path is unchanged when observability is off.
+	Telemetry     *telemetry.Tracer
+	TelemetryName string
 
 	// EnvelopeIMin/IMax override the measured current envelope used for
 	// target-impedance calibration and threshold solving (amperes). Zero
@@ -137,6 +146,15 @@ type System struct {
 	thresholds control.Thresholds
 	policy     control.Policy
 	responder  actuator.Responder
+	counting   *actuator.Counting
+
+	// Telemetry stream plus the previous-cycle states whose transitions
+	// become events.
+	stream      *telemetry.Stream
+	lastLevel   sensor.Level
+	gateActive  bool
+	phantomOn   bool
+	emergActive bool
 
 	gating  cpu.Gating
 	phantom power.Phantom
@@ -213,9 +231,17 @@ func NewSystem(prog isa.Program, opts Options) (*System, error) {
 		iMax:   iMax,
 	}
 
+	s.stream = opts.Telemetry.Stream(opts.TelemetryName)
+
 	s.responder = opts.Responder
 	if s.responder == nil {
 		s.responder = opts.Mechanism
+	}
+	if opts.Control {
+		// The counting wrapper feeds actuation tallies into the metrics
+		// registry at the end of the run; one plain increment per cycle.
+		s.counting = &actuator.Counting{R: s.responder}
+		s.responder = s.counting
 	}
 
 	if opts.Control {
@@ -352,6 +378,10 @@ func (s *System) StepCycle() CycleState {
 		}
 	}
 
+	if s.stream.Enabled() {
+		s.emitCycle(rep.Current, v, level)
+	}
+
 	st := CycleState{
 		Cycle:   s.cycle,
 		Current: rep.Current,
@@ -363,6 +393,38 @@ func (s *System) StepCycle() CycleState {
 	}
 	s.cycle++
 	return st
+}
+
+// emitCycle records this cycle's telemetry: per-cycle voltage and current
+// samples plus transition events for the sensor level, actuation state and
+// emergency state. Only reached when the stream is enabled.
+func (s *System) emitCycle(current, v float64, level sensor.Level) {
+	c := s.cycle
+	s.stream.Emit(c, telemetry.KindVoltage, 0, v)
+	s.stream.Emit(c, telemetry.KindCurrent, 0, current)
+	if level != s.lastLevel {
+		s.stream.Emit(c, telemetry.KindSensorLevel, int32(level), v)
+		s.lastLevel = level
+	}
+	if gate := s.gating.FUs || s.gating.DL1 || s.gating.IL1; gate != s.gateActive {
+		s.stream.Emit(c, telemetry.KindGate, boolArg(gate), v)
+		s.gateActive = gate
+	}
+	if ph := s.phantom.FUs || s.phantom.DL1 || s.phantom.IL1; ph != s.phantomOn {
+		s.stream.Emit(c, telemetry.KindPhantom, boolArg(ph), v)
+		s.phantomOn = ph
+	}
+	if emerg := v < s.Net.VMin() || v > s.Net.VMax(); emerg != s.emergActive {
+		s.stream.Emit(c, telemetry.KindEmergency, boolArg(emerg), v)
+		s.emergActive = emerg
+	}
+}
+
+func boolArg(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Run advances the loop until the program retires or MaxCycles elapse and
@@ -404,5 +466,31 @@ func (s *System) Run() (*Result, error) {
 	if s.cycle > 0 {
 		r.AvgPower = r.Energy / (float64(s.cycle) / s.Power.Params().ClockHz)
 	}
+	s.publishMetrics(r)
 	return r, nil
+}
+
+// publishMetrics folds the finished run into the process-wide metrics
+// registry: whole-run aggregates only (a handful of atomic adds per run,
+// never per cycle), so the simulation hot path is untouched.
+func (s *System) publishMetrics(r *Result) {
+	reg := telemetry.Default()
+	reg.Counter("core.runs_total").Inc()
+	reg.Counter("core.cycles_total").Add(int64(s.cycle))
+	reg.Counter("core.emergencies_total").Add(int64(s.emerg))
+	reg.Counter("core.gating_episodes_total").Add(int64(s.policy.LowEvents))
+	reg.Counter("core.phantom_episodes_total").Add(int64(s.policy.HighEvents))
+	reg.Counter("cpu.instructions_total").Add(int64(r.Stats.Instructions))
+	reg.Counter("cpu.mispredicts_total").Add(int64(r.Stats.Mispredicts))
+	reg.Counter("cpu.gated_cycles_total").Add(int64(r.Stats.GatedCycles))
+	samples, low, high := s.Sensor.Trips()
+	reg.Counter("sensor.samples_total").Add(int64(samples))
+	reg.Counter("sensor.low_trips_total").Add(int64(low))
+	reg.Counter("sensor.high_trips_total").Add(int64(high))
+	if s.counting != nil {
+		reg.Counter("actuator.low_responses_total").Add(int64(s.counting.LowResponses))
+		reg.Counter("actuator.high_responses_total").Add(int64(s.counting.HighResponses))
+		reg.Counter("actuator.normal_responses_total").Add(int64(s.counting.NormalResponses))
+	}
+	reg.Histogram("core.run_ipc", 0, 8, 32).Observe(r.IPC())
 }

@@ -6,6 +6,7 @@ import (
 
 	"didt/internal/actuator"
 	"didt/internal/isa"
+	"didt/internal/telemetry"
 )
 
 // alternator builds a current-swinging loop: a divide-stall phase feeding a
@@ -308,5 +309,105 @@ func TestFlushRecoveryStillProtects(t *testing.T) {
 	if flush.Cycles < resume.Cycles {
 		t.Errorf("flush recovery should not be faster: %d vs %d cycles",
 			flush.Cycles, resume.Cycles)
+	}
+}
+
+func TestTelemetryEventsRecorded(t *testing.T) {
+	tracer := telemetry.NewTracer(1 << 14)
+	sys, err := NewSystem(alternator(400), Options{
+		ImpedancePct: 3, MaxCycles: 200000,
+		Control: true, Delay: 2,
+		Telemetry: tracer, TelemetryName: "alt",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := tracer.Streams()
+	if len(streams) != 1 || streams[0].Name() != "alt" {
+		t.Fatalf("streams = %v", streams)
+	}
+	kinds := map[telemetry.Kind]int{}
+	for _, e := range streams[0].Events() {
+		kinds[e.Kind]++
+	}
+	if kinds[telemetry.KindVoltage] == 0 || kinds[telemetry.KindCurrent] == 0 {
+		t.Fatalf("missing per-cycle samples: %v", kinds)
+	}
+	if kinds[telemetry.KindSensorLevel] == 0 {
+		t.Fatalf("no sensor-level transitions recorded (run had %d gating episodes): %v",
+			res.LowEvents, kinds)
+	}
+	if res.LowEvents > 0 && kinds[telemetry.KindGate] == 0 {
+		t.Fatalf("run gated %d times but no gate events: %v", res.LowEvents, kinds)
+	}
+	if res.Emergencies > 0 && kinds[telemetry.KindEmergency] == 0 {
+		t.Fatalf("run had %d emergencies but no emergency events: %v", res.Emergencies, kinds)
+	}
+	// Streams record at most one sample pair per cycle.
+	if got := streams[0].Total(); got > 8*res.Cycles {
+		t.Fatalf("suspicious event volume %d for %d cycles", got, res.Cycles)
+	}
+}
+
+func TestTelemetryDisabledAndNil(t *testing.T) {
+	run := func(tracer *telemetry.Tracer) *Result {
+		sys, err := NewSystem(alternator(50), Options{
+			MaxCycles: 50000, Telemetry: tracer,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(nil) // nil tracer: must not panic anywhere
+
+	off := telemetry.NewTracer(0)
+	off.SetEnabled(false)
+	res := run(off)
+	for _, s := range off.Streams() {
+		if s.Total() != 0 {
+			t.Fatalf("disabled tracer recorded %d events on %q", s.Total(), s.Name())
+		}
+	}
+	if res.Cycles != base.Cycles || res.Stats.Instructions != base.Stats.Instructions {
+		t.Fatalf("telemetry changed simulation: %d/%d cycles, %d/%d instructions",
+			res.Cycles, base.Cycles, res.Stats.Instructions, base.Stats.Instructions)
+	}
+}
+
+func TestRunPublishesMetrics(t *testing.T) {
+	reg := telemetry.Default()
+	before := reg.Snapshot().Counters
+	sys, err := NewSystem(alternator(50), Options{MaxCycles: 50000, Control: true, Delay: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := reg.Snapshot().Counters
+	if after["core.runs_total"] != before["core.runs_total"]+1 {
+		t.Fatalf("runs_total %d -> %d", before["core.runs_total"], after["core.runs_total"])
+	}
+	if got := after["core.cycles_total"] - before["core.cycles_total"]; got != int64(res.Cycles) {
+		t.Fatalf("cycles_total grew by %d, run took %d cycles", got, res.Cycles)
+	}
+	if after["sensor.samples_total"] <= before["sensor.samples_total"] {
+		t.Fatal("sensor samples not published")
+	}
+	if after["actuator.low_responses_total"]+after["actuator.high_responses_total"]+
+		after["actuator.normal_responses_total"] <=
+		before["actuator.low_responses_total"]+before["actuator.high_responses_total"]+
+			before["actuator.normal_responses_total"] {
+		t.Fatal("actuator responses not published")
 	}
 }

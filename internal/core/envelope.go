@@ -7,6 +7,7 @@ import (
 	"didt/internal/isa"
 	"didt/internal/power"
 	"didt/internal/sim"
+	"didt/internal/telemetry"
 )
 
 // envelope is a measured current envelope in amperes.
@@ -27,6 +28,14 @@ type envelopeKey struct {
 // deterministic in its inputs, so cached and fresh envelopes are
 // identical.
 var envelopeCache = sim.NewCache[envelopeKey, envelope](64)
+
+func init() {
+	envelopeCache.RegisterMetrics(telemetry.Default(), "cache.core_envelope")
+}
+
+// EnvelopeCacheStats reports the saturation-probe envelope cache's
+// effectiveness.
+func EnvelopeCacheStats() sim.CacheStats { return envelopeCache.Stats() }
 
 // ResetEnvelopeCache empties the shared envelope cache (benchmarks use it
 // to measure cold-start cost).

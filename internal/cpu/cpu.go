@@ -23,6 +23,7 @@ import (
 	"didt/internal/bpred"
 	"didt/internal/isa"
 	"didt/internal/mem"
+	"didt/internal/telemetry"
 )
 
 const (
@@ -157,6 +158,7 @@ func New(cfg Config, prog isa.Program) (*CPU, error) {
 	for g := fuGroup(0); g < numFUGroups; g++ {
 		c.fuBusy[g] = make([]uint64, cfg.groupSize(g))
 	}
+	telemetry.Default().Counter("cpu.machines_built_total").Inc()
 	return c, nil
 }
 

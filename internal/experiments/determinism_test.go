@@ -6,6 +6,7 @@ import (
 
 	"didt/internal/core"
 	"didt/internal/pdn"
+	"didt/internal/telemetry"
 	"didt/internal/workload"
 )
 
@@ -68,6 +69,57 @@ func TestParallelOutputIdentical(t *testing.T) {
 			}
 		}
 		t.Fatalf("output lengths differ: serial %d bytes, parallel %d bytes", len(serial), len(parallel))
+	}
+}
+
+// TestParallelOutputIdenticalWithTelemetry extends the determinism
+// contract to observability: with a live tracer attached, both the
+// rendered output AND the serialized trace must be byte-identical at any
+// worker count (Streams() canonical ordering is what makes the trace
+// independent of completion order).
+func TestParallelOutputIdenticalWithTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism comparison is slow")
+	}
+	ids := []string{"table2", "fig11", "stressmark-actuation"}
+	reg := Registry()
+
+	render := func(parallel int) (output, trace []byte) {
+		resetAllCaches()
+		cfg := tinyConfig()
+		cfg.Parallel = parallel
+		tracer := telemetry.NewTracer(1 << 12)
+		cfg.Telemetry = tracer
+		var buf bytes.Buffer
+		for _, id := range ids {
+			if err := reg[id](cfg, &buf); err != nil {
+				t.Fatalf("parallel=%d %s: %v", parallel, id, err)
+			}
+		}
+		var tb bytes.Buffer
+		if err := telemetry.WriteChromeTrace(&tb, tracer, 0); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), tb.Bytes()
+	}
+
+	serialOut, serialTrace := render(1)
+	parallelOut, parallelTrace := render(8)
+	if !bytes.Equal(serialOut, parallelOut) {
+		t.Fatal("rendered output differs with telemetry attached")
+	}
+	if len(serialTrace) == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	if !bytes.Equal(serialTrace, parallelTrace) {
+		for i := 0; i < len(serialTrace) && i < len(parallelTrace); i++ {
+			if serialTrace[i] != parallelTrace[i] {
+				t.Fatalf("trace diverges at byte %d: serial %q vs parallel %q",
+					i, excerpt(serialTrace, i), excerpt(parallelTrace, i))
+			}
+		}
+		t.Fatalf("trace lengths differ: serial %d bytes, parallel %d bytes",
+			len(serialTrace), len(parallelTrace))
 	}
 }
 

@@ -353,6 +353,7 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 	opts := cfg.baseOptions(2)
 	opts.Control = true
 	opts.Delay = 2
+	opts.TelemetryName = "fig11 stressmark controller"
 	sys, err := core.NewSystem(cfg.stressProgram(), opts)
 	if err != nil {
 		return nil, err

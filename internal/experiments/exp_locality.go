@@ -9,6 +9,7 @@ import (
 	"didt/internal/power"
 	"didt/internal/quadrant"
 	"didt/internal/report"
+	"didt/internal/telemetry"
 )
 
 // LocalityRow summarizes one quadrant under the localized PDN model.
@@ -56,10 +57,17 @@ func Locality(cfg Config) (*LocalityResult, error) {
 		// visible to the quadrant model.
 		c := sys.CPU
 		pm := power.New(power.Params{}, c.Config())
+		stream := cfg.Telemetry.Stream("locality quadrants")
 		for i := uint64(0); i < cfg.Cycles; i++ {
 			act, done := c.Step()
 			rep := pm.Step(act, power.Phantom{})
 			g, locals := qm.CycleVoltages(rep)
+			if stream.Enabled() {
+				stream.Emit(i, telemetry.KindVoltage, 0, g)
+				for q, v := range locals {
+					stream.Emit(i, telemetry.KindQuadrantVoltage, int32(q), v)
+				}
+			}
 			if i >= cfg.Warmup {
 				r.GlobalMinV = math.Min(r.GlobalMinV, g)
 				r.GlobalMaxV = math.Max(r.GlobalMaxV, g)

@@ -21,6 +21,7 @@ import (
 	"didt/internal/core"
 	"didt/internal/isa"
 	"didt/internal/sim"
+	"didt/internal/telemetry"
 	"didt/internal/workload"
 )
 
@@ -39,6 +40,13 @@ type Config struct {
 	// Every simulation takes explicit seeds, so the worker count never
 	// changes results — parallel output is byte-identical to serial.
 	Parallel int
+
+	// Telemetry, when non-nil, threads a cycle tracer through every
+	// system the experiments build. It never affects rendered output or
+	// memo keys (runs are identical traced or not); serialized traces are
+	// reproducible at any Parallel setting because streams are ordered
+	// canonically, not by completion.
+	Telemetry *telemetry.Tracer
 }
 
 // Default is the full-size configuration.
@@ -156,6 +164,7 @@ func (c Config) baseOptions(pct float64) core.Options {
 		MaxCycles:    c.Cycles,
 		WarmupCycles: c.Warmup,
 		Seed:         c.Seed,
+		Telemetry:    c.Telemetry,
 	}
 }
 
@@ -197,9 +206,16 @@ func (c Config) uncontrolledFull(prog isa.Program, pct float64) (*core.Result, e
 // future servers) from growing it without limit.
 var memo = sim.NewCache[string, interface{}](64)
 
+func init() {
+	memo.RegisterMetrics(telemetry.Default(), "cache.experiments_memo")
+}
+
 // ResetMemo drops every cached study. Benchmarks and determinism tests use
 // it to force recomputation.
 func ResetMemo() { memo.Reset() }
+
+// MemoStats reports the shared study memo's effectiveness.
+func MemoStats() sim.CacheStats { return memo.Stats() }
 
 // memoKey folds in every Config field that affects results: Cycles,
 // Warmup, Iterations, StressIter, Benchmarks, and Seed. Parallel is

@@ -23,6 +23,7 @@ import (
 
 	"didt/internal/linsys"
 	"didt/internal/sim"
+	"didt/internal/telemetry"
 )
 
 // Paper-reference constants (Section 2.2 and Table 1).
@@ -104,9 +105,17 @@ type sampled struct {
 // bit-identical.
 var kernelCache = sim.NewCache[Params, sampled](256)
 
+func init() {
+	kernelCache.RegisterMetrics(telemetry.Default(), "cache.pdn_kernel")
+}
+
 // ResetKernelCache empties the shared impulse-response cache (benchmarks
 // use it to measure cold-start cost).
 func ResetKernelCache() { kernelCache.Reset() }
+
+// KernelCacheStats reports the shared impulse-response cache's
+// effectiveness (hits, misses, evictions, residency).
+func KernelCacheStats() sim.CacheStats { return kernelCache.Stats() }
 
 // New constructs a Network. Zero-valued Params fields take the paper's
 // defaults; PeakZ must be positive (use Calibrate to derive it from a
@@ -130,6 +139,7 @@ func New(p Params) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
+	telemetry.Default().Counter("pdn.networks_built_total").Inc()
 	return &Network{params: p, sys: sk.sys, kernel: sk.kernel}, nil
 }
 
@@ -156,6 +166,7 @@ func Calibrate(p Params, iMin, iMax, impedancePct float64) (*Network, error) {
 	}
 	zTarget := p.Tolerance * p.VNominal / (iMax - iMin)
 	p.PeakZ = zTarget * impedancePct
+	telemetry.Default().Counter("pdn.calibrations_total").Inc()
 	if p.PeakZ <= p.DCResistance {
 		return nil, fmt.Errorf("pdn: target impedance %.3gmΩ does not exceed DC resistance %.3gmΩ; reduce DCResistance or the current envelope", p.PeakZ*1e3, p.DCResistance*1e3)
 	}

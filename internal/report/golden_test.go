@@ -1,0 +1,89 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file tests pin the exact rendered bytes of each figure/table
+// shape. The experiment suite's determinism contract ("output is
+// byte-identical at any -parallel setting") is only as strong as the
+// renderer's stability, so any formatting change must be deliberate:
+// regenerate with
+//
+//	go test ./internal/report -run Golden -update
+//
+// and review the testdata diff.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s rendering changed; rerun with -update if intended.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenTable(t *testing.T) {
+	tbl := &Table{
+		Title:   "Table 2 shape: emergencies per impedance",
+		Headers: []string{"benchmark", "100%", "150%", "200%", "300%"},
+		Notes:   []string{"counts are emergency cycles in the measured window"},
+	}
+	tbl.AddRow("swim", "0", "12", "340", "1204")
+	tbl.AddRowf("gcc", 0, 3, 77.5, 901)
+	tbl.AddRow("stressmark", "55", "1020", "8100", "22013")
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	checkGolden(t, "table", buf.Bytes())
+}
+
+func TestGoldenLinePlot(t *testing.T) {
+	// A resonance-shaped pair of series, the Figure 2-6 shape.
+	var damped, envelope []float64
+	for i := 0; i < 120; i++ {
+		x := float64(i) / 8
+		damped = append(damped, math.Exp(-x/6)*math.Cos(2*x))
+		envelope = append(envelope, math.Exp(-x/6))
+	}
+	p := &LinePlot{
+		Title:  "Fig 3 shape: step response",
+		YLabel: "voltage (V)",
+		Series: []Series{{Name: "response", Data: damped}, {Name: "envelope", Data: envelope}},
+		Notes:  []string{"50 MHz package resonance"},
+	}
+	var buf bytes.Buffer
+	p.Render(&buf)
+	checkGolden(t, "lineplot", buf.Bytes())
+}
+
+func TestGoldenBarChart(t *testing.T) {
+	b := &BarChart{
+		Title:  "Fig 10 shape: voltage distribution",
+		Unit:   "%",
+		Labels: []string{"<0.95V", "0.95-1.00V", "1.00-1.05V", ">1.05V"},
+		Values: []float64{0.4, 48.1, 50.2, 1.3},
+		Notes:  []string{"fraction of measured cycles"},
+	}
+	var buf bytes.Buffer
+	b.Render(&buf)
+	checkGolden(t, "barchart", buf.Bytes())
+}

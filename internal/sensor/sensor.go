@@ -47,6 +47,13 @@ type Sensor struct {
 	vLow    float64
 	vHigh   float64
 	nominal float64
+
+	// Trip accounting for the telemetry layer: plain (non-atomic) locals
+	// incremented in Sense, harvested once per run, so the hot path pays
+	// an increment and nothing else.
+	samples   uint64
+	lowTrips  uint64
+	highTrips uint64
 }
 
 // New builds a sensor with the given detection delay in cycles and noise
@@ -103,20 +110,30 @@ func (s *Sensor) Sense(v float64) Level {
 	if s.noise > 0 {
 		reading += (2*s.rng.Float64() - 1) * s.noise
 	}
+	s.samples++
 	switch {
 	case reading < s.vLow:
+		s.lowTrips++
 		return Low
 	case reading > s.vHigh:
+		s.highTrips++
 		return High
 	}
 	return Normal
 }
 
-// Reset clears the delay line and reseeds the noise stream.
+// Trips reports how many readings the sensor has classified in total and
+// how many tripped each threshold since construction (or the last Reset).
+func (s *Sensor) Trips() (samples, low, high uint64) {
+	return s.samples, s.lowTrips, s.highTrips
+}
+
+// Reset clears the delay line, trip counts, and reseeds the noise stream.
 func (s *Sensor) Reset(seed int64) {
 	for i := range s.line {
 		s.line[i] = 0
 	}
 	s.filled = 0
+	s.samples, s.lowTrips, s.highTrips = 0, 0, 0
 	s.rng = rand.New(rand.NewSource(seed))
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "sync"
+import (
+	"sync"
+
+	"didt/internal/telemetry"
+)
 
 // Cache memoizes a deterministic computation keyed by K with singleflight
 // semantics: when several goroutines ask for the same key at once, exactly
@@ -17,6 +21,27 @@ type Cache[K comparable, V any] struct {
 	mu      sync.Mutex
 	entries map[K]*cacheEntry[V]
 	cap     int
+	stats   CacheStats
+}
+
+// CacheStats is a point-in-time view of a cache's effectiveness. A Get
+// that finds an entry (even one still being computed by another
+// goroutine) counts as a hit; a Get that inserts counts as a miss;
+// Evictions counts entries dropped by capacity flushes and Reset.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// HitRate is hits/(hits+misses), 0 for an untouched cache.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 type cacheEntry[V any] struct {
@@ -37,11 +62,15 @@ func (c *Cache[K, V]) Get(k K, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
 	e, ok := c.entries[k]
 	if !ok {
+		c.stats.Misses++
 		if c.cap > 0 && len(c.entries) >= c.cap {
+			c.stats.Evictions += uint64(len(c.entries))
 			c.entries = map[K]*cacheEntry[V]{}
 		}
 		e = &cacheEntry[V]{}
 		c.entries[k] = e
+	} else {
+		c.stats.Hits++
 	}
 	c.mu.Unlock()
 
@@ -71,5 +100,27 @@ func (c *Cache[K, V]) Len() int {
 func (c *Cache[K, V]) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.stats.Evictions += uint64(len(c.entries))
 	c.entries = map[K]*cacheEntry[V]{}
+}
+
+// Stats reports the cache's cumulative hit/miss/eviction counts and
+// current residency.
+func (c *Cache[K, V]) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}
+
+// RegisterMetrics publishes the cache's statistics into a telemetry
+// registry as callback gauges named <prefix>.hits, .misses, .evictions,
+// .entries and .hit_rate, evaluated at snapshot time.
+func (c *Cache[K, V]) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	r.RegisterGaugeFunc(prefix+".hits", func() float64 { return float64(c.Stats().Hits) })
+	r.RegisterGaugeFunc(prefix+".misses", func() float64 { return float64(c.Stats().Misses) })
+	r.RegisterGaugeFunc(prefix+".evictions", func() float64 { return float64(c.Stats().Evictions) })
+	r.RegisterGaugeFunc(prefix+".entries", func() float64 { return float64(c.Stats().Entries) })
+	r.RegisterGaugeFunc(prefix+".hit_rate", func() float64 { return c.Stats().HitRate() })
 }

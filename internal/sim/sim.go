@@ -24,6 +24,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"didt/internal/telemetry"
 )
 
 // defaultWorkers holds the process-wide worker default; <= 0 means
@@ -61,6 +64,51 @@ func resolveWorkers(workers, n int) int {
 	return workers
 }
 
+// Pool observability: process-wide job counters feeding an optional
+// progress callback (a live stderr line in the CLIs), plus worker-pool
+// metrics in the default telemetry registry. Both are aggregate-only and
+// never influence scheduling, so they cannot perturb the determinism
+// contract.
+var (
+	progressFn atomic.Value // func(done, total int64)
+	jobsDone   atomic.Int64
+	jobsTotal  atomic.Int64
+
+	poolMetricsOnce sync.Once
+	mJobs, mSweeps  *telemetry.Counter
+	gQueueDepth     *telemetry.Gauge
+	gWorkers        *telemetry.Gauge
+	hUtilization    *telemetry.Histogram
+)
+
+// SetProgress installs a callback invoked (from worker goroutines, so it
+// must be safe for concurrent use) whenever a sweep job completes or is
+// submitted, with the process-wide cumulative done/total job counts.
+// Installing a callback starts a fresh progress session: the counters
+// reset to zero. Pass nil to disable.
+func SetProgress(f func(done, total int64)) {
+	jobsDone.Store(0)
+	jobsTotal.Store(0)
+	progressFn.Store(f)
+}
+
+func notifyProgress() {
+	if f, _ := progressFn.Load().(func(done, total int64)); f != nil {
+		f(jobsDone.Load(), jobsTotal.Load())
+	}
+}
+
+func poolMetrics() {
+	poolMetricsOnce.Do(func() {
+		r := telemetry.Default()
+		mJobs = r.Counter("sim.pool.jobs_total")
+		mSweeps = r.Counter("sim.pool.sweeps_total")
+		gQueueDepth = r.Gauge("sim.pool.queue_depth")
+		gWorkers = r.Gauge("sim.pool.workers")
+		hUtilization = r.Histogram("sim.pool.worker_utilization_pct", 0, 100, 20)
+	})
+}
+
 // jobError carries the submission index so error propagation is
 // deterministic: whichever goroutine fails, Map reports the error of the
 // lowest-indexed failing job.
@@ -79,6 +127,21 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 		return nil, ctx.Err()
 	}
 	workers = resolveWorkers(workers, n)
+	poolMetrics()
+	mSweeps.Inc()
+	gWorkers.Set(float64(workers))
+	jobsTotal.Add(int64(n))
+	notifyProgress()
+	// A sweep that exits early (error or cancellation) gives back the jobs
+	// it never ran, so the progress line's total always reflects work that
+	// will actually happen.
+	var completed atomic.Int64
+	defer func() {
+		if c := completed.Load(); c < int64(n) {
+			jobsTotal.Add(c - int64(n))
+			notifyProgress()
+		}
+	}()
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
@@ -90,6 +153,10 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				return nil, err
 			}
 			out[i] = v
+			completed.Add(1)
+			mJobs.Inc()
+			jobsDone.Add(1)
+			notifyProgress()
 		}
 		return out, nil
 	}
@@ -97,29 +164,38 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	start := time.Now()
+	busy := make([]time.Duration, workers)
 	jobs := make(chan int)
 	errc := make(chan jobError, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
+				jobStart := time.Now()
 				v, err := fn(ctx, i)
+				busy[w] += time.Since(jobStart)
 				if err != nil {
 					errc <- jobError{i, err}
 					cancel()
 					return
 				}
 				out[i] = v
+				completed.Add(1)
+				mJobs.Inc()
+				jobsDone.Add(1)
+				notifyProgress()
 			}
-		}()
+		}(w)
 	}
 
 dispatch:
 	for i := 0; i < n; i++ {
 		select {
 		case jobs <- i:
+			gQueueDepth.Set(float64(n - i - 1))
 		case <-ctx.Done():
 			break dispatch
 		}
@@ -127,6 +203,13 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 	close(errc)
+
+	// Per-worker utilization: busy fraction of the sweep's wall time.
+	if wall := time.Since(start); wall > 0 {
+		for _, b := range busy {
+			hUtilization.Observe(100 * float64(b) / float64(wall))
+		}
+	}
 
 	first := jobError{index: n}
 	for je := range errc {

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"didt/internal/telemetry"
 )
 
 func TestMapPreservesSubmissionOrder(t *testing.T) {
@@ -223,6 +225,84 @@ func TestCacheErrorNotCached(t *testing.T) {
 	}
 	if c.Len() != 1 {
 		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := NewCache[int, int](3)
+	for _, k := range []int{1, 2, 1, 1, 3} {
+		if _, err := c.Get(k, func() (int, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 3 || s.Entries != 3 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 2 hits / 3 misses / 3 entries / 0 evictions", s)
+	}
+	if got, want := s.HitRate(), 2.0/5.0; got != want {
+		t.Fatalf("hit rate = %v, want %v", got, want)
+	}
+	// Inserting past capacity flushes all resident entries.
+	if _, err := c.Get(4, func() (int, error) { return 4, nil }); err != nil {
+		t.Fatal(err)
+	}
+	s = c.Stats()
+	if s.Evictions != 3 || s.Entries != 1 {
+		t.Fatalf("after capacity flush: %+v, want 3 evictions / 1 entry", s)
+	}
+	c.Reset()
+	if s = c.Stats(); s.Evictions != 4 || s.Entries != 0 {
+		t.Fatalf("after reset: %+v, want 4 evictions / 0 entries", s)
+	}
+	if (CacheStats{}).HitRate() != 0 {
+		t.Fatal("untouched cache must report hit rate 0")
+	}
+}
+
+func TestCacheRegisterMetrics(t *testing.T) {
+	c := NewCache[int, int](0)
+	r := telemetry.NewRegistry()
+	c.RegisterMetrics(r, "cache.test")
+	for _, k := range []int{1, 1, 2} {
+		c.Get(k, func() (int, error) { return k, nil })
+	}
+	g := r.Snapshot().Gauges
+	if g["cache.test.hits"] != 1 || g["cache.test.misses"] != 2 || g["cache.test.entries"] != 2 {
+		t.Fatalf("gauges = %v", g)
+	}
+	if got, want := g["cache.test.hit_rate"], 1.0/3.0; got != want {
+		t.Fatalf("hit_rate gauge = %v, want %v", got, want)
+	}
+}
+
+func TestMapProgressHook(t *testing.T) {
+	defer SetProgress(nil)
+	var mu sync.Mutex
+	var finalDone, finalTotal int64
+	calls := 0
+	SetProgress(func(done, total int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		finalDone, finalTotal = done, total
+	})
+	for _, workers := range []int{1, 4} {
+		mu.Lock()
+		calls, finalDone, finalTotal = 0, 0, 0
+		mu.Unlock()
+		if _, err := Map(context.Background(), workers, 12, func(_ context.Context, i int) (int, error) {
+			return i, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		if calls == 0 {
+			t.Fatalf("workers=%d: progress hook never fired", workers)
+		}
+		if finalDone != finalTotal {
+			t.Fatalf("workers=%d: final progress %d/%d, want done == total", workers, finalDone, finalTotal)
+		}
+		mu.Unlock()
 	}
 }
 

@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric. Safe for
+// concurrent use; Add is one atomic add.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter; nil-safe.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric. Safe for concurrent use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v; nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a bounded linear-bucket histogram: observations below Lo
+// land in the first bucket, above Hi in the last. Mutex-protected — it is
+// meant for per-run/per-sweep observations, not per-cycle hot paths.
+type Histogram struct {
+	mu      sync.Mutex
+	lo, hi  float64
+	buckets []uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+func newHistogram(lo, hi float64, buckets int) *Histogram {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]uint64, buckets),
+		min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one sample; nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := int(float64(len(h.buckets)) * (v - h.lo) / (h.hi - h.lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	h.min = math.Min(h.min, v)
+	h.max = math.Max(h.max, v)
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Lo      float64  `json:"lo"`
+	Hi      float64  `json:"hi"`
+	Count   uint64   `json:"count"`
+	Mean    float64  `json:"mean"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Lo: h.lo, Hi: h.hi, Count: h.count,
+		Buckets: append([]uint64(nil), h.buckets...)}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+		s.Min, s.Max = h.min, h.max
+	}
+	return s
+}
+
+// Registry is a named set of metrics. Metric handles are created on first
+// use and shared thereafter; lookups take a mutex, so instrumented code
+// should hold handles rather than re-resolving names per event. The zero
+// value is not usable; use NewRegistry or the process-wide Default.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() float64{},
+		hists:      map[string]*Histogram{},
+	}
+}
+
+// defaultRegistry is the process-wide registry every internal package
+// instruments; CLIs snapshot it into run manifests.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating on first use) the named counter; nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge; nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// RegisterGaugeFunc registers a callback gauge evaluated at snapshot time
+// (used for cache hit/miss statistics, whose source of truth lives in the
+// caches themselves). Re-registering a name replaces the callback.
+func (r *Registry) RegisterGaugeFunc(name string, f func() float64) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = f
+}
+
+// Histogram returns (creating on first use) the named bounded histogram.
+// The bounds are fixed by the first caller; nil-safe.
+func (r *Registry) Histogram(name string, lo, hi float64, buckets int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(lo, hi, buckets)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a machine-readable registry dump. Maps serialize with sorted
+// keys under encoding/json, so snapshots of equal state are byte-identical.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value (gauge funcs are invoked
+// outside the registry lock so they may themselves read metrics).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}, Histograms: map[string]HistogramSnapshot{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for n, f := range r.gaugeFuncs {
+		funcs[n] = f
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	for n, h := range hists {
+		s.Histograms[n] = h.snapshot()
+	}
+	for n, f := range funcs {
+		s.Gauges[n] = f()
+	}
+	return s
+}
+
+// Manifest is the machine-readable record written alongside an experiment
+// run: what ran, on what machine, and every metric the run produced.
+type Manifest struct {
+	Tool          string   `json:"tool"`
+	Experiments   []string `json:"experiments,omitempty"`
+	Workers       int      `json:"workers"`
+	GOMAXPROCS    int      `json:"gomaxprocs"`
+	NumCPU        int      `json:"num_cpu"`
+	GoVersion     string   `json:"go_version"`
+	GeneratedUnix int64    `json:"generated_unix"`
+	TraceStreams  int      `json:"trace_streams,omitempty"`
+	TraceEvents   uint64   `json:"trace_events,omitempty"`
+	TraceDropped  uint64   `json:"trace_dropped,omitempty"`
+	Metrics       Snapshot `json:"metrics"`
+}
+
+// NewManifest assembles a manifest for the named tool from the registry's
+// current state, stamping host facts and (when a tracer is given) trace
+// volume.
+func NewManifest(tool string, workers int, r *Registry, t *Tracer) Manifest {
+	m := Manifest{
+		Tool:          tool,
+		Workers:       workers,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
+		GeneratedUnix: time.Now().Unix(),
+		Metrics:       r.Snapshot(),
+	}
+	for _, s := range t.Streams() {
+		m.TraceStreams++
+		m.TraceEvents += s.Total()
+		m.TraceDropped += s.Dropped()
+	}
+	return m
+}
+
+// WriteJSON serializes the manifest with stable indentation.
+func (m Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter holds a value")
+	}
+	var g *Gauge
+	g.Set(3.5)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge holds a value")
+	}
+	var h *Histogram
+	h.Observe(1)
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", 0, 1, 4) != nil {
+		t.Fatal("nil registry handed out live metrics")
+	}
+	r.RegisterGaugeFunc("x", func() float64 { return 1 })
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+func TestRegistryHandlesAreShared(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("runs")
+	b := r.Counter("runs")
+	if a != b {
+		t.Fatal("same name resolved to different counters")
+	}
+	a.Add(2)
+	b.Inc()
+	if got := r.Counter("runs").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if r.Gauge("depth") != r.Gauge("depth") {
+		t.Fatal("same name resolved to different gauges")
+	}
+}
+
+func TestCounterConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ipc", 0, 8, 4) // buckets of width 2
+	for _, v := range []float64{-3, 0.5, 1.9, 3, 7.9, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["ipc"]
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Min != -3 || s.Max != 100 {
+		t.Fatalf("min/max = %v/%v, want -3/100", s.Min, s.Max)
+	}
+	want := []uint64{3, 1, 0, 2} // below-lo clamps to first, above-hi to last
+	for i, b := range s.Buckets {
+		if b != want[i] {
+			t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+		}
+	}
+}
+
+func TestGaugeFuncEvaluatedAtSnapshot(t *testing.T) {
+	r := NewRegistry()
+	hits := 0
+	r.RegisterGaugeFunc("cache.hits", func() float64 { return float64(hits) })
+	hits = 7
+	if got := r.Snapshot().Gauges["cache.hits"]; got != 7 {
+		t.Fatalf("gauge func = %v, want 7", got)
+	}
+	hits = 11
+	if got := r.Snapshot().Gauges["cache.hits"]; got != 11 {
+		t.Fatalf("gauge func = %v, want 11 (not cached)", got)
+	}
+}
+
+func TestSnapshotSerializationIsStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Gauge("z").Set(0.5)
+	r.Histogram("h", 0, 1, 2).Observe(0.25)
+	enc := func() []byte {
+		raw, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if !bytes.Equal(enc(), enc()) {
+		t.Fatal("snapshot serialization unstable across calls")
+	}
+}
+
+func TestManifestJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.runs_total").Inc()
+	tr := NewTracer(8)
+	s := tr.Stream("sys")
+	for i := 0; i < 20; i++ {
+		s.Emit(uint64(i), KindVoltage, 0, 1)
+	}
+	m := NewManifest("test", 4, r, tr)
+	if m.TraceStreams != 1 || m.TraceEvents != 20 || m.TraceDropped != 12 {
+		t.Fatalf("trace volume = %d streams / %d events / %d dropped, want 1/20/12",
+			m.TraceStreams, m.TraceEvents, m.TraceDropped)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "test" || back.Workers != 4 {
+		t.Fatalf("manifest round-trip lost fields: %+v", back)
+	}
+	if back.Metrics.Counters["core.runs_total"] != 1 {
+		t.Fatal("manifest lost counter value")
+	}
+}
+
+func TestManifestNilTracerAndRegistry(t *testing.T) {
+	m := NewManifest("bare", 1, nil, nil)
+	if m.TraceStreams != 0 || m.TraceEvents != 0 {
+		t.Fatal("nil tracer contributed trace volume")
+	}
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

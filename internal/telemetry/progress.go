@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress renders a single live status line ("\r"-rewritten, so it needs
+// a terminal-ish writer such as stderr) for long parallel sweeps. Updates
+// are throttled to at most one write per interval; Done always writes a
+// final newline-terminated summary. Safe for concurrent use — worker
+// goroutines report completions directly.
+type Progress struct {
+	mu       sync.Mutex
+	w        io.Writer
+	label    string
+	interval time.Duration
+	last     time.Time
+	started  time.Time
+	wrote    bool
+}
+
+// NewProgress creates a progress line writing to w (typically os.Stderr).
+// interval <= 0 selects 200ms.
+func NewProgress(w io.Writer, label string, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	return &Progress{w: w, label: label, interval: interval, started: time.Now()}
+}
+
+// Update reports done-of-total completion; nil-safe. Writes are throttled
+// except for the final update (done == total), which always flushes.
+func (p *Progress) Update(done, total int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := time.Now()
+	if done < total && now.Sub(p.last) < p.interval {
+		return
+	}
+	p.last = now
+	pct := 0.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	fmt.Fprintf(p.w, "\r[%s] %d/%d jobs (%.0f%%, %s elapsed)   ",
+		p.label, done, total, pct, now.Sub(p.started).Round(time.Second))
+	p.wrote = true
+}
+
+// Done terminates the line; nil-safe, idempotent enough for deferred use.
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wrote {
+		fmt.Fprintln(p.w)
+		p.wrote = false
+	}
+}

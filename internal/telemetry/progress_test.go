@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressThrottlesAndFlushesFinal(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sweep", time.Hour) // throttle everything but the final update
+	p.Update(1, 10)                            // first update writes (last is zero)
+	p.Update(2, 10)                            // throttled
+	p.Update(3, 10)                            // throttled
+	p.Update(10, 10)                           // final: always writes
+	p.Done()
+	out := buf.String()
+	if got := strings.Count(out, "\r"); got != 2 {
+		t.Fatalf("wrote %d progress lines, want 2 (first + final):\n%q", got, out)
+	}
+	if !strings.Contains(out, "10/10 jobs (100%") {
+		t.Fatalf("final line missing completion: %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("Done did not terminate the line")
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var p *Progress
+	p.Update(1, 2)
+	p.Done()
+}
+
+func TestProgressDoneWithoutUpdates(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "idle", 0)
+	p.Done()
+	if buf.Len() != 0 {
+		t.Fatalf("Done wrote %q with no prior updates", buf.String())
+	}
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlEvent is the JSONL wire form of one event.
+type jsonlEvent struct {
+	Stream string  `json:"stream"`
+	Cycle  uint64  `json:"cycle"`
+	Kind   string  `json:"kind"`
+	Arg    int32   `json:"arg,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+}
+
+// WriteJSONL serializes every stream as one JSON object per line, streams
+// in canonical order, events in chronological order within a stream.
+func WriteJSONL(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range t.Streams() {
+		for _, e := range s.Events() {
+			je := jsonlEvent{Stream: s.Name(), Cycle: e.Cycle, Kind: e.Kind.String(), Arg: e.Arg, Value: e.Value}
+			if err := enc.Encode(je); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace back into per-stream event lists, the
+// round-trip counterpart of WriteJSONL (used by tests and external tools
+// that post-process traces).
+func ReadJSONL(r io.Reader) (map[string][]Event, error) {
+	out := map[string][]Event{}
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var je jsonlEvent
+		if err := dec.Decode(&je); err != nil {
+			return nil, err
+		}
+		k, ok := kindFromString(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("telemetry: unknown event kind %q", je.Kind)
+		}
+		out[je.Stream] = append(out[je.Stream], Event{Cycle: je.Cycle, Kind: k, Arg: je.Arg, Value: je.Value})
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Perfetto and chrome://tracing both load the JSON-object form produced
+// by WriteChromeTrace.
+type chromeEvent struct {
+	Name  string                 `json:"name"`
+	Cat   string                 `json:"cat,omitempty"`
+	Phase string                 `json:"ph"`
+	TS    float64                `json:"ts"` // microseconds
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// levelName maps a KindSensorLevel Arg to its display name. The values
+// mirror sensor.Level without importing the package (telemetry is a leaf).
+func levelName(arg int32) string {
+	switch arg {
+	case 1:
+		return "sensor: low"
+	case 2:
+		return "sensor: high"
+	}
+	return "sensor: normal"
+}
+
+// WriteChromeTrace serializes the tracer in Chrome trace-event format.
+// State-like kinds (voltage, current, gate, phantom, emergency, quadrant
+// voltages) become counter tracks — robust to ring truncation, where a
+// begin/end pairing could lose its opening half — and discrete occurrences
+// (sensor transitions, gate/phantom engagement, marks) become instant
+// events. clockHz converts cycle timestamps to trace microseconds;
+// clockHz <= 0 defaults to the paper's 3 GHz clock.
+func WriteChromeTrace(w io.Writer, t *Tracer, clockHz float64) error {
+	if clockHz <= 0 {
+		clockHz = 3e9
+	}
+	usPerCycle := 1e6 / clockHz
+	tr := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
+	for tid, s := range t.Streams() {
+		tid++ // tid 0 renders poorly in some viewers
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+			Args: map[string]interface{}{"name": s.Name()},
+		})
+		for _, e := range s.Events() {
+			ts := float64(e.Cycle) * usPerCycle
+			switch e.Kind {
+			case KindVoltage:
+				tr.TraceEvents = append(tr.TraceEvents, counter("voltage (V)", ts, tid, "v", e.Value))
+			case KindCurrent:
+				tr.TraceEvents = append(tr.TraceEvents, counter("current (A)", ts, tid, "i", e.Value))
+			case KindQuadrantVoltage:
+				name := fmt.Sprintf("quadrant %d voltage (V)", e.Arg)
+				tr.TraceEvents = append(tr.TraceEvents, counter(name, ts, tid, "v", e.Value))
+			case KindGate:
+				tr.TraceEvents = append(tr.TraceEvents, counter("gating", ts, tid, "on", float64(e.Arg)))
+				if e.Arg == 1 {
+					tr.TraceEvents = append(tr.TraceEvents, instant("gate engage", "actuation", ts, tid, e.Value))
+				}
+			case KindPhantom:
+				tr.TraceEvents = append(tr.TraceEvents, counter("phantom-fire", ts, tid, "on", float64(e.Arg)))
+				if e.Arg == 1 {
+					tr.TraceEvents = append(tr.TraceEvents, instant("phantom engage", "actuation", ts, tid, e.Value))
+				}
+			case KindEmergency:
+				tr.TraceEvents = append(tr.TraceEvents, counter("emergency", ts, tid, "on", float64(e.Arg)))
+				if e.Arg == 1 {
+					tr.TraceEvents = append(tr.TraceEvents, instant("emergency", "emergency", ts, tid, e.Value))
+				}
+			case KindSensorLevel:
+				tr.TraceEvents = append(tr.TraceEvents, instant(levelName(e.Arg), "sensor", ts, tid, e.Value))
+			case KindMark:
+				tr.TraceEvents = append(tr.TraceEvents, instant("mark", "mark", ts, tid, e.Value))
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+func counter(name string, ts float64, tid int, key string, v float64) chromeEvent {
+	return chromeEvent{Name: name, Cat: "state", Phase: "C", TS: ts, PID: 1, TID: tid,
+		Args: map[string]interface{}{key: v}}
+}
+
+func instant(name, cat string, ts float64, tid int, v float64) chromeEvent {
+	return chromeEvent{Name: name, Cat: cat, Phase: "i", TS: ts, PID: 1, TID: tid, Scope: "t",
+		Args: map[string]interface{}{"voltage": v}}
+}

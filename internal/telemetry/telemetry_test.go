@@ -1,0 +1,275 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.SetEnabled(true) // must not panic
+	s := tr.Stream("x")
+	if s != nil {
+		t.Fatal("nil tracer returned a live stream")
+	}
+	if s.Enabled() {
+		t.Fatal("nil stream reports enabled")
+	}
+	s.Emit(1, KindVoltage, 0, 1.0) // must not panic
+	if s.Name() != "" || s.Total() != 0 || s.Dropped() != 0 || s.Events() != nil {
+		t.Fatal("nil stream leaked state")
+	}
+	if got := tr.Streams(); got != nil {
+		t.Fatalf("nil tracer Streams() = %v, want nil", got)
+	}
+}
+
+func TestDisabledTracerDropsEvents(t *testing.T) {
+	tr := NewTracer(16)
+	s := tr.Stream("sys")
+	s.Emit(1, KindVoltage, 0, 1.0)
+	tr.SetEnabled(false)
+	s.Emit(2, KindVoltage, 0, 0.9)
+	if got := s.Total(); got != 1 {
+		t.Fatalf("disabled stream recorded: total = %d, want 1", got)
+	}
+	tr.SetEnabled(true)
+	s.Emit(3, KindVoltage, 0, 0.8)
+	if got := s.Total(); got != 2 {
+		t.Fatalf("re-enabled stream total = %d, want 2", got)
+	}
+}
+
+func TestRingGrowthAndWraparound(t *testing.T) {
+	const ringCap = 2048 // larger than the 1024 initial allocation
+	tr := NewTracer(ringCap)
+	s := tr.Stream("sys")
+	const n = 3 * ringCap
+	for i := 0; i < n; i++ {
+		s.Emit(uint64(i), KindVoltage, 0, float64(i))
+	}
+	if got := s.Total(); got != n {
+		t.Fatalf("total = %d, want %d", got, n)
+	}
+	ev := s.Events()
+	if len(ev) != ringCap {
+		t.Fatalf("retained %d events, want ring cap %d", len(ev), ringCap)
+	}
+	if got := s.Dropped(); got != n-ringCap {
+		t.Fatalf("dropped = %d, want %d", got, n-ringCap)
+	}
+	// The ring keeps the most recent ringCap events in chronological order.
+	for i, e := range ev {
+		want := uint64(n - ringCap + i)
+		if e.Cycle != want {
+			t.Fatalf("event %d has cycle %d, want %d", i, e.Cycle, want)
+		}
+	}
+}
+
+func TestDefaultStreamName(t *testing.T) {
+	tr := NewTracer(0)
+	if got := tr.Stream("").Name(); got != "system" {
+		t.Fatalf("empty stream name = %q, want %q", got, "system")
+	}
+}
+
+func TestStreamsCanonicalOrder(t *testing.T) {
+	// Register streams in one order, emit, and verify Streams() sorts by
+	// name then content — the property that makes serialized traces
+	// byte-identical regardless of sweep completion order.
+	build := func(order []int) *Tracer {
+		tr := NewTracer(64)
+		names := []string{"c", "a", "b", "a"}
+		streams := make([]*Stream, len(names))
+		for _, i := range order {
+			streams[i] = tr.Stream(names[i])
+		}
+		streams[0].Emit(5, KindVoltage, 0, 1)
+		streams[1].Emit(1, KindVoltage, 0, 1)
+		streams[2].Emit(2, KindVoltage, 0, 1)
+		streams[3].Emit(9, KindGate, 1, 0.9)
+		return tr
+	}
+	serialize := func(tr *Tracer) string {
+		var b bytes.Buffer
+		if err := WriteJSONL(&b, tr); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := serialize(build([]int{0, 1, 2, 3}))
+	b := serialize(build([]int{3, 2, 1, 0}))
+	if a != b {
+		t.Fatalf("trace depends on stream registration order:\n%s\nvs\n%s", a, b)
+	}
+	names := []string{}
+	for _, s := range build([]int{2, 0, 3, 1}).Streams() {
+		names = append(names, s.Name())
+	}
+	if got := strings.Join(names, ","); got != "a,a,b,c" {
+		t.Fatalf("canonical order = %s, want a,a,b,c", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(64)
+	s1 := tr.Stream("alpha")
+	s2 := tr.Stream("beta")
+	want := map[string][]Event{
+		"alpha": {
+			{Cycle: 10, Kind: KindSensorLevel, Arg: 1, Value: 0.94},
+			{Cycle: 11, Kind: KindGate, Arg: 1, Value: 0.94},
+			{Cycle: 40, Kind: KindGate, Arg: 0, Value: 0.99},
+		},
+		"beta": {
+			{Cycle: 7, Kind: KindEmergency, Arg: 1, Value: 0.91},
+			{Cycle: 8, Kind: KindQuadrantVoltage, Arg: 3, Value: 0.97},
+		},
+	}
+	for _, e := range want["alpha"] {
+		s1.Emit(e.Cycle, e.Kind, e.Arg, e.Value)
+	}
+	for _, e := range want["beta"] {
+		s2.Emit(e.Cycle, e.Kind, e.Arg, e.Value)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("round-trip produced %d streams, want %d", len(got), len(want))
+	}
+	for name, evs := range want {
+		if len(got[name]) != len(evs) {
+			t.Fatalf("stream %s: %d events, want %d", name, len(got[name]), len(evs))
+		}
+		for i := range evs {
+			if got[name][i] != evs[i] {
+				t.Fatalf("stream %s event %d = %+v, want %+v", name, i, got[name][i], evs[i])
+			}
+		}
+	}
+}
+
+func TestReadJSONLRejectsUnknownKind(t *testing.T) {
+	_, err := ReadJSONL(strings.NewReader(`{"stream":"x","cycle":1,"kind":"bogus"}`))
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := KindSensorLevel; k <= KindMark; k++ {
+		got, ok := kindFromString(k.String())
+		if !ok || got != k {
+			t.Fatalf("kind %d does not round-trip through %q", k, k.String())
+		}
+	}
+	if _, ok := kindFromString("kind(99)"); ok {
+		t.Fatal("invalid kind string accepted")
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	tr := NewTracer(64)
+	s := tr.Stream("fig11 stressmark controller")
+	s.Emit(100, KindVoltage, 0, 0.97)
+	s.Emit(100, KindCurrent, 0, 31.5)
+	s.Emit(101, KindSensorLevel, 1, 0.94)
+	s.Emit(102, KindGate, 1, 0.94)
+	s.Emit(120, KindGate, 0, 0.99)
+	s.Emit(130, KindPhantom, 1, 1.04)
+	s.Emit(140, KindEmergency, 1, 0.89)
+	s.Emit(150, KindQuadrantVoltage, 2, 0.96)
+	s.Emit(160, KindMark, 0, 0)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, 3e9); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			PID   int     `json:"pid"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	names := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phases[e.Phase]++
+		names[e.Name]++
+		if e.Phase != "M" && e.TS < 0 {
+			t.Fatalf("negative timestamp on %q", e.Name)
+		}
+	}
+	if phases["M"] != 1 {
+		t.Fatalf("want 1 thread_name metadata event, got %d", phases["M"])
+	}
+	if phases["C"] == 0 || phases["i"] == 0 {
+		t.Fatalf("want counter and instant events, got phases %v", phases)
+	}
+	for _, want := range []string{"voltage (V)", "current (A)", "sensor: low", "gate engage", "phantom engage", "emergency", "quadrant 2 voltage (V)"} {
+		if names[want] == 0 {
+			t.Fatalf("chrome trace missing %q events; have %v", want, names)
+		}
+	}
+	// 3 GHz: cycle 102 is 0.034 µs.
+	for _, e := range doc.TraceEvents {
+		if e.Name == "gate engage" {
+			if want := 102 * 1e6 / 3e9; e.TS < want*0.99 || e.TS > want*1.01 {
+				t.Fatalf("gate engage ts = %v µs, want ≈%v", e.TS, want)
+			}
+		}
+	}
+}
+
+func TestChromeTraceNilTracer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("nil-tracer chrome trace is invalid JSON")
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	tr := NewTracer(1 << 12)
+	s := tr.Stream("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(uint64(i), KindVoltage, 0, 1.0)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	tr := NewTracer(1 << 12)
+	tr.SetEnabled(false)
+	s := tr.Stream("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Emit(uint64(i), KindVoltage, 0, 1.0)
+	}
+}

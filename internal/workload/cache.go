@@ -4,6 +4,7 @@ import (
 	"didt/internal/isa"
 
 	"didt/internal/sim"
+	"didt/internal/telemetry"
 )
 
 // Program generation is fully deterministic in its parameters, and the
@@ -18,6 +19,18 @@ var (
 	programCache    = sim.NewCache[Profile, isa.Program](128)
 	stressmarkCache = sim.NewCache[StressmarkParams, isa.Program](64)
 )
+
+func init() {
+	programCache.RegisterMetrics(telemetry.Default(), "cache.workload_program")
+	stressmarkCache.RegisterMetrics(telemetry.Default(), "cache.workload_stressmark")
+}
+
+// ProgramCacheStats reports the benchmark-program cache's effectiveness.
+func ProgramCacheStats() sim.CacheStats { return programCache.Stats() }
+
+// StressmarkCacheStats reports the stressmark-program cache's
+// effectiveness.
+func StressmarkCacheStats() sim.CacheStats { return stressmarkCache.Stats() }
 
 // ResetProgramCache empties both program caches (benchmarks use it to
 // measure cold-start cost).
