@@ -1,8 +1,21 @@
 #!/bin/sh
-# CI gate: vet, build, then the full test suite under the race detector.
-# The race run covers the parallel sweep engine (internal/sim) and the
-# determinism contract (internal/experiments TestParallelOutputIdentical).
+# CI gate: formatting, static analysis, vet, build, then the full test
+# suite under the race detector. The race run covers the parallel sweep
+# engine (internal/sim) and the determinism contract
+# (internal/experiments TestParallelOutputIdentical).
 set -eux
+
+# Formatting gate: gofmt must produce no diffs (testdata fixtures included —
+# the analysistest runner parses them with the same toolchain).
+test -z "$(gofmt -l .)"
+
+# didtlint: the repo's own go/analysis-style suite (internal/analysis).
+# Proves the determinism, telemetry-guard, hot-path, and lock-discipline
+# invariants the tests below only sample. Runs before the test suite so a
+# contract violation fails fast with a file:line diagnostic.
+# (didtlint is standalone because golang.org/x/tools is not vendored; if it
+# ever is, these analyzers can also be adapted behind `go vet -vettool`.)
+go run ./cmd/didtlint ./...
 
 go vet ./...
 go build ./...

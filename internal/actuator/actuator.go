@@ -38,6 +38,8 @@ func Granularities() []Mechanism { return []Mechanism{FU, FUDL1, FUDL1IL1} }
 // Low reading gates the controlled units (dropping current so the supply
 // recovers), a High reading phantom-fires them (raising current to pull
 // the supply down), and Normal releases both.
+//
+//didt:hotpath
 func (m Mechanism) Respond(l sensor.Level) (cpu.Gating, power.Phantom) {
 	switch l {
 	case sensor.Low:
@@ -76,6 +78,8 @@ var _ Responder = (*Counting)(nil)
 func (c *Counting) Label() string { return c.R.Label() }
 
 // Respond implements Responder, counting by sensed level.
+//
+//didt:hotpath
 func (c *Counting) Respond(l sensor.Level) (cpu.Gating, power.Phantom) {
 	switch l {
 	case sensor.Low:

@@ -1,0 +1,154 @@
+// Package analysis is didt's static-analysis suite: machine-checked
+// proofs of the invariants the rest of CI takes on faith. The paper solves
+// its controller thresholds offline so the closed loop provably stays
+// inside the ±5% band; this package plays the same role for the software —
+// the determinism contract (byte-identical sweep output at any -parallel
+// setting), the telemetry-guard contract (tracing can never panic or cost
+// when disabled), and the hot-path contract (the per-cycle kernels stay
+// allocation- and lock-free) are verified before the code ever runs.
+//
+// The framework mirrors golang.org/x/tools/go/analysis — Analyzer, Pass,
+// Diagnostic, testdata/src fixtures with `// want` expectations — but is
+// built entirely on the standard library (go/ast, go/types, go/build and
+// the source importer), because this repository vendors no third-party
+// code. If x/tools becomes available, each Analyzer.Run is shaped so it
+// can be lifted onto the real framework mechanically.
+//
+// Two source annotations steer the suite:
+//
+//	//didt:hotpath
+//	    placed in a function's doc comment, subjects its body to the
+//	    hotpath analyzer (no fmt, no defer, no mutex acquisition, no
+//	    interface-converting allocations).
+//
+//	//didt:allow <analyzer> -- <reason>
+//	    placed on (or immediately above) an offending line, suppresses
+//	    that analyzer's diagnostics there. The reason is mandatory: every
+//	    exception is an audited decision, never a blind spot.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the conventional compiler-style line.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check. AppliesTo, when non-nil, restricts the
+// analyzer to packages whose import path it accepts; Run inspects a single
+// package and reports findings through the pass.
+type Analyzer struct {
+	Name      string
+	Doc       string
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass) error
+}
+
+// Suite returns every analyzer in the didtlint suite, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		TelemetryGuard,
+		HotPath,
+		Locks,
+		Directives,
+	}
+}
+
+// knownAnalyzers names the valid targets of a //didt:allow directive.
+// (Spelled out rather than derived from Suite so the directives analyzer,
+// itself a Suite member, has no initialization cycle.)
+func knownAnalyzers() map[string]bool {
+	return map[string]bool{
+		"determinism":    true,
+		"telemetryguard": true,
+		"hotpath":        true,
+		"locks":          true,
+		"directives":     true,
+	}
+}
+
+// Analyze runs the given analyzers over one loaded package, applies
+// //didt:allow suppressions, and returns the surviving diagnostics sorted
+// by position.
+func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	diags = filterAllowed(diags, dirs)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// filterAllowed drops diagnostics covered by a well-formed //didt:allow
+// directive on the same line or the line immediately above.
+func filterAllowed(diags []Diagnostic, dirs *directives) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if dirs.allows(d.Analyzer, d.Pos.Filename, d.Pos.Line) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"didt/internal/analysis"
+	"didt/internal/analysis/analysistest"
+)
+
+// testdata returns the fixture root next to this test file.
+func testdata(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test file")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	analysistest.Run(t, testdata(t), []string{"didt/internal/core/detfix"}, analysis.Determinism)
+}
+
+func TestTelemetryGuardFixtures(t *testing.T) {
+	analysistest.Run(t, testdata(t), []string{"didt/internal/core/guardfix"}, analysis.TelemetryGuard)
+}
+
+func TestHotPathFixtures(t *testing.T) {
+	analysistest.Run(t, testdata(t), []string{"didt/hotfix"}, analysis.HotPath)
+}
+
+func TestLocksFixtures(t *testing.T) {
+	analysistest.Run(t, testdata(t), []string{"didt/internal/sim/lockfix"}, analysis.Locks)
+}
+
+func TestDirectivesFixtures(t *testing.T) {
+	analysistest.Run(t, testdata(t), []string{"didt/dirfix"}, analysis.Directives)
+}
+
+// TestScopes pins each analyzer's package scope: the determinism contract
+// covers the simulation/report packages, the locks contract the worker
+// pool, and telemetryguard everything except the telemetry package's own
+// internals.
+func TestScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		pkg      string
+		want     bool
+	}{
+		{analysis.Determinism, "didt/internal/core", true},
+		{analysis.Determinism, "didt/internal/telemetry", true},
+		{analysis.Determinism, "didt/internal/sensor", false},
+		{analysis.Determinism, "didt/cmd/benchreport", false},
+		{analysis.TelemetryGuard, "didt/internal/telemetry", false},
+		{analysis.TelemetryGuard, "didt/internal/core", true},
+		{analysis.Locks, "didt/internal/sim", true},
+		{analysis.Locks, "didt/internal/core", false},
+	}
+	for _, c := range cases {
+		if got := c.analyzer.AppliesTo(c.pkg); got != c.want {
+			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestSelfCheck runs the full suite over the real simulation packages: the
+// tree this repository ships must lint clean, with every exception an
+// explicit //didt:allow. This is the in-process twin of the ci.sh
+// didtlint gate.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the module from source; skipped in -short")
+	}
+	root := filepath.Clean(filepath.Join(testdata(t), "..", "..", ".."))
+	l := analysis.NewLoader(analysis.Root{Prefix: "didt", Dir: root})
+	for _, path := range []string{
+		"didt/internal/core",
+		"didt/internal/sim",
+		"didt/internal/pdn",
+		"didt/internal/sensor",
+		"didt/internal/actuator",
+		"didt/internal/cpu",
+		"didt/internal/power",
+		"didt/internal/experiments",
+		"didt/internal/report",
+		"didt/internal/telemetry",
+	} {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.Analyze(pkg, analysis.Suite())
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", path, d)
+		}
+	}
+}

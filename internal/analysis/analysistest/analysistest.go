@@ -1,0 +1,148 @@
+// Package analysistest runs didt analyzers over fixture packages and
+// checks their diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// Fixtures live under <testdata>/src/<import/path>/ and may import each
+// other and the standard library. Expectations are comments of the form
+//
+//	x := f() // want `regexp` `another regexp`
+//
+// attached to the line a diagnostic is expected on; every diagnostic must
+// match an expectation on its line and every expectation must be matched
+// by at least one diagnostic, so deleting either a finding or a guard
+// fails the test. A want clause may be embedded at the end of another
+// comment (including a //didt: directive), which is how fixtures annotate
+// the directives themselves.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"didt/internal/analysis"
+)
+
+// loaders caches one loader per testdata root: fixture packages and the
+// type-checked standard library are shared across tests in a run.
+var (
+	loadersMu sync.Mutex
+	loaders   = map[string]*analysis.Loader{}
+)
+
+func loaderFor(testdata string) *analysis.Loader {
+	loadersMu.Lock()
+	defer loadersMu.Unlock()
+	l, ok := loaders[testdata]
+	if !ok {
+		l = analysis.NewLoader(analysis.Root{Prefix: "", Dir: filepath.Join(testdata, "src")})
+		loaders[testdata] = l
+	}
+	return l
+}
+
+// expectation is one want pattern with match bookkeeping.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts expectations from every comment in the package.
+func parseWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitPatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: p})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns tokenizes a want clause: a sequence of back-quoted or
+// double-quoted regular expressions.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '`' && quote != '"' {
+			return nil, fmt.Errorf("want patterns must be quoted with ` or \": %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated want pattern: %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty want clause")
+	}
+	return out, nil
+}
+
+// Run loads each fixture package, applies the analyzers (with //didt:allow
+// suppression exactly as didtlint applies it), and reports mismatches
+// between diagnostics and want expectations.
+func Run(t *testing.T, testdata string, pkgPaths []string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	l := loaderFor(testdata)
+	for _, path := range pkgPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Analyze(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("analyzing fixture %s: %v", path, err)
+		}
+		wants, err := parseWants(pkg)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		for _, d := range diags {
+			rendered := d.Analyzer + ": " + d.Message
+			ok := false
+			for _, w := range wants {
+				if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(rendered) {
+					w.matched = true
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matched want %q", path, w.file, w.line, w.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,263 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismScope lists the packages whose output feeds the byte-identical
+// sweep contract. internal/sensor is deliberately absent: it is the
+// exemplar of the allowed pattern (an explicitly seeded rand.New stream).
+var determinismScope = []string{
+	"didt/internal/core",
+	"didt/internal/sim",
+	"didt/internal/pdn",
+	"didt/internal/experiments",
+	"didt/internal/report",
+	"didt/internal/telemetry",
+}
+
+// Determinism proves the sweep-output determinism contract (PR 1): no wall
+// clock, no global randomness, and no map-iteration order leaking into
+// serialized output inside the simulation and reporting packages.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid time.Now/Since, global math/rand, and map-ordered output " +
+		"in the simulation/report packages",
+	AppliesTo: func(pkgPath string) bool {
+		for _, p := range determinismScope {
+			if pathWithin(pkgPath, p) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runDeterminism,
+}
+
+// seededConstructors are the math/rand entry points that build explicitly
+// seeded streams — the allowed idiom (see internal/sensor).
+var seededConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClockAndRand(pass, n)
+			case *ast.RangeStmt:
+				checkMapRangeOutput(pass, n, enclosingFuncBody(f, n))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkWallClockAndRand(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	if isPkgFunc(fn, "time", "Now") || isPkgFunc(fn, "time", "Since") {
+		pass.Reportf(call.Pos(), "time.%s in a determinism-scoped package: wall-clock state must not influence sweep output", fn.Name())
+		return
+	}
+	for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+		if fn.Pkg() != nil && fn.Pkg().Path() == randPkg {
+			sig, ok := fn.Type().(*types.Signature)
+			if ok && sig.Recv() == nil && !seededConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(), "global %s.%s uses the shared unseeded stream; use rand.New(rand.NewSource(seed)) as internal/sensor does", randPkg, fn.Name())
+			}
+		}
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function containing
+// n, for the sorted-afterwards exemption.
+func enclosingFuncBody(f *ast.File, n ast.Node) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(f, func(c ast.Node) bool {
+		if c == nil || c.Pos() > n.Pos() || c.End() < n.End() {
+			return false
+		}
+		switch c := c.(type) {
+		case *ast.FuncDecl:
+			if c.Body != nil {
+				body = c.Body
+			}
+		case *ast.FuncLit:
+			body = c.Body
+		}
+		return true
+	})
+	return body
+}
+
+// checkMapRangeOutput flags `range m` over a map whose body writes to an
+// io.Writer, appends to a slice declared outside the loop (unless the
+// slice is sorted afterwards — the collect-then-sort idiom), or emits a
+// telemetry event: all places where map iteration order would leak into
+// serialized output.
+func checkMapRangeOutput(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		switch {
+		case isFprint(fn):
+			pass.Reportf(call.Pos(), "fmt.%s inside range over map: iteration order leaks into the writer; iterate sorted keys instead", fn.Name())
+		case isWriterMethod(pass.Info, call, fn):
+			pass.Reportf(call.Pos(), "%s on an io.Writer inside range over map: iteration order leaks into serialized output; iterate sorted keys instead", fn.Name())
+		case isTelemetryEmit(fn):
+			pass.Reportf(call.Pos(), "telemetry %s inside range over map: event order would depend on map iteration; iterate sorted keys instead", fn.Name())
+		default:
+			checkOutsideAppend(pass, rng, funcBody, call)
+		}
+		return true
+	})
+}
+
+func isFprint(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Fprint", "Fprintf", "Fprintln":
+		return true
+	}
+	return false
+}
+
+// isWriterMethod reports whether call invokes a write-like method on a
+// value that satisfies (or is declared as) io.Writer, or an encoding/json
+// Encoder.
+func isWriterMethod(info *types.Info, call *ast.CallExpr, fn *types.Func) bool {
+	pkg, typ, name, ok := methodInfo(fn)
+	if !ok {
+		return false
+	}
+	if pkg == "encoding/json" && typ == "Encoder" && name == "Encode" {
+		return true
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+	default:
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	recv := info.TypeOf(sel.X)
+	if recv == nil {
+		return false
+	}
+	if iface, isIface := recv.Underlying().(*types.Interface); isIface {
+		return types.Implements(iface, ioWriterIface) || types.Identical(iface, ioWriterIface)
+	}
+	return implementsWriter(recv)
+}
+
+// isTelemetryEmit matches the telemetry package's event- and
+// metric-emitting methods.
+func isTelemetryEmit(fn *types.Func) bool {
+	pkg, _, name, ok := methodInfo(fn)
+	if !ok || pkg != telemetryPath {
+		return false
+	}
+	switch name {
+	case "Emit", "Add", "Inc", "Set", "Observe":
+		return true
+	}
+	return false
+}
+
+// checkOutsideAppend flags append() growing a slice declared outside the
+// range statement, unless that slice is later passed to a sort or slices
+// call in the same function (the canonical collect-keys-then-sort fix).
+func checkOutsideAppend(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if b, _ := pass.Info.Uses[id].(*types.Builtin); b == nil {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	obj := baseObject(pass.Info, call.Args[0])
+	if obj == nil {
+		return
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
+		return // loop-local accumulation; order cannot escape
+	}
+	if sortedAfter(pass.Info, funcBody, rng, obj) {
+		return
+	}
+	pass.Reportf(call.Pos(), "append to %s inside range over map: element order depends on map iteration; collect then sort, or iterate sorted keys", obj.Name())
+}
+
+// baseObject resolves the root identifier of an expression like x or
+// s.field to its object.
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.* call
+// after the range statement within the same function body.
+func sortedAfter(info *types.Info, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	if funcBody == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if baseObject(info, arg) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

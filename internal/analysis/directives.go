@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowKey locates a //didt:allow directive: one analyzer name allowed on
+// one line of one file.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// directive is one raw //didt: comment, pre-split for validation.
+type directive struct {
+	pos  token.Pos
+	verb string // "hotpath", "allow", or anything else (unknown)
+	rest string // text after the verb, want-comment suffix stripped
+}
+
+// directives is every didt: annotation found in a package, plus the
+// bookkeeping needed to validate placement.
+type directives struct {
+	fset    *token.FileSet
+	all     []directive
+	allowed map[allowKey]bool
+	// hotpathDocs holds the comment groups serving as function doc
+	// comments, the only legal home for //didt:hotpath.
+	hotpathDocs map[*ast.CommentGroup]bool
+}
+
+// stripWant cuts an embedded analysistest expectation (`// want ...`) off
+// a directive's text so fixtures can annotate the directives themselves.
+func stripWant(s string) string {
+	if i := strings.Index(s, "// want"); i >= 0 {
+		s = s[:i]
+	}
+	return strings.TrimSpace(s)
+}
+
+// parseDirectives scans every comment in the package for didt:
+// annotations.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{
+		fset:        fset,
+		allowed:     map[allowKey]bool{},
+		hotpathDocs: map[*ast.CommentGroup]bool{},
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Doc != nil {
+				d.hotpathDocs[fn.Doc] = true
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//didt:")
+				if !ok {
+					continue
+				}
+				text = stripWant(text)
+				verb, rest, _ := strings.Cut(text, " ")
+				dir := directive{pos: c.Pos(), verb: verb, rest: strings.TrimSpace(rest)}
+				d.all = append(d.all, dir)
+				if verb == "allow" {
+					if name, _, ok := parseAllow(dir.rest); ok {
+						p := fset.Position(c.Pos())
+						d.allowed[allowKey{p.Filename, p.Line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// parseAllow splits "analyzer -- reason", requiring both halves.
+func parseAllow(rest string) (analyzer, reason string, ok bool) {
+	name, reason, found := strings.Cut(rest, "--")
+	name = strings.TrimSpace(name)
+	reason = strings.TrimSpace(reason)
+	if !found || name == "" || reason == "" || strings.ContainsAny(name, " \t") {
+		return "", "", false
+	}
+	return name, reason, true
+}
+
+// allows reports whether analyzer diagnostics at file:line are suppressed
+// by a directive on that line or the line immediately above.
+func (d *directives) allows(analyzer, file string, line int) bool {
+	return d.allowed[allowKey{file, line, analyzer}] ||
+		d.allowed[allowKey{file, line - 1, analyzer}]
+}
+
+// isHotpathDoc reports whether a comment group is a function doc comment
+// (legal placement for //didt:hotpath).
+func (d *directives) isHotpathDoc(pos token.Pos) bool {
+	for cg := range d.hotpathDocs {
+		if cg.Pos() <= pos && pos <= cg.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// hotpathFuncs returns the function declarations whose doc comment carries
+// //didt:hotpath.
+func hotpathFuncs(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if isHotpathComment(c.Text) {
+					out = append(out, fn)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isHotpathComment reports whether a raw comment is a //didt:hotpath
+// marker (optionally followed by free text).
+func isHotpathComment(text string) bool {
+	rest, ok := strings.CutPrefix(text, "//didt:hotpath")
+	return ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t')
+}
+
+// Directives validates the didt: annotation vocabulary itself: every
+// directive must be well-formed and correctly placed, so a typo can never
+// silently disable a check.
+var Directives = &Analyzer{
+	Name: "directives",
+	Doc:  "validate //didt:hotpath and //didt:allow annotation syntax and placement",
+	Run:  runDirectives,
+}
+
+func runDirectives(pass *Pass) error {
+	known := knownAnalyzers()
+	d := parseDirectives(pass.Fset, pass.Files)
+	for _, dir := range d.all {
+		switch dir.verb {
+		case "hotpath":
+			if !d.isHotpathDoc(dir.pos) {
+				pass.Reportf(dir.pos, "//didt:hotpath must be in a function's doc comment")
+			}
+		case "allow":
+			name, _, ok := parseAllow(dir.rest)
+			if !ok {
+				pass.Reportf(dir.pos, "malformed //didt:allow directive: need \"//didt:allow <analyzer> -- <reason>\"")
+				continue
+			}
+			if !known[name] {
+				pass.Reportf(dir.pos, "//didt:allow names unknown analyzer %q", name)
+			}
+		default:
+			pass.Reportf(dir.pos, "unknown directive //didt:%s", dir.verb)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		rest     string
+		analyzer string
+		reason   string
+		ok       bool
+	}{
+		{"hotpath -- cold error path", "hotpath", "cold error path", true},
+		{"determinism --  padded  reason ", "determinism", "padded  reason", true},
+		{"hotpath --", "", "", false},              // empty reason
+		{"-- reason only", "", "", false},          // missing analyzer
+		{"hotpath cold error path", "", "", false}, // missing separator
+		{"", "", "", false},                        // empty
+		{"two names -- reason", "", "", false},     // analyzer must be one token
+		{"locks -- buffered -- nested", "locks", "buffered -- nested", true},
+	}
+	for _, c := range cases {
+		analyzer, reason, ok := parseAllow(c.rest)
+		if ok != c.ok || analyzer != c.analyzer || reason != c.reason {
+			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.rest, analyzer, reason, ok, c.analyzer, c.reason, c.ok)
+		}
+	}
+}
+
+func TestIsHotpathComment(t *testing.T) {
+	cases := []struct {
+		text string
+		want bool
+	}{
+		{"//didt:hotpath", true},
+		{"//didt:hotpath per-cycle convolver", true},
+		{"//didt:hotpathological", false},
+		{"//didt:allow hotpath -- x", false},
+		{"// didt:hotpath", false}, // directives are space-free like //go:
+	}
+	for _, c := range cases {
+		if got := isHotpathComment(c.text); got != c.want {
+			t.Errorf("isHotpathComment(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+// TestAllowSuppressionPlacement verifies the two legal placements (same
+// line, line above) and that other lines do not suppress.
+func TestAllowSuppressionPlacement(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //didt:allow hotpath -- same line
+	//didt:allow locks -- line above
+	_ = 2
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := parseDirectives(fset, []*ast.File{f})
+	if !d.allows("hotpath", "p.go", 4) {
+		t.Error("same-line allow did not suppress")
+	}
+	if !d.allows("locks", "p.go", 6) {
+		t.Error("line-above allow did not suppress")
+	}
+	if d.allows("hotpath", "p.go", 6) {
+		t.Error("allow leaked to a different analyzer's line")
+	}
+	if d.allows("locks", "p.go", 7) {
+		t.Error("allow leaked two lines down")
+	}
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath proves the per-cycle cost contract: a function annotated
+// //didt:hotpath (the PDN convolver step, the sensor sample, the actuator
+// response — code executed once per simulated cycle, hundreds of millions
+// of times per sweep) must not format strings, defer, acquire mutexes, or
+// allocate by converting concrete values to interfaces.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbid fmt calls, defer, mutex acquisition and interface-" +
+		"converting allocations in functions annotated //didt:hotpath",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, fn := range hotpathFuncs([]*ast.File{f}) {
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot-path function %s: the deferred frame costs on every per-cycle call", name)
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.Info, n)
+			if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+				pass.Reportf(n.Pos(), "fmt.%s in hot-path function %s: formatting allocates on every per-cycle call", callee.Name(), name)
+			}
+			if isMutexAcquire(callee) {
+				pass.Reportf(n.Pos(), "mutex acquisition in hot-path function %s: per-cycle code must be lock-free", name)
+			}
+			checkCallIfaceArgs(pass, n, name)
+		case *ast.AssignStmt:
+			checkAssignIface(pass, n, name)
+		case *ast.ReturnStmt:
+			checkReturnIface(pass, fn, n, name)
+		case *ast.ValueSpec:
+			checkValueSpecIface(pass, n, name)
+		}
+		return true
+	})
+}
+
+// isIfaceType reports whether t is an interface (but not a type
+// parameter's constraint interface).
+func isIfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, isParam := t.(*types.TypeParam); isParam {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// convertsToIface reports whether assigning expr to target converts a
+// concrete value to an interface — the boxing allocation hot paths ban.
+func convertsToIface(info *types.Info, target types.Type, expr ast.Expr) bool {
+	if !isIfaceType(target) {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	return !isIfaceType(tv.Type)
+}
+
+func reportIfaceConv(pass *Pass, pos ast.Node, fnName string, target types.Type) {
+	pass.Reportf(pos.Pos(), "interface-converting allocation in hot-path function %s: concrete value boxed into %s on every per-cycle call", fnName, target.String())
+}
+
+// checkCallIfaceArgs flags concrete arguments passed to interface
+// parameters, and explicit conversions to interface types.
+func checkCallIfaceArgs(pass *Pass, call *ast.CallExpr, fnName string) {
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion T(x).
+		if len(call.Args) == 1 && convertsToIface(pass.Info, tv.Type, call.Args[0]) {
+			reportIfaceConv(pass, call, fnName, tv.Type)
+		}
+		return
+	}
+	ftv, ok := pass.Info.Types[call.Fun]
+	if !ok || ftv.Type == nil {
+		return
+	}
+	sig, ok := ftv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing here
+			}
+			pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if convertsToIface(pass.Info, pt, arg) {
+			reportIfaceConv(pass, arg, fnName, pt)
+		}
+	}
+}
+
+// checkAssignIface flags `ifaceVar = concrete` assignments (not short
+// declarations, which infer the concrete type).
+func checkAssignIface(pass *Pass, as *ast.AssignStmt, fnName string) {
+	if as.Tok.String() != "=" || len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lt := pass.Info.TypeOf(lhs)
+		if convertsToIface(pass.Info, lt, as.Rhs[i]) {
+			reportIfaceConv(pass, as.Rhs[i], fnName, lt)
+		}
+	}
+}
+
+// checkReturnIface flags returning concrete values as interface results.
+func checkReturnIface(pass *Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt, fnName string) {
+	obj, ok := pass.Info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := obj.Type().(*types.Signature).Results()
+	if len(ret.Results) != results.Len() {
+		return
+	}
+	for i, r := range ret.Results {
+		rt := results.At(i).Type()
+		if convertsToIface(pass.Info, rt, r) {
+			reportIfaceConv(pass, r, fnName, rt)
+		}
+	}
+}
+
+// checkValueSpecIface flags `var x IfaceType = concrete` declarations.
+func checkValueSpecIface(pass *Pass, vs *ast.ValueSpec, fnName string) {
+	if vs.Type == nil {
+		return
+	}
+	t := pass.Info.TypeOf(vs.Type)
+	for _, v := range vs.Values {
+		if convertsToIface(pass.Info, t, v) {
+			reportIfaceConv(pass, v, fnName, t)
+		}
+	}
+}

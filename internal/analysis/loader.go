@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Root maps an import-path prefix onto a directory tree. A Root with
+// Prefix "didt" and Dir "/repo" resolves "didt/internal/pdn" to
+// "/repo/internal/pdn"; a Root with Prefix "" resolves any path p to
+// Dir/p, the layout analysistest fixtures use under testdata/src.
+type Root struct {
+	Prefix string
+	Dir    string
+}
+
+// Loader type-checks packages from source. Import paths are resolved
+// against the configured roots first; anything else (the standard library)
+// goes through the toolchain's source importer, so the loader works with
+// no compiled export data and no network — the constraint this repository
+// builds under.
+type Loader struct {
+	Fset  *token.FileSet
+	roots []Root
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader resolving the given roots (earlier roots
+// win).
+func NewLoader(roots ...Root) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		roots:   roots,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// dirFor resolves an import path against the loader's roots.
+func (l *Loader) dirFor(path string) (string, bool) {
+	for _, r := range l.roots {
+		switch {
+		case r.Prefix == "":
+			return filepath.Join(r.Dir, filepath.FromSlash(path)), true
+		case path == r.Prefix:
+			return r.Dir, true
+		case strings.HasPrefix(path, r.Prefix+"/"):
+			return filepath.Join(r.Dir, filepath.FromSlash(path[len(r.Prefix)+1:])), true
+		}
+	}
+	return "", false
+}
+
+// hasGoFiles reports whether dir contains at least one non-test .go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load type-checks the package at the given import path (which must
+// resolve within the loader's roots) and returns it with syntax and type
+// information attached. Results are memoized.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok || !hasGoFiles(dir) {
+		return nil, fmt.Errorf("analysis: package %q not found under configured roots", path)
+	}
+	return l.load(path, dir)
+}
+
+// Import implements types.Importer so packages under the roots can depend
+// on each other and on the standard library.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if dir, ok := l.dirFor(path); ok && hasGoFiles(dir) {
+		p, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", path, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}

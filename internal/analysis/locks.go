@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Locks proves the worker-pool liveness invariant in internal/sim: a
+// mutex must never be held across a channel send, receive, or select. A
+// blocked channel operation under a lock turns backpressure into a
+// deadlock of every goroutine that touches the same mutex — exactly the
+// failure mode a bounded sweep pool invites under heavy traffic.
+var Locks = &Analyzer{
+	Name: "locks",
+	Doc:  "flag sync mutexes held across channel operations in the internal/sim worker pool",
+	AppliesTo: func(pkgPath string) bool {
+		return pathWithin(pkgPath, "didt/internal/sim")
+	},
+	Run: runLocks,
+}
+
+func runLocks(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body != nil {
+				checkBlockLocks(pass, body, map[string]bool{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// mutexCallRecv returns the rendered receiver when stmt is a plain
+// `recv.Lock()` / `recv.Unlock()` style call matching pred.
+func mutexCallRecv(pass *Pass, stmt ast.Stmt, pred func(*types.Func) bool) (string, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || !pred(calleeFunc(pass.Info, call)) {
+		return "", false
+	}
+	return recvExprString(call)
+}
+
+// checkBlockLocks scans one block, tracking which mutexes are held after
+// each statement. held maps the rendered receiver expression of a Lock
+// call to true; a deferred Unlock leaves the mutex held (lexically) until
+// the end of the block, which is exactly the dangerous region. While a
+// mutex is held, the entire statement subtree is inspected for channel
+// operations; while none is, nested blocks are walked so locks acquired
+// inside them are tracked too.
+func checkBlockLocks(pass *Pass, block *ast.BlockStmt, held map[string]bool) {
+	for _, stmt := range block.List {
+		if recv, ok := mutexCallRecv(pass, stmt, isMutexAcquire); ok {
+			held[recv] = true
+			continue
+		}
+		if recv, ok := mutexCallRecv(pass, stmt, isMutexRelease); ok {
+			delete(held, recv)
+			continue
+		}
+		if len(held) > 0 {
+			reportChannelOps(pass, stmt, held)
+			continue
+		}
+		descendLocks(pass, stmt, held)
+	}
+}
+
+// descendLocks recurses into a statement's nested blocks with a copy of
+// the (empty) held set, so lock/unlock pairs inside branches and loops are
+// analyzed in their own scope.
+func descendLocks(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	fork := func() map[string]bool {
+		c := make(map[string]bool, len(held))
+		for k, v := range held {
+			c[k] = v
+		}
+		return c
+	}
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		checkBlockLocks(pass, s, fork())
+	case *ast.IfStmt:
+		checkBlockLocks(pass, s.Body, fork())
+		if els, ok := s.Else.(*ast.BlockStmt); ok {
+			checkBlockLocks(pass, els, fork())
+		} else if els, ok := s.Else.(*ast.IfStmt); ok {
+			descendLocks(pass, els, held)
+		}
+	case *ast.ForStmt:
+		checkBlockLocks(pass, s.Body, fork())
+	case *ast.RangeStmt:
+		checkBlockLocks(pass, s.Body, fork())
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkBlockLocks(pass, &ast.BlockStmt{List: cc.Body}, fork())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				checkBlockLocks(pass, &ast.BlockStmt{List: cc.Body}, fork())
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				checkBlockLocks(pass, &ast.BlockStmt{List: cc.Body}, fork())
+			}
+		}
+	case *ast.LabeledStmt:
+		descendLocks(pass, s.Stmt, held)
+	}
+}
+
+// reportChannelOps flags channel sends, receives, selects, and channel
+// ranges anywhere inside stmt (function literals excluded: a goroutine or
+// callback runs on its own stack, not under this frame's lock scope).
+func reportChannelOps(pass *Pass, stmt ast.Stmt, held map[string]bool) {
+	holder := ""
+	for recv := range held {
+		if holder == "" || recv < holder {
+			holder = recv
+		}
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send while holding %s: a full channel deadlocks every goroutine contending on the mutex", holder)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				pass.Reportf(n.Pos(), "channel receive while holding %s: an empty channel deadlocks every goroutine contending on the mutex", holder)
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(n.Pos(), "select while holding %s: a blocking select deadlocks every goroutine contending on the mutex", holder)
+			return false
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(n.Pos(), "range over channel while holding %s: the loop blocks until the channel closes", holder)
+				}
+			}
+		}
+		return true
+	})
+}

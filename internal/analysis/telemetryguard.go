@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TelemetryGuard proves the telemetry-cost contract (PR 2): every call to
+// a telemetry Stream's Emit must be dominated by the Enabled() guard on
+// the same receiver, either an enclosing `if recv.Enabled() { ... }` or an
+// earlier `if !recv.Enabled() { return }`. Emit is itself nil-safe, but
+// the guard is what keeps a disabled tracer's cost to one pointer test
+// plus one atomic load — an unguarded call site pays the full argument
+// evaluation and call overhead on every cycle even when tracing is off.
+var TelemetryGuard = &Analyzer{
+	Name: "telemetryguard",
+	Doc: "require telemetry Stream.Emit calls to be dominated by the " +
+		"nil-safe Enabled() guard on the same receiver",
+	AppliesTo: func(pkgPath string) bool {
+		// The telemetry package's own internals (sinks, tests' helpers)
+		// legitimately drive streams directly.
+		return pkgPath != telemetryPath
+	},
+	Run: runTelemetryGuard,
+}
+
+func runTelemetryGuard(pass *Pass) error {
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isStreamEmit(pass.Info, call) {
+				return true
+			}
+			recv, ok := recvExprString(call)
+			if !ok {
+				return true
+			}
+			if !guardedByEnabled(pass.Info, stack, call, recv) {
+				pass.Reportf(call.Pos(), "%s.Emit is not dominated by an %s.Enabled() guard; wrap it in `if %s.Enabled() { ... }` so disabled tracing costs one pointer test", recv, recv, recv)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStreamEmit matches (didt/internal/telemetry.Stream).Emit.
+func isStreamEmit(info *types.Info, call *ast.CallExpr) bool {
+	pkg, typ, name, ok := methodInfo(calleeFunc(info, call))
+	return ok && pkg == telemetryPath && typ == "Stream" && name == "Emit"
+}
+
+// isEnabledCall reports whether e is a call recv.Enabled() for the given
+// rendered receiver.
+func isEnabledCall(e ast.Expr, recv string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Enabled" {
+		return false
+	}
+	return types.ExprString(sel.X) == recv
+}
+
+// condHasEnabled searches an if-condition for an unnegated recv.Enabled()
+// conjunct.
+func condHasEnabled(cond ast.Expr, recv string) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		return condHasEnabled(c.X, recv) || condHasEnabled(c.Y, recv)
+	case *ast.UnaryExpr:
+		return false // a negated guard does not dominate the then-branch
+	default:
+		return isEnabledCall(cond, recv)
+	}
+}
+
+// isEarlyReturnGuard matches `if !recv.Enabled() { return ... }`.
+func isEarlyReturnGuard(s ast.Stmt, recv string) bool {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || ifs.Else != nil {
+		return false
+	}
+	neg, ok := ast.Unparen(ifs.Cond).(*ast.UnaryExpr)
+	if !ok || !isEnabledCall(neg.X, recv) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// guardedByEnabled walks the enclosing-node stack looking for a dominating
+// guard: an ancestor `if recv.Enabled()` whose then-branch contains the
+// call, or an earlier `if !recv.Enabled() { return }` in any enclosing
+// block.
+func guardedByEnabled(info *types.Info, stack []ast.Node, call *ast.CallExpr, recv string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.IfStmt:
+			inThen := n.Body.Pos() <= call.Pos() && call.End() <= n.Body.End()
+			if inThen && condHasEnabled(n.Cond, recv) {
+				return true
+			}
+		case *ast.BlockStmt:
+			for _, s := range n.List {
+				if s.End() > call.Pos() {
+					break
+				}
+				if isEarlyReturnGuard(s, recv) {
+					return true
+				}
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			// Guards do not propagate across function boundaries.
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,34 @@
+// Package dirfix exercises the directives analyzer: the //didt:
+// annotation vocabulary itself must be well-formed and well-placed.
+package dirfix
+
+func wellFormed() {
+	x := 1 //didt:allow hotpath -- a fine, fully specified exception
+	_ = x
+}
+
+func missingReason() {
+	y := 2 //didt:allow hotpath // want `malformed //didt:allow directive`
+	_ = y
+}
+
+func missingName() {
+	z := 3 //didt:allow -- reason with no analyzer // want `malformed //didt:allow directive`
+	_ = z
+}
+
+func unknownAnalyzer() {
+	w := 4 //didt:allow frobnicator -- no such pass // want `unknown analyzer "frobnicator"`
+	_ = w
+}
+
+func unknownVerb() {
+	u := 5 //didt:frobnicate // want `unknown directive //didt:frobnicate`
+	_ = u
+}
+
+//didt:hotpath
+func legallyAnnotated() {}
+
+//didt:hotpath misplaced on a variable // want `must be in a function's doc comment`
+var notAFunction = 6

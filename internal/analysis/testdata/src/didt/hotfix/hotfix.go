@@ -1,0 +1,74 @@
+// Package hotfix exercises the hotpath analyzer: //didt:hotpath functions
+// reject fmt, defer, mutex acquisition and interface-converting
+// allocations.
+package hotfix
+
+import (
+	"fmt"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+//didt:hotpath
+func (c *counter) locked() {
+	c.mu.Lock() // want `mutex acquisition in hot-path function locked`
+	c.n++
+	c.mu.Unlock()
+}
+
+//didt:hotpath
+func deferred(f func()) {
+	defer f() // want `defer in hot-path function deferred`
+}
+
+//didt:hotpath
+func formatted(v int) string {
+	return fmt.Sprintf("%d", v) // want `fmt\.Sprintf in hot-path function` `interface-converting allocation`
+}
+
+var sink interface{}
+
+//didt:hotpath
+func boxed(v int) {
+	sink = v // want `concrete value boxed into interface\{\}`
+}
+
+//didt:hotpath
+func boxedReturn(v float64) interface{} {
+	return v // want `interface-converting allocation in hot-path function boxedReturn`
+}
+
+//didt:hotpath
+func ifaceThrough(v interface{}) interface{} {
+	return v // already an interface: no new allocation
+}
+
+//didt:hotpath
+func clean(a, b float64) float64 {
+	return a*b + b
+}
+
+// unannotated may do all of this freely.
+func unannotated(c *counter, v int) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprint(v)
+}
+
+//didt:hotpath
+func allowedColdBranch(err error) string {
+	if err != nil {
+		return fmt.Sprint(err) //didt:allow hotpath -- once-per-run error path, not the steady state
+	}
+	return ""
+}
+
+//didt:hotpath
+func allowedOnLineAbove(v int) {
+	//didt:allow hotpath -- boxing audited: sink is written once per run
+	sink = v
+}

@@ -1,0 +1,72 @@
+// Package detfix exercises the determinism analyzer: wall-clock reads,
+// global math/rand, and map-iteration order leaking into output.
+package detfix
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"didt/internal/telemetry"
+)
+
+func wallClock() int64 {
+	return time.Now().Unix() // want `determinism: time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `determinism: time\.Since`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand\.Intn`
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // the allowed idiom (internal/sensor)
+	return r.Float64()
+}
+
+func mapToWriter(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `iteration order leaks into the writer`
+	}
+}
+
+func mapToWriteCall(w io.Writer, m map[string][]byte) {
+	for _, v := range m {
+		w.Write(v) // want `Write on an io\.Writer inside range over map`
+	}
+}
+
+func mapToSlice(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map`
+	}
+	return out
+}
+
+func mapToSortedSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort: order cannot escape
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapToTelemetry(s *telemetry.Stream, m map[uint64]float64) {
+	if s.Enabled() {
+		for c, v := range m {
+			s.Emit(c, telemetry.KindVoltage, 0, v) // want `telemetry Emit inside range over map`
+		}
+	}
+}
+
+func manifestStamp() int64 {
+	//didt:allow determinism -- fixture counterpart of the manifest timestamp exception
+	return time.Now().UnixNano()
+}

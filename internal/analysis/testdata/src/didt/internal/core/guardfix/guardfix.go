@@ -1,0 +1,62 @@
+// Package guardfix exercises the telemetryguard analyzer: Stream.Emit
+// call sites must be dominated by the Enabled() guard on the same
+// receiver.
+package guardfix
+
+import "didt/internal/telemetry"
+
+type system struct {
+	stream *telemetry.Stream
+	other  *telemetry.Stream
+}
+
+func (s *system) unguarded(c uint64, v float64) {
+	s.stream.Emit(c, telemetry.KindVoltage, 0, v) // want `not dominated by an s\.stream\.Enabled\(\) guard`
+}
+
+func (s *system) guardedIf(c uint64, v float64) {
+	if s.stream.Enabled() {
+		s.stream.Emit(c, telemetry.KindVoltage, 0, v)
+	}
+}
+
+func (s *system) guardedConjunct(c uint64, v float64, extra bool) {
+	if extra && s.stream.Enabled() {
+		s.stream.Emit(c, telemetry.KindVoltage, 0, v)
+	}
+}
+
+func (s *system) guardedEarlyReturn(c uint64, v float64) {
+	if !s.stream.Enabled() {
+		return
+	}
+	s.stream.Emit(c, telemetry.KindVoltage, 0, v)
+	if v > 1 {
+		s.stream.Emit(c, telemetry.KindVoltage, 1, v) // nested block, still dominated
+	}
+}
+
+func (s *system) wrongReceiver(c uint64, v float64) {
+	if s.stream.Enabled() {
+		s.other.Emit(c, telemetry.KindVoltage, 0, v) // want `not dominated by an s\.other\.Enabled\(\) guard`
+	}
+}
+
+func (s *system) negatedGuardBody(c uint64, v float64) {
+	if !s.stream.Enabled() {
+		s.stream.Emit(c, telemetry.KindVoltage, 0, v) // want `not dominated`
+	}
+}
+
+func (s *system) guardDoesNotCrossFuncs(c uint64, v float64) {
+	if s.stream.Enabled() {
+		f := func() {
+			s.stream.Emit(c, telemetry.KindVoltage, 0, v) // want `not dominated`
+		}
+		f()
+	}
+}
+
+func (s *system) allowedColdPath(c uint64, v float64) {
+	s.stream.Emit(c, telemetry.KindVoltage, 0, v) //didt:allow telemetryguard -- once-per-run cold path, cost is irrelevant
+}

@@ -1,0 +1,65 @@
+// Package lockfix exercises the locks analyzer: sync mutexes must not be
+// held across channel operations in the worker pool.
+package lockfix
+
+import "sync"
+
+type pool struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	jobs chan int
+	done chan struct{}
+}
+
+func (p *pool) sendUnderLock(i int) {
+	p.mu.Lock()
+	p.jobs <- i // want `channel send while holding p\.mu`
+	p.mu.Unlock()
+}
+
+func (p *pool) recvUnderDeferredLock() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.jobs // want `channel receive while holding p\.mu`
+}
+
+func (p *pool) selectUnderRLock() {
+	p.rw.RLock()
+	select { // want `select while holding p\.rw`
+	case i := <-p.jobs:
+		_ = i
+	case <-p.done:
+	}
+	p.rw.RUnlock()
+}
+
+func (p *pool) rangeUnderNestedLock(run bool) {
+	if run {
+		p.mu.Lock()
+		for i := range p.jobs { // want `range over channel while holding p\.mu`
+			_ = i
+		}
+		p.mu.Unlock()
+	}
+}
+
+func (p *pool) releaseBeforeSend(i int) {
+	p.mu.Lock()
+	n := i * 2
+	p.mu.Unlock()
+	p.jobs <- n
+}
+
+func (p *pool) goroutineNotUnderLock() {
+	p.mu.Lock()
+	go func() {
+		p.jobs <- 1 // runs on its own stack, not under this frame's lock
+	}()
+	p.mu.Unlock()
+}
+
+func (p *pool) allowedSend(i int) {
+	p.mu.Lock()
+	p.jobs <- i //didt:allow locks -- buffered channel sized to the worker count, cannot block
+	p.mu.Unlock()
+}

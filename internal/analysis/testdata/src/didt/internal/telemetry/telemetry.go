@@ -1,0 +1,49 @@
+// Package telemetry is a fixture stand-in for didt/internal/telemetry: it
+// mirrors the emit-method surface the analyzers match on (the import path
+// and method names are what matter, not the behavior).
+package telemetry
+
+// Kind classifies a trace event.
+type Kind uint8
+
+// KindVoltage mirrors the real package's periodic voltage sample kind.
+const KindVoltage Kind = 5
+
+// Tracer is the stand-in tracer.
+type Tracer struct{ on bool }
+
+// Enabled reports whether emission is on.
+func (t *Tracer) Enabled() bool { return t != nil && t.on }
+
+// Stream opens a named stream.
+func (t *Tracer) Stream(name string) *Stream { return &Stream{} }
+
+// Stream is the stand-in event stream.
+type Stream struct{ on bool }
+
+// Enabled reports whether the owning tracer is emitting.
+func (s *Stream) Enabled() bool { return s != nil && s.on }
+
+// Emit appends an event.
+func (s *Stream) Emit(cycle uint64, k Kind, arg int32, value float64) {}
+
+// Counter is the stand-in counter metric.
+type Counter struct{ v int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Gauge is the stand-in gauge metric.
+type Gauge struct{ v float64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Histogram is the stand-in histogram metric.
+type Histogram struct{ n uint64 }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.n++ }

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// telemetryPath is the import path of the telemetry package whose emit
+// methods the suite polices (fixtures mirror the path under testdata/src).
+const telemetryPath = "didt/internal/telemetry"
+
+// pathWithin reports whether pkgPath is prefix or a package below it.
+func pathWithin(pkgPath, prefix string) bool {
+	return pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/")
+}
+
+// calleeFunc resolves the static callee of a call expression: a package
+// function, a method, or nil for builtins, type conversions and calls of
+// function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name
+// (never a method).
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// methodInfo describes a resolved method callee: the defining package
+// path and the receiver's base type name.
+func methodInfo(fn *types.Func) (pkgPath, typeName, method string, ok bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", "", "", false
+	}
+	sig, sok := fn.Type().(*types.Signature)
+	if !sok || sig.Recv() == nil {
+		return "", "", "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, nok := t.(*types.Named)
+	if !nok {
+		return "", "", "", false
+	}
+	return fn.Pkg().Path(), named.Obj().Name(), fn.Name(), true
+}
+
+// ioWriterIface is a structural copy of io.Writer, built without importing
+// io so the check works identically on fixtures and the real tree.
+var ioWriterIface = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	errType := types.Universe.Lookup("error").Type()
+	params := types.NewTuple(types.NewVar(0, nil, "p", byteSlice))
+	results := types.NewTuple(
+		types.NewVar(0, nil, "n", types.Typ[types.Int]),
+		types.NewVar(0, nil, "err", errType),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	write := types.NewFunc(0, nil, "Write", sig)
+	iface := types.NewInterfaceType([]*types.Func{write}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// implementsWriter reports whether t (or *t) satisfies io.Writer.
+func implementsWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if types.Implements(t, ioWriterIface) {
+		return true
+	}
+	if _, isPtr := t.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(t), ioWriterIface)
+	}
+	return false
+}
+
+// isMutexAcquire reports whether a call acquires a sync mutex (Lock or
+// RLock on sync.Mutex / sync.RWMutex, including promoted embeds).
+func isMutexAcquire(fn *types.Func) bool {
+	pkg, typ, name, ok := methodInfo(fn)
+	if !ok || pkg != "sync" {
+		return false
+	}
+	return (typ == "Mutex" || typ == "RWMutex") && (name == "Lock" || name == "RLock")
+}
+
+// isMutexRelease reports whether a call releases a sync mutex.
+func isMutexRelease(fn *types.Func) bool {
+	pkg, typ, name, ok := methodInfo(fn)
+	if !ok || pkg != "sync" {
+		return false
+	}
+	return (typ == "Mutex" || typ == "RWMutex") && (name == "Unlock" || name == "RUnlock")
+}
+
+// recvExprString renders the receiver expression of a method call
+// ("s.stream" for s.stream.Emit(...)), the key used to match guard and
+// emit receivers.
+func recvExprString(call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}

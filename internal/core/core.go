@@ -313,6 +313,8 @@ type CycleState struct {
 }
 
 // StepCycle advances the loop one cycle.
+//
+//didt:hotpath
 func (s *System) StepCycle() CycleState {
 	s.CPU.SetGating(s.gating)
 	act, done := s.CPU.Step()
@@ -397,8 +399,16 @@ func (s *System) StepCycle() CycleState {
 
 // emitCycle records this cycle's telemetry: per-cycle voltage and current
 // samples plus transition events for the sensor level, actuation state and
-// emergency state. Only reached when the stream is enabled.
+// emergency state. StepCycle only calls it when the stream is enabled; the
+// guard below re-establishes that dominance locally so the telemetryguard
+// analyzer can prove every Emit is reached enabled-only without
+// cross-function reasoning.
+//
+//didt:hotpath
 func (s *System) emitCycle(current, v float64, level sensor.Level) {
+	if !s.stream.Enabled() {
+		return
+	}
 	c := s.cycle
 	s.stream.Emit(c, telemetry.KindVoltage, 0, v)
 	s.stream.Emit(c, telemetry.KindCurrent, 0, current)

@@ -230,6 +230,8 @@ func (c *CPU) idx(pos int) int32 { return int32(pos % c.cfg.RUUSize) }
 
 // Step advances the core one clock cycle and returns the structural
 // activity of that cycle. done becomes true when the program has retired.
+//
+//didt:hotpath
 func (c *CPU) Step() (Activity, bool) {
 	if c.done {
 		return Activity{}, true
@@ -267,7 +269,7 @@ func (c *CPU) Step() (Activity, bool) {
 		// The longest legitimate quiet period is a memory-latency stall (or
 		// an actuator gate); anything much longer is a wedge.
 		if c.idleStreak > uint64(4*(c.Mem.Config().MemLat+calBuckets)) {
-			c.err = fmt.Errorf("cpu: pipeline wedged at cycle %d (pc=%d, ruu=%d)", c.cycle, c.fetchPC, c.count)
+			c.err = fmt.Errorf("cpu: pipeline wedged at cycle %d (pc=%d, ruu=%d)", c.cycle, c.fetchPC, c.count) //didt:allow hotpath -- terminal wedge diagnostic, reached at most once per run
 			c.done = true
 		}
 	} else {

@@ -271,6 +271,8 @@ func (s *Simulator) Release() {
 // contiguous halves instead of testing for wrap every tap. The summation
 // order is unchanged — newest sample first — so results stay bit-identical
 // to the naive loop.
+//
+//didt:hotpath
 func (s *Simulator) Step(current float64) float64 {
 	k := s.net.kernel
 	h := s.hist
@@ -298,6 +300,8 @@ func (s *Simulator) Step(current float64) float64 {
 // Peek returns the voltage that would result if the given current were
 // applied this cycle, without committing it. Controllers use this for
 // lookahead analysis in tests; the closed loop itself never peeks.
+//
+//didt:hotpath
 func (s *Simulator) Peek(current float64) float64 {
 	k := s.net.kernel
 	h := s.hist

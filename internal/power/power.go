@@ -196,6 +196,8 @@ func max1(v int) int {
 }
 
 // Step accounts one cycle of activity and returns its power.
+//
+//didt:hotpath
 func (m *Model) Step(act cpu.Activity, ph Phantom) CycleReport {
 	// Feed the spreading calendars with this cycle's issues.
 	for cl, n := range act.IssuedByClass {

@@ -97,6 +97,8 @@ func (s *Sensor) Delay() int { return s.delay }
 // the level of the reading the sensor can see now (the voltage from Delay
 // cycles ago, perturbed by measurement noise). Before the line fills, the
 // sensor reports Normal — the paper's systems power up quiescent.
+//
+//didt:hotpath
 func (s *Sensor) Sense(v float64) Level {
 	copy(s.line[1:], s.line)
 	s.line[0] = v

@@ -164,7 +164,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	start := time.Now()
+	start := time.Now() //didt:allow determinism -- wall-clock feeds only the utilization gauge, never sweep results
 	busy := make([]time.Duration, workers)
 	jobs := make(chan int)
 	errc := make(chan jobError, workers)
@@ -174,9 +174,9 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
-				jobStart := time.Now()
+				jobStart := time.Now() //didt:allow determinism -- per-job timing feeds only the utilization histogram
 				v, err := fn(ctx, i)
-				busy[w] += time.Since(jobStart)
+				busy[w] += time.Since(jobStart) //didt:allow determinism -- per-job timing feeds only the utilization histogram
 				if err != nil {
 					errc <- jobError{i, err}
 					cancel()
@@ -205,7 +205,7 @@ dispatch:
 	close(errc)
 
 	// Per-worker utilization: busy fraction of the sweep's wall time.
-	if wall := time.Since(start); wall > 0 {
+	if wall := time.Since(start); wall > 0 { //didt:allow determinism -- utilization metric only; sweep outputs are index-ordered and timing-free
 		for _, b := range busy {
 			hUtilization.Observe(100 * float64(b) / float64(wall))
 		}

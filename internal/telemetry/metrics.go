@@ -1,10 +1,12 @@
 package telemetry
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,8 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter; nil-safe.
+//
+//didt:hotpath
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -36,6 +40,8 @@ func (c *Counter) Value() int64 {
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v; nil-safe.
+//
+//didt:hotpath
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
@@ -205,16 +211,30 @@ func (r *Registry) Histogram(name string, lo, hi float64, buckets int) *Histogra
 	return h
 }
 
-// Snapshot is a machine-readable registry dump. Maps serialize with sorted
-// keys under encoding/json, so snapshots of equal state are byte-identical.
+// Snapshot is a machine-readable registry dump. Serialization is canonical:
+// MarshalJSON writes every section's keys in explicitly sorted order, so two
+// snapshots of equal state are byte-identical by construction rather than by
+// an encoding/json implementation detail.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every metric's current value (gauge funcs are invoked
-// outside the registry lock so they may themselves read metrics).
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Snapshot captures every metric's current value. Gauge funcs and histogram
+// locks are invoked outside the registry lock (so callbacks may themselves
+// read metrics) and in sorted name order, keeping evaluation order — and any
+// side effects callbacks have — deterministic across runs.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]float64{}, Histograms: map[string]HistogramSnapshot{}}
 	if r == nil {
@@ -236,13 +256,58 @@ func (r *Registry) Snapshot() Snapshot {
 		hists[n] = h
 	}
 	r.mu.Unlock()
-	for n, h := range hists {
-		s.Histograms[n] = h.snapshot()
+	for _, n := range sortedKeys(hists) {
+		s.Histograms[n] = hists[n].snapshot()
 	}
-	for n, f := range funcs {
-		s.Gauges[n] = f()
+	for _, n := range sortedKeys(funcs) {
+		s.Gauges[n] = funcs[n]()
 	}
 	return s
+}
+
+// writeSortedObject renders m as a JSON object with keys in sorted order.
+func writeSortedObject[V any](buf *bytes.Buffer, m map[string]V) error {
+	buf.WriteByte('{')
+	for i, k := range sortedKeys(m) {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		vb, err := json.Marshal(m[k])
+		if err != nil {
+			return err
+		}
+		buf.Write(vb)
+	}
+	buf.WriteByte('}')
+	return nil
+}
+
+// MarshalJSON writes the snapshot with explicitly sorted keys in every
+// section. Byte-identical manifests for equal state are part of this
+// package's determinism contract, so the ordering is spelled out here
+// instead of inherited from encoding/json's map-key sorting.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"counters":`)
+	if err := writeSortedObject(&buf, s.Counters); err != nil {
+		return nil, err
+	}
+	buf.WriteString(`,"gauges":`)
+	if err := writeSortedObject(&buf, s.Gauges); err != nil {
+		return nil, err
+	}
+	buf.WriteString(`,"histograms":`)
+	if err := writeSortedObject(&buf, s.Histograms); err != nil {
+		return nil, err
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
 }
 
 // Manifest is the machine-readable record written alongside an experiment
@@ -271,7 +336,7 @@ func NewManifest(tool string, workers int, r *Registry, t *Tracer) Manifest {
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		NumCPU:        runtime.NumCPU(),
 		GoVersion:     runtime.Version(),
-		GeneratedUnix: time.Now().Unix(),
+		GeneratedUnix: time.Now().Unix(), //didt:allow determinism -- records when the run happened; readers comparing manifests exclude this field
 		Metrics:       r.Snapshot(),
 	}
 	for _, s := range t.Streams() {

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// populate fills r with a spread of metric kinds whose creation order is
+// deliberately shuffled between calls, so any iteration-order dependence in
+// Snapshot or its serialization would surface as byte differences.
+func populate(r *Registry, names []string) {
+	for _, n := range names {
+		r.Counter("count_" + n).Add(int64(len(n)))
+		r.Gauge("gauge_" + n).Set(float64(len(n)) / 3)
+		r.Histogram("hist_"+n, 0, 10, 4).Observe(float64(len(n)))
+		name := n
+		r.RegisterGaugeFunc("func_"+n, func() float64 { return float64(len(name)) })
+	}
+}
+
+// TestSnapshotByteIdentical asserts the canonical-serialization contract:
+// two registries holding equal state — even when built in different
+// insertion orders — marshal to byte-identical JSON, and repeated snapshots
+// of one registry are byte-identical to each other.
+func TestSnapshotByteIdentical(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	populate(a, []string{"alpha", "bravo", "charlie", "delta", "echo"})
+	populate(b, []string{"echo", "charlie", "alpha", "delta", "bravo"})
+
+	ja, err := json.Marshal(a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("snapshots of equal state differ:\n%s\n%s", ja, jb)
+	}
+
+	ja2, err := json.Marshal(a.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, ja2) {
+		t.Errorf("repeated snapshots of one registry differ:\n%s\n%s", ja, ja2)
+	}
+}
+
+// TestSnapshotMarshalShape pins the JSON shape: MarshalJSON hand-writes the
+// object, so it must stay interchangeable with the default struct encoding
+// (three map-valued sections, keys sorted).
+func TestSnapshotMarshalShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(2.5)
+	r.Histogram("h", 0, 1, 2).Observe(0.25)
+	r.RegisterGaugeFunc("gf", func() float64 { return 7 })
+
+	got, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round struct {
+		Counters   map[string]int64             `json:"counters"`
+		Gauges     map[string]float64           `json:"gauges"`
+		Histograms map[string]HistogramSnapshot `json:"histograms"`
+	}
+	if err := json.Unmarshal(got, &round); err != nil {
+		t.Fatalf("canonical output is not the expected shape: %v\n%s", err, got)
+	}
+	if round.Counters["c"] != 1 || round.Gauges["g"] != 2.5 || round.Gauges["gf"] != 7 {
+		t.Errorf("round-trip lost values: %+v", round)
+	}
+	if h, ok := round.Histograms["h"]; !ok || h.Count != 1 {
+		t.Errorf("round-trip lost histogram: %+v", round.Histograms)
+	}
+
+	// Gauge funcs must be evaluated in sorted name order: register funcs
+	// that record their evaluation sequence and check it is alphabetical.
+	seq := []string{}
+	r2 := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mike"} {
+		name := n
+		r2.RegisterGaugeFunc(name, func() float64 {
+			seq = append(seq, name)
+			return 0
+		})
+	}
+	r2.Snapshot()
+	if len(seq) != 3 || seq[0] != "alpha" || seq[1] != "mike" || seq[2] != "zeta" {
+		t.Errorf("gauge funcs evaluated in order %v, want alphabetical", seq)
+	}
+}

@@ -28,6 +28,7 @@ func NewProgress(w io.Writer, label string, interval time.Duration) *Progress {
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
 	}
+	//didt:allow determinism -- progress lines go to stderr for humans, never into result artifacts
 	return &Progress{w: w, label: label, interval: interval, started: time.Now()}
 }
 
@@ -39,7 +40,7 @@ func (p *Progress) Update(done, total int64) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
+	now := time.Now() //didt:allow determinism -- throttles a human-facing stderr status line only
 	if done < total && now.Sub(p.last) < p.interval {
 		return
 	}

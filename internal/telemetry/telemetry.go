@@ -119,6 +119,8 @@ func NewTracer(ringCap int) *Tracer {
 
 // Enabled reports whether emission is on; nil-safe and callable from the
 // hot path (one pointer test + one atomic load).
+//
+//didt:hotpath
 func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
 
 // SetEnabled flips emission; nil-safe no-op on a nil tracer.
@@ -188,10 +190,14 @@ func (s *Stream) Name() string {
 }
 
 // Enabled reports whether the owning tracer is emitting; nil-safe.
+//
+//didt:hotpath
 func (s *Stream) Enabled() bool { return s != nil && s.t.enabled.Load() }
 
 // Emit appends an event, overwriting the oldest once the ring is full.
 // No-op (and allocation-free) on a nil or disabled stream.
+//
+//didt:hotpath
 func (s *Stream) Emit(cycle uint64, k Kind, arg int32, value float64) {
 	if s == nil || !s.t.enabled.Load() {
 		return
