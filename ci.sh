@@ -25,6 +25,13 @@ go test -race ./...
 # traces must be byte-identical at any worker count.
 go test -race -count=1 -run TestParallelOutputIdenticalWithTelemetry ./internal/experiments
 
+# didtd server smoke test under the race detector: sweep responses
+# byte-identical to cmd/experiments output at parallel 1 and 8, graceful
+# shutdown drains in-flight work (503 for new requests), admission
+# overflow answers 429, and concurrent requests under memo capacity
+# pressure never compute an in-flight study twice.
+go test -race -count=1 -run 'TestServer' ./internal/server
+
 # Perf gate: the telemetry-off hot path (a disabled tracer attached to
 # every system, the configuration all production sweeps run in) must stay
 # within CI_BENCH_TOLERANCE_PCT (default 5%) of the committed

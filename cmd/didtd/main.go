@@ -1,0 +1,84 @@
+// Command didtd serves the experiment suite and the closed-loop simulator
+// over HTTP, turning the one-shot CLI workflow into a long-lived service.
+//
+// Usage:
+//
+//	didtd -addr :8080 -max-concurrent 2 -queue-depth 8
+//
+// Endpoints (see internal/server for request/response schemas):
+//
+//	POST /v1/sweep      run experiment sweeps; the response body is exactly
+//	                    the bytes cmd/experiments would print for the same
+//	                    parameters, byte-identical at any -parallel setting
+//	POST /v1/simulate   run one closed-loop simulation, JSON summary out
+//	GET  /healthz       liveness + drain state
+//	GET  /metrics       telemetry registry snapshot
+//	GET  /debug/pprof/  pprof profiling endpoints
+//
+// Admission is a bounded queue: when max-concurrent requests are running
+// and queue-depth more are waiting, further work is rejected with 429. On
+// SIGINT/SIGTERM the server stops accepting work (503), drains in-flight
+// requests for up to -shutdown-grace, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"didt/internal/server"
+	"didt/internal/sim"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxConc  = flag.Int("max-concurrent", 2, "sweep/simulate requests executing at once")
+		queue    = flag.Int("queue-depth", 8, "admitted requests that may wait for a run slot")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline (requests may set their own)")
+		parallel = flag.Int("parallel", 0, "default sweep worker count per request (0 = GOMAXPROCS)")
+		grace    = flag.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	if *parallel > 0 {
+		sim.SetDefaultWorkers(*parallel)
+	}
+	srv := server.New(server.Config{
+		MaxConcurrent:  *maxConc,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		Parallel:       *parallel,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "didtd: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "didtd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "didtd: shutting down, draining in-flight requests")
+	srv.BeginShutdown()
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Drain(graceCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "didtd: drain incomplete:", err)
+	}
+	if err := hs.Shutdown(graceCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "didtd: shutdown:", err)
+	}
+}

@@ -47,6 +47,14 @@ type Config struct {
 	// reproducible at any Parallel setting because streams are ordered
 	// canonically, not by completion.
 	Telemetry *telemetry.Tracer
+
+	// Ctx, when non-nil, bounds every sweep the experiment runs: request
+	// cancellation and deadlines propagate into sim.Map, which stops
+	// dispatching jobs and returns the context's error. It is excluded
+	// from memo keys — like Parallel, it must never change results. The
+	// didtd server threads each request's context through this field; nil
+	// means context.Background() (the CLI behaviour).
+	Ctx context.Context
 }
 
 // Default is the full-size configuration.
@@ -139,11 +147,19 @@ func (c Config) workers() int {
 	return sim.DefaultWorkers()
 }
 
+// context resolves the configured request context (nil = Background).
+func (c Config) context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
 // sweep fans fn out over items on the configured worker pool, returning
 // results in item order (the determinism contract: identical output at any
-// worker count).
+// worker count). The configured context bounds the sweep.
 func sweep[In, Out any](cfg Config, items []In, fn func(In) (Out, error)) ([]Out, error) {
-	return sim.Sweep(context.Background(), cfg.workers(), items, func(_ context.Context, item In) (Out, error) {
+	return sim.Sweep(cfg.context(), cfg.workers(), items, func(_ context.Context, item In) (Out, error) {
 		return fn(item)
 	})
 }
@@ -213,6 +229,11 @@ func init() {
 // ResetMemo drops every cached study. Benchmarks and determinism tests use
 // it to force recomputation.
 func ResetMemo() { memo.Reset() }
+
+// SetMemoCapacity rebounds the shared study memo (n <= 0 = unbounded).
+// Long-lived servers tune this to their memory budget; tests shrink it to
+// exercise capacity pressure. In-flight studies are never evicted.
+func SetMemoCapacity(n int) { memo.SetCapacity(n) }
 
 // MemoStats reports the shared study memo's effectiveness.
 func MemoStats() sim.CacheStats { return memo.Stats() }

@@ -1,0 +1,597 @@
+// Package server implements didtd, the long-lived HTTP front-end over the
+// experiment suite and the closed-loop simulator. It turns the one-shot
+// CLI workflow (cmd/experiments, cmd/didtsim) into an always-on service:
+//
+//	POST /v1/sweep      run experiment sweeps (table2, fig10, fig14..18, ...)
+//	POST /v1/simulate   run one closed-loop simulation
+//	GET  /healthz       liveness + drain state
+//	GET  /metrics       telemetry registry snapshot (canonical JSON)
+//	GET  /debug/pprof/  pprof profiling endpoints
+//
+// The determinism contract is the service's API guarantee: a /v1/sweep
+// response body is exactly the experiment's rendered output — the bytes
+// cmd/experiments prints for the same parameters — and is identical at
+// any parallelism setting and regardless of what the shared caches
+// already hold, because every cached artifact is a deterministic function
+// of its key. Requests carry explicit seeds and deadlines; admission is a
+// bounded queue in front of the sweep engine (429 when full, 503 while
+// draining), request contexts thread into sim.Map, and graceful shutdown
+// drains running sweeps before the process exits.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"didt/internal/actuator"
+	"didt/internal/core"
+	"didt/internal/experiments"
+	"didt/internal/isa"
+	"didt/internal/sim"
+	"didt/internal/telemetry"
+	"didt/internal/workload"
+)
+
+// Config sizes the service.
+type Config struct {
+	// MaxConcurrent bounds how many sweep/simulate requests execute at
+	// once (each fans out over its own worker count); <= 0 selects 2.
+	MaxConcurrent int
+	// QueueDepth bounds how many admitted requests may wait for a run
+	// slot; < 0 selects 0 (no queue), 0 selects the default 8.
+	QueueDepth int
+	// DefaultTimeout bounds requests that carry no explicit deadline;
+	// <= 0 selects 5 minutes.
+	DefaultTimeout time.Duration
+	// Parallel is the per-request sweep worker count used when a request
+	// does not specify one; <= 0 selects sim.DefaultWorkers.
+	Parallel int
+	// Registry receives the service metrics; nil selects the process-wide
+	// telemetry.Default() (which also carries the engine/cache metrics).
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default()
+	}
+	return c
+}
+
+// Server is the didtd HTTP service. Create with New; the zero value is
+// not usable.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	started time.Time
+
+	// Admission control: admitted holds every request that occupies the
+	// service (queued or running, cap MaxConcurrent+QueueDepth); running
+	// holds the subset actually executing (cap MaxConcurrent). A request
+	// that cannot enter admitted is rejected with 429; one that is queued
+	// when shutdown begins is released with 503 via drain.
+	admitted chan struct{}
+	running  chan struct{}
+
+	drainOnce sync.Once
+	drain     chan struct{}
+	inflight  sync.WaitGroup
+
+	mRequests    *telemetry.Counter
+	mRejected    *telemetry.Counter
+	mUnavailable *telemetry.Counter
+	gQueueDepth  *telemetry.Gauge
+	gActive      *telemetry.Gauge
+
+	// Test hooks, nil in production: testRunStarted receives one value
+	// when a request passes admission and starts running; testRunGate,
+	// when non-nil, blocks the running request until it is closed.
+	testRunStarted chan<- struct{}
+	testRunGate    <-chan struct{}
+}
+
+// New assembles a server. It does not listen; wire Handler() into an
+// http.Server (see cmd/didtd).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		admitted: make(chan struct{}, cfg.MaxConcurrent+cfg.QueueDepth),
+		running:  make(chan struct{}, cfg.MaxConcurrent),
+		drain:    make(chan struct{}),
+
+		mRequests:    cfg.Registry.Counter("didtd.requests_total"),
+		mRejected:    cfg.Registry.Counter("didtd.rejected_total"),
+		mUnavailable: cfg.Registry.Counter("didtd.unavailable_total"),
+		gQueueDepth:  cfg.Registry.Gauge("didtd.admission.queue_depth"),
+		gActive:      cfg.Registry.Gauge("didtd.active_requests"),
+	}
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginShutdown puts the server into draining mode: every subsequent (and
+// every queued) sweep/simulate request is rejected with 503 while already
+// running requests continue. Idempotent.
+func (s *Server) BeginShutdown() {
+	s.drainOnce.Do(func() { close(s.drain) })
+}
+
+// Drain enters draining mode and blocks until every in-flight request has
+// finished or ctx expires.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginShutdown()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) draining() bool {
+	select {
+	case <-s.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) updateAdmissionGauges() {
+	active := len(s.running)
+	s.gActive.Set(float64(active))
+	if q := len(s.admitted) - active; q >= 0 {
+		s.gQueueDepth.Set(float64(q))
+	}
+}
+
+// admit reserves a run slot for a work request, answering the request
+// itself when it cannot run (queue overflow → 429, draining → 503,
+// abandoned while queued → client is gone, nothing to write). The
+// returned release function must be called exactly once when ok.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	s.mRequests.Inc()
+	if s.draining() {
+		s.mUnavailable.Inc()
+		http.Error(w, "didtd: draining, not accepting new work", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	select {
+	case s.admitted <- struct{}{}:
+	default:
+		s.mRejected.Inc()
+		http.Error(w, fmt.Sprintf("didtd: admission queue full (%d queued + %d running)",
+			s.cfg.QueueDepth, s.cfg.MaxConcurrent), http.StatusTooManyRequests)
+		return nil, false
+	}
+	s.inflight.Add(1)
+	s.updateAdmissionGauges()
+	select {
+	case s.running <- struct{}{}:
+	case <-s.drain:
+		<-s.admitted
+		s.inflight.Done()
+		s.updateAdmissionGauges()
+		s.mUnavailable.Inc()
+		http.Error(w, "didtd: draining, not accepting new work", http.StatusServiceUnavailable)
+		return nil, false
+	case <-r.Context().Done():
+		<-s.admitted
+		s.inflight.Done()
+		s.updateAdmissionGauges()
+		return nil, false // client is gone; nothing to answer
+	}
+	s.updateAdmissionGauges()
+	if s.testRunStarted != nil {
+		s.testRunStarted <- struct{}{}
+	}
+	if s.testRunGate != nil {
+		<-s.testRunGate
+	}
+	return func() {
+		<-s.running
+		<-s.admitted
+		s.inflight.Done()
+		s.updateAdmissionGauges()
+	}, true
+}
+
+// requestContext derives the request's execution context: the client's
+// context bounded by the explicit per-request deadline (milliseconds) or
+// the server default.
+func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// decodeJSON parses a bounded request body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// writeRunError maps a failed run to a status code: deadline → 504,
+// client cancellation → nothing (the connection is gone), anything else
+// → 500.
+func writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "didtd: deadline exceeded: "+err.Error(), http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		// Client disconnected; no one is listening.
+	default:
+		http.Error(w, "didtd: run failed: "+err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// SweepRequest selects experiments and the configuration to run them
+// under. Zero-valued fields take the defaults of cmd/experiments (the
+// full-size configuration, or the quick one when Quick is set), so equal
+// parameters produce byte-identical output across the CLI and the server.
+type SweepRequest struct {
+	// Run names one experiment id or "all"; Runs, when non-empty, names
+	// an explicit list and takes precedence.
+	Run  string   `json:"run,omitempty"`
+	Runs []string `json:"runs,omitempty"`
+
+	Quick            bool     `json:"quick,omitempty"`
+	Cycles           uint64   `json:"cycles,omitempty"`
+	Warmup           uint64   `json:"warmup,omitempty"`
+	Iterations       int      `json:"iterations,omitempty"`
+	StressIterations int      `json:"stress_iterations,omitempty"`
+	Benchmarks       []string `json:"benchmarks,omitempty"`
+
+	// Seed is applied only when present, mirroring the CLI's "flag was
+	// explicitly set" semantics (an explicit 0 is a valid seed).
+	Seed *int64 `json:"seed,omitempty"`
+
+	// Parallel is the sweep worker count (0 = server default). The
+	// response is byte-identical at any setting.
+	Parallel int `json:"parallel,omitempty"`
+
+	// TimeoutMS bounds the request (0 = server default deadline).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// config assembles the experiments configuration for the request.
+func (req *SweepRequest) config(serverParallel int) experiments.Config {
+	cfg := experiments.Default()
+	if req.Quick {
+		cfg = experiments.Quick()
+	}
+	if req.Cycles != 0 {
+		cfg.Cycles = req.Cycles
+	}
+	if req.Warmup != 0 {
+		cfg.Warmup = req.Warmup
+	}
+	if req.Iterations != 0 {
+		cfg.Iterations = req.Iterations
+	}
+	if req.StressIterations != 0 {
+		cfg.StressIter = req.StressIterations
+	}
+	if len(req.Benchmarks) > 0 {
+		cfg.Benchmarks = req.Benchmarks
+	}
+	if req.Seed != nil {
+		cfg.Seed = *req.Seed
+	}
+	cfg.Parallel = req.Parallel
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = serverParallel
+	}
+	return cfg
+}
+
+// ids resolves the requested experiment list against the registry,
+// preserving request order ("all" expands to the paper's order).
+func (req *SweepRequest) ids() ([]string, error) {
+	ids := req.Runs
+	if len(ids) == 0 {
+		if req.Run == "" {
+			return nil, errors.New("request names no experiment (set run or runs)")
+		}
+		if req.Run == "all" {
+			return experiments.IDs(), nil
+		}
+		ids = []string{req.Run}
+	}
+	reg := experiments.Registry()
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+	}
+	return ids, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	ids, err := req.ids()
+	if err != nil {
+		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	cfg := req.config(s.cfg.Parallel)
+	cfg.Ctx = ctx
+
+	// Render into a buffer first: the response body must be exactly the
+	// experiments' rendered bytes (the determinism contract), so nothing
+	// may be written until every runner has succeeded.
+	reg := experiments.Registry()
+	var buf bytes.Buffer
+	for _, id := range ids {
+		if err := reg[id](cfg, &buf); err != nil {
+			writeRunError(w, r, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Didtd-Experiments", strings.Join(ids, ","))
+	w.Write(buf.Bytes())
+}
+
+// SimulateRequest configures one closed-loop run, mirroring cmd/didtsim.
+type SimulateRequest struct {
+	// Workload is "stressmark" or a SPEC2000 profile name (workload.Names).
+	Workload string `json:"workload"`
+
+	ImpedancePct float64 `json:"impedance_pct,omitempty"` // 0 = 2.0 (200%)
+	Control      bool    `json:"control,omitempty"`
+	Mechanism    string  `json:"mechanism,omitempty"` // FU, FU/DL1, FU/DL1/IL1, ideal
+	Delay        int     `json:"delay,omitempty"`
+	NoiseMV      float64 `json:"noise_mv,omitempty"`
+	Cycles       uint64  `json:"cycles,omitempty"`     // 0 = 400000
+	Warmup       uint64  `json:"warmup,omitempty"`     // 0 = core default
+	Iterations   int     `json:"iterations,omitempty"` // 0 = 3000
+	Seed         int64   `json:"seed,omitempty"`
+	TimeoutMS    int64   `json:"timeout_ms,omitempty"`
+}
+
+// SimulateResponse is the JSON form of a run's summary statistics.
+type SimulateResponse struct {
+	Workload      string  `json:"workload"`
+	Cycles        uint64  `json:"cycles"`
+	Instructions  uint64  `json:"instructions"`
+	IPC           float64 `json:"ipc"`
+	IMinA         float64 `json:"i_min_a"`
+	IMaxA         float64 `json:"i_max_a"`
+	MinV          float64 `json:"min_v"`
+	MaxV          float64 `json:"max_v"`
+	VNominal      float64 `json:"v_nominal"`
+	Emergencies   uint64  `json:"emergencies"`
+	EmergencyFreq float64 `json:"emergency_freq"`
+	EnergyJ       float64 `json:"energy_j"`
+	AvgPowerW     float64 `json:"avg_power_w"`
+
+	Control *ControlSummary `json:"control,omitempty"`
+}
+
+// ControlSummary reports the controller's solved thresholds and actuation
+// counts for controlled runs.
+type ControlSummary struct {
+	Mechanism    string  `json:"mechanism"`
+	Delay        int     `json:"delay"`
+	NoiseMV      float64 `json:"noise_mv"`
+	Stable       bool    `json:"stable"`
+	LowV         float64 `json:"low_v"`
+	HighV        float64 `json:"high_v"`
+	SafeWindowMV float64 `json:"safe_window_mv"`
+	Gating       uint64  `json:"gating_actuations"`
+	Phantom      uint64  `json:"phantom_actuations"`
+}
+
+func mechanismByName(name string) (actuator.Mechanism, error) {
+	switch name {
+	case "FU":
+		return actuator.FU, nil
+	case "FU/DL1":
+		return actuator.FUDL1, nil
+	case "FU/DL1/IL1":
+		return actuator.FUDL1IL1, nil
+	case "ideal", "":
+		return actuator.Ideal, nil
+	}
+	return actuator.Mechanism{}, fmt.Errorf("unknown mechanism %q", name)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	mech, err := mechanismByName(req.Mechanism)
+	if err != nil {
+		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Workload == "" {
+		http.Error(w, "didtd: bad request: request names no workload", http.StatusBadRequest)
+		return
+	}
+	iters := req.Iterations
+	if iters == 0 {
+		iters = 3000
+	}
+	program, err := loadProgram(req.Workload, iters)
+	if err != nil {
+		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	impedance := req.ImpedancePct
+	if impedance == 0 {
+		impedance = 2
+	}
+	cycles := req.Cycles
+	if cycles == 0 {
+		cycles = 400_000
+	}
+	opts := core.Options{
+		ImpedancePct: impedance,
+		Control:      req.Control,
+		Mechanism:    mech,
+		Delay:        req.Delay,
+		NoiseMV:      req.NoiseMV,
+		MaxCycles:    cycles,
+		WarmupCycles: req.Warmup,
+		Seed:         req.Seed,
+	}
+	// Run through the sweep engine so the request context is honoured at
+	// the job boundary (a single simulation is a one-job sweep).
+	results, err := sim.Map(ctx, 1, 1, func(context.Context, int) (*core.Result, error) {
+		sys, err := core.NewSystem(program, opts)
+		if err != nil {
+			return nil, err
+		}
+		defer sys.Close()
+		return sys.Run()
+	})
+	if err != nil {
+		writeRunError(w, r, err)
+		return
+	}
+	res := results[0]
+	resp := SimulateResponse{
+		Workload:      req.Workload,
+		Cycles:        res.Cycles,
+		Instructions:  res.Stats.Instructions,
+		IPC:           res.IPC(),
+		IMinA:         res.IMin,
+		IMaxA:         res.IMax,
+		MinV:          res.MinV,
+		MaxV:          res.MaxV,
+		VNominal:      res.VNominal,
+		Emergencies:   res.Emergencies,
+		EmergencyFreq: res.EmergencyFreq,
+		EnergyJ:       res.Energy,
+		AvgPowerW:     res.AvgPower,
+	}
+	if req.Control {
+		resp.Control = &ControlSummary{
+			Mechanism:    mech.Name,
+			Delay:        req.Delay,
+			NoiseMV:      req.NoiseMV,
+			Stable:       res.Thresholds.Stable,
+			LowV:         res.Thresholds.Low,
+			HighV:        res.Thresholds.High,
+			SafeWindowMV: res.Thresholds.SafeWindow * 1e3,
+			Gating:       res.LowEvents,
+			Phantom:      res.HighEvents,
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// loadProgram resolves a workload name to a generated program, using the
+// shared generation caches (deterministic: cached and fresh programs are
+// identical for equal parameters).
+func loadProgram(name string, iterations int) (isa.Program, error) {
+	if name == "stressmark" {
+		return workload.StressmarkCached(workload.StressmarkParams{Iterations: iterations}), nil
+	}
+	p, err := workload.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	p.Iterations = iterations
+	return workload.GenerateCached(p), nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]interface{}{
+		"status":          status,
+		"active_requests": len(s.running),
+		"queued_requests": len(s.admitted) - len(s.running),
+		"uptime_s":        int64(time.Since(s.started).Seconds()),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := s.cfg.Registry.Snapshot()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -14,20 +14,27 @@ import (
 // envelopes), so it never matters which goroutine populated an entry.
 //
 // Capacity bounds the map for long-lived processes: inserting beyond it
-// evicts every completed entry (a full flush — cheap, and correct for
-// caches of recomputable values). Errors are not cached; a failed key is
-// recomputed on the next Get.
+// evicts completed entries in least-recently-used order. An entry whose
+// computation is still running is pinned — it is never evicted and never
+// recomputed by a concurrent Get — so the map may transiently exceed
+// capacity while more than `capacity` keys are in flight at once. Errors
+// are not cached; a failed key is recomputed on the next Get.
 type Cache[K comparable, V any] struct {
 	mu      sync.Mutex
-	entries map[K]*cacheEntry[V]
-	cap     int
-	stats   CacheStats
+	entries map[K]*cacheEntry[K, V]
+	// head/tail form the intrusive LRU list of *completed* entries
+	// (head = most recent). In-flight entries are unlinked, which is
+	// what pins them: eviction only walks this list.
+	head, tail *cacheEntry[K, V]
+	cap        int
+	stats      CacheStats
 }
 
 // CacheStats is a point-in-time view of a cache's effectiveness. A Get
 // that finds an entry (even one still being computed by another
 // goroutine) counts as a hit; a Get that inserts counts as a miss;
-// Evictions counts entries dropped by capacity flushes and Reset.
+// Evictions counts entries dropped by LRU capacity eviction, SetCapacity
+// and Reset.
 type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
@@ -44,16 +51,23 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-type cacheEntry[V any] struct {
+type cacheEntry[K comparable, V any] struct {
+	key  K
 	once sync.Once
 	val  V
 	err  error
+
+	// LRU links, guarded by Cache.mu. linked reports membership in the
+	// completed-entry list; an unlinked entry still in the map is in
+	// flight and therefore pinned.
+	prev, next *cacheEntry[K, V]
+	linked     bool
 }
 
-// NewCache creates a cache holding at most capacity entries; capacity <= 0
-// means unbounded.
+// NewCache creates a cache holding at most capacity completed entries;
+// capacity <= 0 means unbounded.
 func NewCache[K comparable, V any](capacity int) *Cache[K, V] {
-	return &Cache[K, V]{entries: map[K]*cacheEntry[V]{}, cap: capacity}
+	return &Cache[K, V]{entries: map[K]*cacheEntry[K, V]{}, cap: capacity}
 }
 
 // Get returns the cached value for k, computing it via compute on first
@@ -63,45 +77,113 @@ func (c *Cache[K, V]) Get(k K, compute func() (V, error)) (V, error) {
 	e, ok := c.entries[k]
 	if !ok {
 		c.stats.Misses++
-		if c.cap > 0 && len(c.entries) >= c.cap {
-			c.stats.Evictions += uint64(len(c.entries))
-			c.entries = map[K]*cacheEntry[V]{}
-		}
-		e = &cacheEntry[V]{}
+		e = &cacheEntry[K, V]{key: k}
 		c.entries[k] = e
+		c.evictLocked()
 	} else {
 		c.stats.Hits++
+		if e.linked {
+			c.unlinkLocked(e)
+			c.linkFrontLocked(e)
+		}
 	}
 	c.mu.Unlock()
 
 	e.once.Do(func() {
 		e.val, e.err = compute()
-		if e.err != nil {
-			c.mu.Lock()
-			// Drop the failed entry so a later Get retries, unless an
-			// eviction already replaced it.
-			if cur, ok := c.entries[k]; ok && cur == e {
+		c.mu.Lock()
+		// Only touch the map if this entry is still the resident one: a
+		// Reset may have dropped it while the computation ran.
+		if cur, ok := c.entries[k]; ok && cur == e {
+			if e.err != nil {
+				// Drop the failed entry so a later Get retries.
 				delete(c.entries, k)
+			} else {
+				// Completion unpins the entry: link it as most recent
+				// and let eviction see it from now on.
+				c.linkFrontLocked(e)
+				c.evictLocked()
 			}
-			c.mu.Unlock()
 		}
+		c.mu.Unlock()
 	})
 	return e.val, e.err
 }
 
-// Len reports the number of resident entries.
+// evictLocked drops least-recently-used completed entries until the map
+// fits the capacity again. In-flight entries are unlinked and therefore
+// invisible here, so the map may exceed cap while computations run.
+func (c *Cache[K, V]) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for len(c.entries) > c.cap && c.tail != nil {
+		e := c.tail
+		c.unlinkLocked(e)
+		delete(c.entries, e.key)
+		c.stats.Evictions++
+	}
+}
+
+func (c *Cache[K, V]) linkFrontLocked(e *cacheEntry[K, V]) {
+	e.linked = true
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache[K, V]) unlinkLocked(e *cacheEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	e.linked = false
+}
+
+// Len reports the number of resident entries (completed plus in-flight).
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
 }
 
-// Reset empties the cache.
+// SetCapacity rebounds the cache (n <= 0 means unbounded), evicting
+// least-recently-used completed entries that no longer fit. In-flight
+// entries stay pinned.
+func (c *Cache[K, V]) SetCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	c.cap = n
+	c.evictLocked()
+}
+
+// Reset empties the cache. Unlike capacity eviction it drops in-flight
+// entries too (their running computations finish but are not re-linked),
+// so callers that need singleflight guarantees should not Reset while
+// Gets are outstanding — it exists for benchmarks and tests that force
+// recomputation.
 func (c *Cache[K, V]) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats.Evictions += uint64(len(c.entries))
-	c.entries = map[K]*cacheEntry[V]{}
+	c.entries = map[K]*cacheEntry[K, V]{}
+	c.head, c.tail = nil, nil
 }
 
 // Stats reports the cache's cumulative hit/miss/eviction counts and

@@ -64,38 +64,64 @@ func resolveWorkers(workers, n int) int {
 	return workers
 }
 
-// Pool observability: process-wide job counters feeding an optional
-// progress callback (a live stderr line in the CLIs), plus worker-pool
-// metrics in the default telemetry registry. Both are aggregate-only and
-// never influence scheduling, so they cannot perturb the determinism
-// contract.
+// Pool observability: per-session job counters feeding an optional
+// progress callback (a live stderr line in the CLIs and didtd), plus
+// worker-pool metrics in the default telemetry registry. Both are
+// aggregate-only and never influence scheduling, so they cannot perturb
+// the determinism contract.
 var (
-	progressFn atomic.Value // func(done, total int64)
-	jobsDone   atomic.Int64
-	jobsTotal  atomic.Int64
+	curProgress atomic.Pointer[progressSession]
 
 	poolMetricsOnce sync.Once
 	mJobs, mSweeps  *telemetry.Counter
-	gQueueDepth     *telemetry.Gauge
+	gUndispatched   *telemetry.Gauge
 	gWorkers        *telemetry.Gauge
 	hUtilization    *telemetry.Histogram
 )
 
-// SetProgress installs a callback invoked (from worker goroutines, so it
-// must be safe for concurrent use) whenever a sweep job completes or is
-// submitted, with the process-wide cumulative done/total job counts.
-// Installing a callback starts a fresh progress session: the counters
-// reset to zero. Pass nil to disable.
-func SetProgress(f func(done, total int64)) {
-	jobsDone.Store(0)
-	jobsTotal.Store(0)
-	progressFn.Store(f)
+// progressSession binds the cumulative done/total job counters to the
+// callback they feed. Each Map captures the session current at its entry
+// and reports against that session exclusively for its whole lifetime, so
+// installing a new callback mid-sweep never zeroes (or re-homes) counters
+// a running sweep is still adding to — the invariant done <= total holds
+// within every session.
+type progressSession struct {
+	fn    func(done, total int64)
+	done  atomic.Int64
+	total atomic.Int64
 }
 
-func notifyProgress() {
-	if f, _ := progressFn.Load().(func(done, total int64)); f != nil {
-		f(jobsDone.Load(), jobsTotal.Load())
+func (s *progressSession) addTotal(n int64) {
+	if s != nil {
+		s.total.Add(n)
+		s.notify()
 	}
+}
+
+func (s *progressSession) addDone(n int64) {
+	if s != nil {
+		s.done.Add(n)
+		s.notify()
+	}
+}
+
+func (s *progressSession) notify() {
+	s.fn(s.done.Load(), s.total.Load())
+}
+
+// SetProgress installs a callback invoked (from worker goroutines, so it
+// must be safe for concurrent use) whenever a sweep job completes or is
+// submitted, with the session's cumulative done/total job counts.
+// Installing a callback starts a fresh progress session with zeroed
+// counters; sweeps already in flight keep reporting to the session they
+// started under, so the new callback never observes done > total. Pass
+// nil to disable.
+func SetProgress(f func(done, total int64)) {
+	if f == nil {
+		curProgress.Store(nil)
+		return
+	}
+	curProgress.Store(&progressSession{fn: f})
 }
 
 func poolMetrics() {
@@ -103,7 +129,11 @@ func poolMetrics() {
 		r := telemetry.Default()
 		mJobs = r.Counter("sim.pool.jobs_total")
 		mSweeps = r.Counter("sim.pool.sweeps_total")
-		gQueueDepth = r.Gauge("sim.pool.queue_depth")
+		// The dispatch channel is unbuffered, so the pool never queues
+		// jobs itself: this gauge counts jobs of the currently-dispatching
+		// sweep not yet handed to a worker. Admission queues live in front
+		// of the pool (didtd reports didtd.admission.queue_depth).
+		gUndispatched = r.Gauge("sim.pool.undispatched_jobs")
 		gWorkers = r.Gauge("sim.pool.workers")
 		hUtilization = r.Histogram("sim.pool.worker_utilization_pct", 0, 100, 20)
 	})
@@ -130,16 +160,18 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	poolMetrics()
 	mSweeps.Inc()
 	gWorkers.Set(float64(workers))
-	jobsTotal.Add(int64(n))
-	notifyProgress()
+	// Capture the progress session once: every report from this sweep goes
+	// to the session that was current when it started, even if a new one
+	// is installed mid-flight.
+	ps := curProgress.Load()
+	ps.addTotal(int64(n))
 	// A sweep that exits early (error or cancellation) gives back the jobs
 	// it never ran, so the progress line's total always reflects work that
 	// will actually happen.
 	var completed atomic.Int64
 	defer func() {
 		if c := completed.Load(); c < int64(n) {
-			jobsTotal.Add(c - int64(n))
-			notifyProgress()
+			ps.addTotal(c - int64(n))
 		}
 	}()
 	out := make([]T, n)
@@ -155,8 +187,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 			out[i] = v
 			completed.Add(1)
 			mJobs.Inc()
-			jobsDone.Add(1)
-			notifyProgress()
+			ps.addDone(1)
 		}
 		return out, nil
 	}
@@ -185,8 +216,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				out[i] = v
 				completed.Add(1)
 				mJobs.Inc()
-				jobsDone.Add(1)
-				notifyProgress()
+				ps.addDone(1)
 			}
 		}(w)
 	}
@@ -195,7 +225,7 @@ dispatch:
 	for i := 0; i < n; i++ {
 		select {
 		case jobs <- i:
-			gQueueDepth.Set(float64(n - i - 1))
+			gUndispatched.Set(float64(n - i - 1))
 		case <-ctx.Done():
 			break dispatch
 		}

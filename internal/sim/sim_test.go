@@ -242,13 +242,18 @@ func TestCacheStats(t *testing.T) {
 	if got, want := s.HitRate(), 2.0/5.0; got != want {
 		t.Fatalf("hit rate = %v, want %v", got, want)
 	}
-	// Inserting past capacity flushes all resident entries.
+	// Inserting past capacity evicts exactly the least-recently-used
+	// completed entry (key 2: key 1 was re-read after it), not the whole
+	// map.
 	if _, err := c.Get(4, func() (int, error) { return 4, nil }); err != nil {
 		t.Fatal(err)
 	}
 	s = c.Stats()
-	if s.Evictions != 3 || s.Entries != 1 {
-		t.Fatalf("after capacity flush: %+v, want 3 evictions / 1 entry", s)
+	if s.Evictions != 1 || s.Entries != 3 {
+		t.Fatalf("after capacity eviction: %+v, want 1 eviction / 3 entries", s)
+	}
+	if v, _ := c.Get(1, func() (int, error) { return -1, nil }); v != 1 {
+		t.Fatalf("recently-used key 1 was evicted: got %d", v)
 	}
 	c.Reset()
 	if s = c.Stats(); s.Evictions != 4 || s.Entries != 0 {
@@ -313,8 +318,8 @@ func TestCacheCapacityAndReset(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if n := c.Len(); n > 4 {
-		t.Fatalf("capacity not enforced: %d entries", n)
+	if n := c.Len(); n != 4 {
+		t.Fatalf("capacity not enforced: %d entries, want exactly 4", n)
 	}
 	c.Reset()
 	if c.Len() != 0 {
@@ -325,5 +330,168 @@ func TestCacheCapacityAndReset(t *testing.T) {
 	v2, _ := c.Get(3, func() (int, error) { return -1, nil })
 	if v != 33 || v2 != 33 {
 		t.Fatalf("got %d then %d", v, v2)
+	}
+}
+
+func TestCacheLRUEvictionOrder(t *testing.T) {
+	c := NewCache[int, int](3)
+	for _, k := range []int{1, 2, 3} {
+		c.Get(k, func() (int, error) { return k, nil })
+	}
+	// Touch 1 so 2 becomes the least recently used.
+	c.Get(1, func() (int, error) { return -1, nil })
+	c.Get(4, func() (int, error) { return 4, nil })
+	if v, _ := c.Get(1, func() (int, error) { return -1, nil }); v != 1 {
+		t.Fatalf("recently-read key 1 evicted: got %d", v)
+	}
+	if v, _ := c.Get(3, func() (int, error) { return -3, nil }); v != 3 {
+		t.Fatalf("resident key 3 evicted: got %d", v)
+	}
+	// Key 2 was the LRU victim; a fresh Get recomputes it.
+	if v, _ := c.Get(2, func() (int, error) { return -2, nil }); v != -2 {
+		t.Fatalf("LRU key 2 should have been evicted: got %d", v)
+	}
+	if s := c.Stats(); s.Evictions < 2 {
+		t.Fatalf("stats = %+v, want at least 2 single-entry evictions", s)
+	}
+}
+
+func TestCacheSetCapacity(t *testing.T) {
+	c := NewCache[int, int](0)
+	for i := 0; i < 10; i++ {
+		c.Get(i, func() (int, error) { return i, nil })
+	}
+	c.SetCapacity(3)
+	if n := c.Len(); n != 3 {
+		t.Fatalf("SetCapacity(3) left %d entries", n)
+	}
+	if s := c.Stats(); s.Evictions != 7 {
+		t.Fatalf("SetCapacity evicted %d entries, want 7", s.Evictions)
+	}
+	// The survivors are the three most recently used.
+	for _, k := range []int{7, 8, 9} {
+		if v, _ := c.Get(k, func() (int, error) { return -1, nil }); v != k {
+			t.Fatalf("MRU key %d evicted by SetCapacity", k)
+		}
+	}
+}
+
+// TestCacheInFlightPinnedUnderPressure is the regression test for the
+// flush-everything eviction bug: a capacity flush used to drop entries
+// whose computation was still running, so a concurrent Get of the same
+// key would silently start a second computation. With the LRU rewrite an
+// in-flight entry is pinned — never evicted, never recomputed — no matter
+// how much capacity pressure concurrent requests generate.
+func TestCacheInFlightPinnedUnderPressure(t *testing.T) {
+	c := NewCache[int, int](2)
+	var computes atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err := c.Get(0, func() (int, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return 100, nil
+		})
+		if err != nil || v != 100 {
+			t.Errorf("first Get(0) = %d, %v; want 100", v, err)
+		}
+	}()
+	<-started
+
+	// Churn many other keys through the cache while key 0 is in flight.
+	for k := 1; k <= 20; k++ {
+		if _, err := c.Get(k, func() (int, error) { return k, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two completed entries at capacity plus the pinned in-flight one.
+	if n := c.Len(); n > 3 {
+		t.Fatalf("%d resident entries, want <= cap+1 (pinned in-flight)", n)
+	}
+
+	// A concurrent Get of the in-flight key must join the running
+	// computation rather than starting a second one.
+	hitsBefore := c.Stats().Hits
+	got := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, _ := c.Get(0, func() (int, error) {
+			computes.Add(1)
+			return -1, nil
+		})
+		got <- v
+	}()
+	for c.Stats().Hits == hitsBefore {
+		runtime.Gosched() // wait until the concurrent Get has joined
+	}
+	close(release)
+	wg.Wait()
+	if v := <-got; v != 100 {
+		t.Fatalf("concurrent Get of in-flight key = %d, want 100 (entry was evicted and recomputed)", v)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("key 0 computed %d times, want exactly 1", n)
+	}
+}
+
+// TestSetProgressMidSweepIsolated is the regression test for the
+// mid-sweep counter reset: installing a callback used to zero the
+// process-wide done/total counters while a running sweep kept adding to
+// them, so the progress line could report done > total. Sessions isolate
+// the counters: the in-flight sweep keeps reporting against the session
+// it started under.
+func TestSetProgressMidSweepIsolated(t *testing.T) {
+	defer SetProgress(nil)
+	var violations atomic.Int32
+	check := func(done, total int64) {
+		if done > total {
+			violations.Add(1)
+		}
+	}
+	SetProgress(check)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Map(context.Background(), 2, 8, func(_ context.Context, i int) (int, error) {
+			once.Do(func() { close(started) })
+			<-release
+			return i, nil
+		})
+		errc <- err
+	}()
+	<-started
+	SetProgress(check) // fresh session while the sweep is mid-flight
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if n := violations.Load(); n > 0 {
+		t.Fatalf("progress callback observed done > total %d times", n)
+	}
+}
+
+// TestPoolUndispatchedGauge covers the queue_depth gauge rename: the
+// dispatch channel is unbuffered, so the old sim.pool.queue_depth name
+// claimed a queue that cannot exist; the value counts undispatched jobs.
+func TestPoolUndispatchedGauge(t *testing.T) {
+	if _, err := Map(context.Background(), 2, 8, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := telemetry.Default().Snapshot().Gauges
+	if _, ok := g["sim.pool.undispatched_jobs"]; !ok {
+		t.Fatalf("sim.pool.undispatched_jobs gauge missing; have %v", g)
+	}
+	if _, ok := g["sim.pool.queue_depth"]; ok {
+		t.Fatal("stale sim.pool.queue_depth gauge still registered")
 	}
 }

@@ -45,9 +45,18 @@ func (p *Progress) Update(done, total int64) {
 		return
 	}
 	p.last = now
+	// Clamp pathological inputs rather than rendering nonsense: a sweep
+	// error path can shrink the total after completions were counted, so
+	// done may transiently exceed total (or total may go negative).
+	if total < 0 {
+		total = 0
+	}
 	pct := 0.0
 	if total > 0 {
 		pct = 100 * float64(done) / float64(total)
+		if pct > 100 {
+			pct = 100
+		}
 	}
 	fmt.Fprintf(p.w, "\r[%s] %d/%d jobs (%.0f%%, %s elapsed)   ",
 		p.label, done, total, pct, now.Sub(p.started).Round(time.Second))

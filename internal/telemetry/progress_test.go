@@ -27,6 +27,31 @@ func TestProgressThrottlesAndFlushesFinal(t *testing.T) {
 	}
 }
 
+// TestProgressClampsOverdoneAndNegativeTotal is the regression test for
+// the done > total rendering bug: the sweep error path corrects the total
+// downward after completions were counted, so Update can briefly see
+// done > total (or a negative total). The line must clamp to 100% and
+// never print a negative total.
+func TestProgressClampsOverdoneAndNegativeTotal(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "sweep", time.Nanosecond)
+	p.Update(5, 3)
+	if out := buf.String(); !strings.Contains(out, "(100%") {
+		t.Fatalf("done > total not clamped to 100%%: %q", out)
+	}
+	buf.Reset()
+	time.Sleep(2 * time.Nanosecond)
+	p.Update(2, -4)
+	out := buf.String()
+	if strings.Contains(out, "-") {
+		t.Fatalf("negative total printed: %q", out)
+	}
+	if !strings.Contains(out, "2/0 jobs (0%") {
+		t.Fatalf("negative total not clamped to zero: %q", out)
+	}
+	p.Done()
+}
+
 func TestProgressNilSafe(t *testing.T) {
 	var p *Progress
 	p.Update(1, 2)

@@ -91,47 +91,58 @@ func levelName(arg int32) string {
 // (sensor transitions, gate/phantom engagement, marks) become instant
 // events. clockHz converts cycle timestamps to trace microseconds;
 // clockHz <= 0 defaults to the paper's 3 GHz clock.
+//
+// Each stream gets its own PID (assigned in the canonical Streams()
+// order, so the serialization is deterministic): the trace-event format
+// keys counter tracks by (pid, name), so putting every stream under one
+// PID would merge same-named counters ("voltage (V)", "current (A)") from
+// different streams into a single garbled track. Per-stream process_name
+// metadata labels each PID with the stream name.
 func WriteChromeTrace(w io.Writer, t *Tracer, clockHz float64) error {
 	if clockHz <= 0 {
 		clockHz = 3e9
 	}
 	usPerCycle := 1e6 / clockHz
 	tr := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ns"}
-	for tid, s := range t.Streams() {
-		tid++ // tid 0 renders poorly in some viewers
+	for i, s := range t.Streams() {
+		pid := i + 1 // pid/tid 0 render poorly in some viewers
+		const tid = 1
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
-			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+			Name: "process_name", Phase: "M", PID: pid, TID: tid,
+			Args: map[string]interface{}{"name": s.Name()},
+		}, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: pid, TID: tid,
 			Args: map[string]interface{}{"name": s.Name()},
 		})
 		for _, e := range s.Events() {
 			ts := float64(e.Cycle) * usPerCycle
 			switch e.Kind {
 			case KindVoltage:
-				tr.TraceEvents = append(tr.TraceEvents, counter("voltage (V)", ts, tid, "v", e.Value))
+				tr.TraceEvents = append(tr.TraceEvents, counter("voltage (V)", ts, pid, tid, "v", e.Value))
 			case KindCurrent:
-				tr.TraceEvents = append(tr.TraceEvents, counter("current (A)", ts, tid, "i", e.Value))
+				tr.TraceEvents = append(tr.TraceEvents, counter("current (A)", ts, pid, tid, "i", e.Value))
 			case KindQuadrantVoltage:
 				name := fmt.Sprintf("quadrant %d voltage (V)", e.Arg)
-				tr.TraceEvents = append(tr.TraceEvents, counter(name, ts, tid, "v", e.Value))
+				tr.TraceEvents = append(tr.TraceEvents, counter(name, ts, pid, tid, "v", e.Value))
 			case KindGate:
-				tr.TraceEvents = append(tr.TraceEvents, counter("gating", ts, tid, "on", float64(e.Arg)))
+				tr.TraceEvents = append(tr.TraceEvents, counter("gating", ts, pid, tid, "on", float64(e.Arg)))
 				if e.Arg == 1 {
-					tr.TraceEvents = append(tr.TraceEvents, instant("gate engage", "actuation", ts, tid, e.Value))
+					tr.TraceEvents = append(tr.TraceEvents, instant("gate engage", "actuation", ts, pid, tid, e.Value))
 				}
 			case KindPhantom:
-				tr.TraceEvents = append(tr.TraceEvents, counter("phantom-fire", ts, tid, "on", float64(e.Arg)))
+				tr.TraceEvents = append(tr.TraceEvents, counter("phantom-fire", ts, pid, tid, "on", float64(e.Arg)))
 				if e.Arg == 1 {
-					tr.TraceEvents = append(tr.TraceEvents, instant("phantom engage", "actuation", ts, tid, e.Value))
+					tr.TraceEvents = append(tr.TraceEvents, instant("phantom engage", "actuation", ts, pid, tid, e.Value))
 				}
 			case KindEmergency:
-				tr.TraceEvents = append(tr.TraceEvents, counter("emergency", ts, tid, "on", float64(e.Arg)))
+				tr.TraceEvents = append(tr.TraceEvents, counter("emergency", ts, pid, tid, "on", float64(e.Arg)))
 				if e.Arg == 1 {
-					tr.TraceEvents = append(tr.TraceEvents, instant("emergency", "emergency", ts, tid, e.Value))
+					tr.TraceEvents = append(tr.TraceEvents, instant("emergency", "emergency", ts, pid, tid, e.Value))
 				}
 			case KindSensorLevel:
-				tr.TraceEvents = append(tr.TraceEvents, instant(levelName(e.Arg), "sensor", ts, tid, e.Value))
+				tr.TraceEvents = append(tr.TraceEvents, instant(levelName(e.Arg), "sensor", ts, pid, tid, e.Value))
 			case KindMark:
-				tr.TraceEvents = append(tr.TraceEvents, instant("mark", "mark", ts, tid, e.Value))
+				tr.TraceEvents = append(tr.TraceEvents, instant("mark", "mark", ts, pid, tid, e.Value))
 			}
 		}
 	}
@@ -139,12 +150,12 @@ func WriteChromeTrace(w io.Writer, t *Tracer, clockHz float64) error {
 	return enc.Encode(tr)
 }
 
-func counter(name string, ts float64, tid int, key string, v float64) chromeEvent {
-	return chromeEvent{Name: name, Cat: "state", Phase: "C", TS: ts, PID: 1, TID: tid,
+func counter(name string, ts float64, pid, tid int, key string, v float64) chromeEvent {
+	return chromeEvent{Name: name, Cat: "state", Phase: "C", TS: ts, PID: pid, TID: tid,
 		Args: map[string]interface{}{key: v}}
 }
 
-func instant(name, cat string, ts float64, tid int, v float64) chromeEvent {
-	return chromeEvent{Name: name, Cat: cat, Phase: "i", TS: ts, PID: 1, TID: tid, Scope: "t",
+func instant(name, cat string, ts float64, pid, tid int, v float64) chromeEvent {
+	return chromeEvent{Name: name, Cat: cat, Phase: "i", TS: ts, PID: pid, TID: tid, Scope: "t",
 		Args: map[string]interface{}{"voltage": v}}
 }

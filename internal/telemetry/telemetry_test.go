@@ -222,8 +222,8 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 			t.Fatalf("negative timestamp on %q", e.Name)
 		}
 	}
-	if phases["M"] != 1 {
-		t.Fatalf("want 1 thread_name metadata event, got %d", phases["M"])
+	if phases["M"] != 2 {
+		t.Fatalf("want process_name + thread_name metadata events, got %d", phases["M"])
 	}
 	if phases["C"] == 0 || phases["i"] == 0 {
 		t.Fatalf("want counter and instant events, got phases %v", phases)
@@ -240,6 +240,65 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 				t.Fatalf("gate engage ts = %v µs, want ≈%v", e.TS, want)
 			}
 		}
+	}
+}
+
+// TestChromeTraceStreamCounterIsolation is the regression test for the
+// counter-track collision: the trace-event format keys counters by
+// (pid, name), and every stream used to emit under PID 1, merging
+// same-named counters from different streams into one garbled track.
+// Each stream now gets its own PID, labeled via process_name metadata.
+func TestChromeTraceStreamCounterIsolation(t *testing.T) {
+	tr := NewTracer(64)
+	a := tr.Stream("core A")
+	b := tr.Stream("core B")
+	a.Emit(1, KindVoltage, 0, 0.98)
+	a.Emit(1, KindCurrent, 0, 30)
+	b.Emit(1, KindVoltage, 0, 1.02)
+	b.Emit(1, KindCurrent, 0, 45)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr, 3e9); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string                 `json:"name"`
+			Phase string                 `json:"ph"`
+			PID   int                    `json:"pid"`
+			Args  map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	pidsByCounter := map[string]map[int]bool{}
+	processNames := map[int]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "C" {
+			if pidsByCounter[e.Name] == nil {
+				pidsByCounter[e.Name] = map[int]bool{}
+			}
+			pidsByCounter[e.Name][e.PID] = true
+		}
+		if e.Phase == "M" && e.Name == "process_name" {
+			processNames[e.PID], _ = e.Args["name"].(string)
+		}
+	}
+	for _, name := range []string{"voltage (V)", "current (A)"} {
+		if got := len(pidsByCounter[name]); got != 2 {
+			t.Fatalf("counter %q spans %d pid(s), want 2 (one per stream); counters: %v", name, got, pidsByCounter)
+		}
+	}
+	if len(processNames) != 2 {
+		t.Fatalf("want 2 process_name metadata entries, got %v", processNames)
+	}
+	seen := map[string]bool{}
+	for _, n := range processNames {
+		seen[n] = true
+	}
+	if !seen["core A"] || !seen["core B"] {
+		t.Fatalf("process names %v do not label the streams", processNames)
 	}
 }
 
