@@ -98,7 +98,10 @@ func BenchmarkStressmarkActuation(b *testing.B) { benchExperiment(b, "stressmark
 // in cycles per second (stressmark, uncontrolled, 200% impedance).
 func BenchmarkCoupledCycles(b *testing.B) {
 	prog := Stressmark(StressmarkParams{Iterations: 1 << 30})
-	sys, err := NewSystem(prog, Options{ImpedancePct: 2, MaxCycles: 1 << 62})
+	var sp RunSpec
+	sp.PDN.ImpedancePct = 2
+	sp.Budget.MaxCycles = 1 << 62
+	sys, err := NewSystem(prog, Options{Spec: sp})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -112,9 +115,12 @@ func BenchmarkCoupledCycles(b *testing.B) {
 // controller in the loop.
 func BenchmarkControlledCycles(b *testing.B) {
 	prog := Stressmark(StressmarkParams{Iterations: 1 << 30})
-	sys, err := NewSystem(prog, Options{
-		ImpedancePct: 2, Control: true, Delay: 2, MaxCycles: 1 << 62,
-	})
+	var sp RunSpec
+	sp.PDN.ImpedancePct = 2
+	sp.Control.Enabled = true
+	sp.Sensor.DelayCycles = 2
+	sp.Budget.MaxCycles = 1 << 62
+	sys, err := NewSystem(prog, Options{Spec: sp})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -133,9 +139,11 @@ func BenchmarkTelemetryOff(b *testing.B) {
 	tracer := NewTracer(0)
 	tracer.SetEnabled(false)
 	prog := Stressmark(StressmarkParams{Iterations: 1 << 30})
+	var sp RunSpec
+	sp.PDN.ImpedancePct = 2
+	sp.Budget.MaxCycles = 1 << 62
 	sys, err := NewSystem(prog, Options{
-		ImpedancePct: 2, MaxCycles: 1 << 62,
-		Telemetry: tracer, TelemetryName: "bench",
+		Spec: sp, Telemetry: tracer, TelemetryName: "bench",
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -151,9 +159,11 @@ func BenchmarkTelemetryOff(b *testing.B) {
 func BenchmarkTelemetryOn(b *testing.B) {
 	tracer := NewTracer(0)
 	prog := Stressmark(StressmarkParams{Iterations: 1 << 30})
+	var sp RunSpec
+	sp.PDN.ImpedancePct = 2
+	sp.Budget.MaxCycles = 1 << 62
 	sys, err := NewSystem(prog, Options{
-		ImpedancePct: 2, MaxCycles: 1 << 62,
-		Telemetry: tracer, TelemetryName: "bench",
+		Spec: sp, Telemetry: tracer, TelemetryName: "bench",
 	})
 	if err != nil {
 		b.Fatal(err)

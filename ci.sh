@@ -19,6 +19,14 @@ go run ./cmd/didtlint ./...
 
 go vet ./...
 go build ./...
+
+# Spec golden gate: the resolved default run spec is public API — it is
+# served by GET /v1/spec/default and every memo key hashes spec sections —
+# so any drift from the checked-in golden must be deliberate. Regenerate
+# with `go run ./cmd/didtd -print-default-spec > internal/spec/testdata/default_spec.json`
+# after an intentional default change.
+go run ./cmd/didtd -print-default-spec | diff - internal/spec/testdata/default_spec.json
+
 go test -race ./...
 
 # Determinism with telemetry enabled: rendered output AND serialized

@@ -10,7 +10,9 @@
 //	POST /v1/sweep      run experiment sweeps; the response body is exactly
 //	                    the bytes cmd/experiments would print for the same
 //	                    parameters, byte-identical at any -parallel setting
-//	POST /v1/simulate   run one closed-loop simulation, JSON summary out
+//	POST /v1/simulate   run one closed-loop simulation, JSON summary out;
+//	                    accepts either flat fields or a full run spec
+//	GET  /v1/spec/default  the fully resolved default run spec
 //	GET  /healthz       liveness + drain state
 //	GET  /metrics       telemetry registry snapshot
 //	GET  /debug/pprof/  pprof profiling endpoints
@@ -23,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -33,6 +36,7 @@ import (
 
 	"didt/internal/server"
 	"didt/internal/sim"
+	"didt/internal/spec"
 )
 
 func main() {
@@ -43,8 +47,21 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline (requests may set their own)")
 		parallel = flag.Int("parallel", 0, "default sweep worker count per request (0 = GOMAXPROCS)")
 		grace    = flag.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on shutdown")
+		dump     = flag.Bool("print-default-spec", false, "print the resolved default run spec as JSON and exit")
 	)
 	flag.Parse()
+
+	if *dump {
+		// Exactly the bytes GET /v1/spec/default serves; ci.sh diffs this
+		// against the checked-in golden to catch silent default drift.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spec.Default()); err != nil {
+			fmt.Fprintln(os.Stderr, "didtd:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parallel > 0 {
 		sim.SetDefaultWorkers(*parallel)

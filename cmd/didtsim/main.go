@@ -31,9 +31,9 @@ import (
 	"didt/internal/core"
 	"didt/internal/isa"
 	"didt/internal/sim"
+	"didt/internal/spec"
 	"didt/internal/telemetry"
 	"didt/internal/trace"
-	"didt/internal/workload"
 )
 
 func main() {
@@ -47,7 +47,6 @@ func main() {
 		noise     = flag.Float64("noise", 0, "sensor noise amplitude in mV")
 		cycles    = flag.Uint64("cycles", 400000, "maximum cycles")
 		iters     = flag.Int("iterations", 3000, "workload loop iterations")
-		seed      = flag.Int64("seed", 0, "noise seed")
 		parallel  = flag.Int("parallel", 0, "worker count for multi-workload runs (0 = GOMAXPROCS)")
 		dumpCur   = flag.String("dump-current", "", "write the per-cycle current trace (CSV) to this path (single workload only)")
 		dumpVolt  = flag.String("dump-voltage", "", "write the per-cycle voltage trace (CSV) to this path (single workload only)")
@@ -60,6 +59,8 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this path")
 		progress    = flag.Bool("progress", false, "live progress line on stderr")
 	)
+	var seed spec.Seed
+	flag.Var(&seed, "seed", "noise seed (only applied when set)")
 	flag.Parse()
 
 	workloads := strings.Split(*wl, ",")
@@ -67,11 +68,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-dump-current/-dump-voltage require a single workload")
 		os.Exit(2)
 	}
-	mech, err := mechanism(*mechName)
+	mech, err := actuator.ByName(*mechName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	// Every flag is an override on one RunSpec; the per-workload specs
+	// below differ only in their workload section.
+	var base spec.RunSpec
+	base.PDN.ImpedancePct = *impedance
+	base.Control.Enabled = *control
+	base.Actuator.Mechanism = *mechName
+	base.Sensor.DelayCycles = *delay
+	base.Sensor.NoiseMV = *noise
+	base.Budget.MaxCycles = *cycles
+	base.Workload.Iterations = *iters
+	base.Seed = seed
 
 	var tracer *telemetry.Tracer
 	if *traceOut != "" {
@@ -95,20 +108,16 @@ func main() {
 	type outcome struct {
 		name string
 		res  *core.Result
+		spec spec.RunSpec
 	}
 	results, err := sim.Sweep(context.Background(), *parallel, workloads, func(_ context.Context, name string) (outcome, error) {
-		prog, err := loadProgram(name, *asmPath, *iters)
+		sp := base
+		prog, err := loadProgram(&sp, name, *asmPath)
 		if err != nil {
 			return outcome{}, err
 		}
 		sys, err := core.NewSystem(prog, core.Options{
-			ImpedancePct:  *impedance,
-			Control:       *control,
-			Mechanism:     mech,
-			Delay:         *delay,
-			NoiseMV:       *noise,
-			MaxCycles:     *cycles,
-			Seed:          *seed,
+			Spec:          sp,
 			RecordTraces:  *dumpCur != "" || *dumpVolt != "",
 			Telemetry:     tracer,
 			TelemetryName: name,
@@ -121,7 +130,7 @@ func main() {
 		if err != nil {
 			return outcome{}, err
 		}
-		return outcome{name: name, res: res}, nil
+		return outcome{name: name, res: res, spec: sys.Spec()}, nil
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -168,6 +177,11 @@ func main() {
 	}
 	if *metricsOut != "" {
 		m := telemetry.NewManifest("didtsim", sim.DefaultWorkers(), telemetry.Default(), tracer)
+		// Record the resolved spec (and its content hash) of the last run,
+		// mirroring which run the trace dumps describe.
+		last := results[len(results)-1].spec
+		m.Spec = last
+		m.SpecKey = last.Key()
 		f, err := os.Create(*metricsOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -234,37 +248,23 @@ func writeTrace(path string, tr trace.Trace, name string) error {
 	return tr.WriteCSV(f, name)
 }
 
-func loadProgram(wl, asmPath string, iters int) (isa.Program, error) {
-	switch wl {
-	case "stressmark":
-		return workload.StressmarkCached(workload.StressmarkParams{Iterations: iters}), nil
-	case "asm":
+// loadProgram fills sp's workload section for the named workload and
+// resolves the program through the spec (misspelled benchmark names get
+// did-you-mean errors from spec validation). "asm" programs come from a
+// file, outside the serializable spec; sp keeps the name for the record.
+func loadProgram(sp *spec.RunSpec, wl, asmPath string) (isa.Program, error) {
+	sp.Workload.Name = wl
+	if wl == "asm" {
 		f, err := os.Open(asmPath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
 		return isa.Parse(f)
-	default:
-		p, err := workload.ProfileByName(wl)
-		if err != nil {
-			return nil, err
-		}
-		p.Iterations = iters
-		return workload.GenerateCached(p), nil
 	}
-}
-
-func mechanism(name string) (actuator.Mechanism, error) {
-	switch name {
-	case "FU":
-		return actuator.FU, nil
-	case "FU/DL1":
-		return actuator.FUDL1, nil
-	case "FU/DL1/IL1":
-		return actuator.FUDL1IL1, nil
-	case "ideal":
-		return actuator.Ideal, nil
+	resolved, err := sp.Resolve()
+	if err != nil {
+		return nil, err
 	}
-	return actuator.Mechanism{}, fmt.Errorf("unknown mechanism %q", name)
+	return resolved.Program()
 }

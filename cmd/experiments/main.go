@@ -27,6 +27,7 @@ import (
 
 	"didt/internal/experiments"
 	"didt/internal/sim"
+	"didt/internal/spec"
 	"didt/internal/telemetry"
 )
 
@@ -39,7 +40,6 @@ func main() {
 		iters    = flag.Int("iterations", 0, "benchmark loop iterations (0 = default)")
 		quick    = flag.Bool("quick", false, "use the reduced quick configuration")
 		bench    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
-		seed     = flag.Int64("seed", 0, "noise/workload seed")
 		parallel = flag.Int("parallel", 0, "sweep worker count (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 
 		traceOut    = flag.String("trace-out", "", "write a cycle-level event trace to this path")
@@ -50,6 +50,8 @@ func main() {
 		memProfile  = flag.String("memprofile", "", "write a pprof heap profile to this path")
 		progress    = flag.Bool("progress", false, "live sweep progress line on stderr")
 	)
+	var seed spec.Seed
+	flag.Var(&seed, "seed", "noise/workload seed (only applied when set)")
 	flag.Parse()
 
 	if *list {
@@ -75,14 +77,13 @@ func main() {
 	if *bench != "" {
 		cfg.Benchmarks = strings.Split(*bench, ",")
 	}
-	// Apply the seed only when the flag was explicitly set: its default
-	// (0) must not override whatever seed the selected configuration
-	// carries.
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "seed" {
-			cfg.Seed = *seed
-		}
-	})
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	// The seed applies only when the flag was explicitly set: its absence
+	// must not override whatever seed the selected configuration carries.
+	cfg.Seed = seed.Resolve(cfg.Seed)
 	cfg.Parallel = *parallel
 	sim.SetDefaultWorkers(*parallel)
 
@@ -107,16 +108,17 @@ func main() {
 	}
 
 	reg := experiments.Registry()
-	ids := []string{*runID}
-	if *runID == "all" {
-		ids = experiments.IDs()
+	var want []string
+	if *runID != "all" {
+		want = strings.Split(*runID, ",")
+	}
+	ids, err := experiments.ResolveIDs(want)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	for _, id := range ids {
-		runner, ok := reg[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
-		}
+		runner := reg[id]
 		start := time.Now()
 		if err := runner(cfg, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
@@ -143,6 +145,11 @@ func main() {
 	if *metricsOut != "" {
 		m := telemetry.NewManifest("experiments", sim.DefaultWorkers(), telemetry.Default(), tracer)
 		m.Experiments = ids
+		// Record the resolved base spec the sweep derives its per-run
+		// specs from, plus its content hash.
+		base := cfg.Spec()
+		m.Spec = base
+		m.SpecKey = base.Key()
 		if err := writeManifestFile(*metricsOut, m); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

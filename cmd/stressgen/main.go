@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"didt/internal/core"
+	"didt/internal/tuner"
 	"didt/internal/workload"
 )
 
@@ -29,7 +30,9 @@ func main() {
 	flag.Parse()
 
 	if *tune {
-		best, all, err := workload.TuneStressmark(core.Options{ImpedancePct: *impedance})
+		var opts core.Options
+		opts.Spec.PDN.ImpedancePct = *impedance
+		best, all, err := tuner.TuneStressmark(opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

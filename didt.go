@@ -7,14 +7,18 @@
 // The facade re-exports the library's primary entry points:
 //
 //	prog := didt.Stressmark(didt.StressmarkParams{Iterations: 2000})
-//	sys, err := didt.NewSystem(prog, didt.Options{
-//	    ImpedancePct: 2,
-//	    Control:      true,
-//	    Mechanism:    didt.FUDL1,
-//	    Delay:        2,
-//	})
+//	var sp didt.RunSpec
+//	sp.PDN.ImpedancePct = 2
+//	sp.Control.Enabled = true
+//	sp.Actuator.Mechanism = didt.FUDL1.Name
+//	sp.Sensor.DelayCycles = 2
+//	sys, err := didt.NewSystem(prog, didt.Options{Spec: sp})
 //	res, err := sys.Run()
 //	fmt.Println(res.Emergencies, res.IPC())
+//
+// A RunSpec is plain data: zero values take the paper's defaults, the
+// whole struct round-trips through JSON, and Key() gives a content hash
+// of the fully resolved configuration.
 //
 // Subsystem packages live under internal/: the PDN mathematics (linsys,
 // pdn), the machine (isa, bpred, mem, cpu), the power model (power), the
@@ -34,15 +38,21 @@ import (
 	"didt/internal/isa"
 	"didt/internal/pdn"
 	"didt/internal/power"
+	"didt/internal/spec"
 	"didt/internal/telemetry"
 	"didt/internal/workload"
 )
 
 // Core simulation types.
 type (
-	// Options configures a coupled simulation; zero values take the
-	// paper's defaults (Table 1 core, 3 GHz / 1.0 V / 50 MHz package).
+	// Options attaches a RunSpec (plus host-side concerns such as tracing)
+	// to a simulation; zero values take the paper's defaults (Table 1 core,
+	// 3 GHz / 1.0 V / 50 MHz package).
 	Options = core.Options
+	// RunSpec is the complete, JSON-serializable description of one run.
+	RunSpec = spec.RunSpec
+	// Seed is an optional RNG seed that distinguishes "unset" from zero.
+	Seed = spec.Seed
 	// System is one assembled closed loop.
 	System = core.System
 	// Result summarizes a run.
@@ -97,6 +107,10 @@ var (
 func NewSystem(prog Program, opts Options) (*System, error) {
 	return core.NewSystem(prog, opts)
 }
+
+// DefaultSpec returns the fully resolved paper-default run spec; override
+// fields and pass it through Options.Spec.
+func DefaultSpec() RunSpec { return spec.Default() }
 
 // Stressmark builds the paper's dI/dt stressmark (Section 3.2).
 func Stressmark(p StressmarkParams) Program { return workload.Stressmark(p) }

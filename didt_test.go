@@ -7,7 +7,10 @@ import (
 
 func TestFacadeQuickLoop(t *testing.T) {
 	prog := Stressmark(StressmarkParams{Iterations: 300})
-	sys, err := NewSystem(prog, Options{ImpedancePct: 2, MaxCycles: 60000})
+	var sp RunSpec
+	sp.PDN.ImpedancePct = 2
+	sp.Budget.MaxCycles = 60000
+	sys, err := NewSystem(prog, Options{Spec: sp})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,13 +12,13 @@ import (
 // package with the threshold controller and inspect the outcome.
 func Example() {
 	prog := didt.Stressmark(didt.StressmarkParams{Iterations: 500})
-	sys, err := didt.NewSystem(prog, didt.Options{
-		ImpedancePct: 2,
-		Control:      true,
-		Mechanism:    didt.FUDL1,
-		Delay:        2,
-		MaxCycles:    200000,
-	})
+	var sp didt.RunSpec
+	sp.PDN.ImpedancePct = 2
+	sp.Control.Enabled = true
+	sp.Actuator.Mechanism = didt.FUDL1.Name
+	sp.Sensor.DelayCycles = 2
+	sp.Budget.MaxCycles = 200000
+	sys, err := didt.NewSystem(prog, didt.Options{Spec: sp})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +37,10 @@ func ExampleBenchmark() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys, err := didt.NewSystem(prog, didt.Options{ImpedancePct: 1, MaxCycles: 100000})
+	var sp didt.RunSpec
+	sp.PDN.ImpedancePct = 1
+	sp.Budget.MaxCycles = 100000
+	sys, err := didt.NewSystem(prog, didt.Options{Spec: sp})
 	if err != nil {
 		log.Fatal(err)
 	}

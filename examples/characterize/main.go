@@ -24,11 +24,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys, err := didt.NewSystem(prog, didt.Options{
-			ImpedancePct: 1,
-			MaxCycles:    250000,
-			WarmupCycles: 40000,
-		})
+		var sp didt.RunSpec
+		sp.PDN.ImpedancePct = 1
+		sp.Budget.MaxCycles = 250000
+		sp.Budget.WarmupCycles = 40000
+		sys, err := didt.NewSystem(prog, didt.Options{Spec: sp})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -106,12 +106,12 @@ func main() {
 	fmt.Printf("assembled %d instructions\n\n", len(prog))
 
 	for _, delay := range []int{0, 2, 4} {
-		sys, err := didt.NewSystem(prog, didt.Options{
-			ImpedancePct: 4, // a very cheap package: this kernel needs control here
-			Control:      true,
-			Mechanism:    didt.FUDL1,
-			Delay:        delay,
-		})
+		var sp didt.RunSpec
+		sp.PDN.ImpedancePct = 4 // a very cheap package: this kernel needs control here
+		sp.Control.Enabled = true
+		sp.Actuator.Mechanism = didt.FUDL1.Name
+		sp.Sensor.DelayCycles = delay
+		sys, err := didt.NewSystem(prog, didt.Options{Spec: sp})
 		if err != nil {
 			log.Fatal(err)
 		}

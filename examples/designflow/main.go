@@ -15,6 +15,7 @@ import (
 	"didt/internal/core"
 	"didt/internal/pdn"
 	"didt/internal/power"
+	"didt/internal/spec"
 )
 
 func main() {
@@ -65,9 +66,12 @@ func main() {
 	// Step 5: simulate processor voltage and performance with the
 	// thresholds in the loop.
 	prog := didt.Stressmark(didt.StressmarkParams{Iterations: 1500})
-	run, err := core.NewSystem(prog, core.Options{
-		ImpedancePct: 2, Control: true, Mechanism: actuator.FUDL1, Delay: 2,
-	})
+	var sp spec.RunSpec
+	sp.PDN.ImpedancePct = 2
+	sp.Control.Enabled = true
+	sp.Actuator.Mechanism = actuator.FUDL1.Name
+	sp.Sensor.DelayCycles = 2
+	run, err := core.NewSystem(prog, core.Options{Spec: sp})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,7 +20,9 @@ func main() {
 	fmt.Printf("%-12s %-10s %-12s %-10s %-12s %-8s\n", "", "emerg", "minV", "emerg", "minV", "slowdown")
 
 	for _, pct := range []float64{1, 2, 3, 4} {
-		base, err := didt.NewSystem(prog, didt.Options{ImpedancePct: pct})
+		var sp didt.RunSpec
+		sp.PDN.ImpedancePct = pct
+		base, err := didt.NewSystem(prog, didt.Options{Spec: sp})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -29,12 +31,10 @@ func main() {
 			log.Fatal(err)
 		}
 
-		ctl, err := didt.NewSystem(prog, didt.Options{
-			ImpedancePct: pct,
-			Control:      true,
-			Mechanism:    didt.FUDL1IL1,
-			Delay:        2,
-		})
+		sp.Control.Enabled = true
+		sp.Actuator.Mechanism = didt.FUDL1IL1.Name
+		sp.Sensor.DelayCycles = 2
+		ctl, err := didt.NewSystem(prog, didt.Options{Spec: sp})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -15,7 +15,9 @@ func main() {
 
 	// Uncontrolled: a cheap package (200% of target impedance) exposed to
 	// the resonant stressmark.
-	base, err := didt.NewSystem(prog, didt.Options{ImpedancePct: 2})
+	var uncontrolled didt.RunSpec
+	uncontrolled.PDN.ImpedancePct = 2
+	base, err := didt.NewSystem(prog, didt.Options{Spec: uncontrolled})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,12 +28,11 @@ func main() {
 
 	// Controlled: same package, threshold controller with a 2-cycle sensor
 	// and the FU/DL1 actuator.
-	ctl, err := didt.NewSystem(prog, didt.Options{
-		ImpedancePct: 2,
-		Control:      true,
-		Mechanism:    didt.FUDL1,
-		Delay:        2,
-	})
+	controlled := uncontrolled
+	controlled.Control.Enabled = true
+	controlled.Actuator.Mechanism = didt.FUDL1.Name
+	controlled.Sensor.DelayCycles = 2
+	ctl, err := didt.NewSystem(prog, didt.Options{Spec: controlled})
 	if err != nil {
 		log.Fatal(err)
 	}

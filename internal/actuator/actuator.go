@@ -7,6 +7,9 @@
 package actuator
 
 import (
+	"fmt"
+	"strings"
+
 	"didt/internal/cpu"
 	"didt/internal/power"
 	"didt/internal/sensor"
@@ -33,6 +36,28 @@ var (
 // Granularities lists the real mechanisms in increasing scope, the order
 // Figures 17/18 sweep them.
 func Granularities() []Mechanism { return []Mechanism{FU, FUDL1, FUDL1IL1} }
+
+// Names lists every mechanism name accepted by ByName, in increasing
+// actuation scope.
+func Names() []string { return []string{"FU", "FU/DL1", "FU/DL1/IL1", "ideal"} }
+
+// ByName resolves a mechanism by its canonical name ("FU", "FU/DL1",
+// "FU/DL1/IL1" or "ideal"). This is the single name registry behind
+// spec.RunSpec, the CLIs and the server, so every layer accepts exactly
+// the same vocabulary.
+func ByName(name string) (Mechanism, error) {
+	switch name {
+	case "FU":
+		return FU, nil
+	case "FU/DL1":
+		return FUDL1, nil
+	case "FU/DL1/IL1":
+		return FUDL1IL1, nil
+	case "ideal":
+		return Ideal, nil
+	}
+	return Mechanism{}, fmt.Errorf("unknown mechanism %q (valid: %s)", name, strings.Join(Names(), ", "))
+}
 
 // Respond maps a sensed level to gating and phantom-firing decisions: a
 // Low reading gates the controlled units (dropping current so the supply

@@ -14,6 +14,7 @@ var determinismScope = []string{
 	"didt/internal/pdn",
 	"didt/internal/experiments",
 	"didt/internal/report",
+	"didt/internal/spec",
 	"didt/internal/telemetry",
 }
 

@@ -22,52 +22,29 @@ import (
 	"didt/internal/pdn"
 	"didt/internal/power"
 	"didt/internal/sensor"
+	"didt/internal/spec"
 	"didt/internal/stats"
 	"didt/internal/telemetry"
 	"didt/internal/trace"
 )
 
-// Options assembles a system. Zero values take paper defaults.
+// Options assembles a system: the serializable spec describing the run,
+// plus the few runtime-only attachments (a code-level responder override,
+// trace recording, a telemetry sink) that cannot live in configuration
+// data. Zero spec fields take paper defaults; see spec.RunSpec.
 type Options struct {
-	CPU   cpu.Config
-	Power power.Params
-	PDN   pdn.Params // PeakZ is derived by calibration; leave zero
+	// Spec is the complete run description — PDN, CPU, power model,
+	// sensor, controller, actuator, budgets and seed. NewSystem resolves
+	// it through spec.WithDefaults, so sparse specs work.
+	Spec spec.RunSpec
 
-	// ImpedancePct scales the calibrated target impedance: 1.0 = the 100%
-	// column of Table 2, 2.0 = the 200% design point used for the control
-	// studies. Default 2.0.
-	ImpedancePct float64
-
-	// Control enables the threshold controller. Without it the system
-	// free-runs and merely observes voltage (the Table 2 / Figure 10
-	// characterization mode).
-	Control   bool
-	Mechanism actuator.Mechanism // default actuator.Ideal
-	// Responder overrides Mechanism with an arbitrary actuation policy
-	// (e.g. actuator.Asymmetric, the paper's Section 6 proposal).
+	// Responder overrides the spec's named mechanism with an arbitrary
+	// actuation policy (e.g. actuator.Asymmetric, the paper's Section 6
+	// proposal). Responders are code, so they attach here rather than in
+	// the serializable spec.
 	Responder actuator.Responder
-	Delay     int     // sensor/controller delay, cycles
-	NoiseMV   float64 // sensor noise amplitude, millivolts
-	Settle    int     // actuator ramp charged by the solver; default 2
-	Seed      int64   // noise stream seed
 
-	// FlushRecovery selects the Section 6 alternative recovery: each new
-	// gating episode flushes the front end and restarts it after the
-	// branch-refill penalty (controllers that cannot resume mid-stream).
-	// Default (false) is the paper's assumed protect-and-resume recovery.
-	FlushRecovery bool
-
-	// PessimisticRamp, when positive, replaces the paper's greedy policy
-	// for low-to-high power transitions (Section 2.3) with a pessimistic
-	// one: after a quiet spell, execution restarts at half rate for this
-	// many cycles (the controller gates the FUs on alternate cycles),
-	// lessening the current slope at the cost of performance. Zero keeps
-	// the paper's greedy default.
-	PessimisticRamp int
-
-	MaxCycles    uint64 // hard cycle cap; default 20M
-	WarmupCycles uint64 // cycles excluded from voltage statistics; default 1000
-	RecordTraces bool   // keep per-cycle current/voltage traces
+	RecordTraces bool // keep per-cycle current/voltage traces
 
 	// Telemetry, when non-nil, receives typed per-cycle events (sensor
 	// transitions, actuation engage/release, emergencies, voltage and
@@ -76,33 +53,6 @@ type Options struct {
 	// cycle, so the hot path is unchanged when observability is off.
 	Telemetry     *telemetry.Tracer
 	TelemetryName string
-
-	// EnvelopeIMin/IMax override the measured current envelope used for
-	// target-impedance calibration and threshold solving (amperes). Zero
-	// means measure: the minimum is the model's idle floor and the maximum
-	// comes from running a saturation probe through the simulator, the
-	// paper's "examine the processor power model" step.
-	EnvelopeIMin float64
-	EnvelopeIMax float64
-}
-
-func (o Options) withDefaults() Options {
-	if o.ImpedancePct == 0 {
-		o.ImpedancePct = 2.0
-	}
-	if o.Mechanism.Name == "" {
-		o.Mechanism = actuator.Ideal
-	}
-	if o.Settle == 0 {
-		o.Settle = 2
-	}
-	if o.MaxCycles == 0 {
-		o.MaxCycles = 20_000_000
-	}
-	if o.WarmupCycles == 0 {
-		o.WarmupCycles = 1000
-	}
-	return o
 }
 
 // Result summarizes one run.
@@ -136,6 +86,7 @@ func (r *Result) IPC() float64 { return r.Stats.IPC() }
 // concurrent use.
 type System struct {
 	opts Options
+	spec spec.RunSpec // resolved (WithDefaults applied)
 
 	CPU    *cpu.CPU
 	Power  *power.Model
@@ -179,15 +130,18 @@ type System struct {
 // ImpedancePct; controller thresholds are solved for the configured delay
 // and actuator authority, with noise guard-banding applied.
 func NewSystem(prog isa.Program, opts Options) (*System, error) {
-	opts = opts.withDefaults()
-	c, err := cpu.New(opts.CPU, prog)
+	sp := opts.Spec.WithDefaults()
+	c, err := cpu.New(sp.CPU, prog)
 	if err != nil {
 		return nil, err
 	}
-	pm := power.New(opts.Power, c.Config())
-	iMin, iMax := opts.EnvelopeIMin, opts.EnvelopeIMax
+	pm := power.New(sp.Power, c.Config())
+	iMin, iMax := sp.PDN.EnvelopeIMin, sp.PDN.EnvelopeIMax
 	if iMin == 0 || iMax == 0 {
-		mMin, mMax, err := measureEnvelope(opts.CPU, opts.Power)
+		// The probe memo keys on the as-given (pre-resolution) CPU/power
+		// sections, so distinct sparse specs keep distinct entries even
+		// when they resolve to the same configuration.
+		mMin, mMax, err := measureEnvelope(opts.Spec.CPU, opts.Spec.Power)
 		if err != nil {
 			return nil, err
 		}
@@ -204,21 +158,22 @@ func NewSystem(prog isa.Program, opts Options) (*System, error) {
 	// the symmetric over- and under-shoots of the paper's Figures 2 and 6
 	// (an idle machine sits slightly above nominal, a saturated one
 	// slightly below, and transients ring around both).
-	pdnParams := opts.PDN
+	pdnParams := sp.PDN.Params
 	pdnParams.IFloor = 0.5 * (iMin + iMax)
-	net, err := pdn.Calibrate(pdnParams, iMin, iMax, opts.ImpedancePct)
+	net, err := pdn.Calibrate(pdnParams, iMin, iMax, sp.PDN.ImpedancePct)
 	if err != nil {
 		return nil, err
 	}
 
-	noise := opts.NoiseMV * 1e-3
-	sen, err := sensor.New(opts.Delay, noise, opts.Seed)
+	noise := sp.Sensor.NoiseMV * 1e-3
+	sen, err := sensor.New(sp.Sensor.DelayCycles, noise, sp.Seed.Resolve(0))
 	if err != nil {
 		return nil, err
 	}
 
 	s := &System{
 		opts:   opts,
+		spec:   sp,
 		CPU:    c,
 		Power:  pm,
 		Net:    net,
@@ -235,31 +190,34 @@ func NewSystem(prog isa.Program, opts Options) (*System, error) {
 
 	s.responder = opts.Responder
 	if s.responder == nil {
-		s.responder = opts.Mechanism
+		mech, err := sp.Mechanism()
+		if err != nil {
+			return nil, err
+		}
+		s.responder = mech
 	}
-	if opts.Control {
+	if sp.Control.Enabled {
 		// The counting wrapper feeds actuation tallies into the metrics
 		// registry at the end of the run; one plain increment per cycle.
 		s.counting = &actuator.Counting{R: s.responder}
 		s.responder = s.counting
-	}
 
-	if opts.Control {
 		floor, ceil := s.responder.Envelope(pm)
 		solver := control.NewSolver(net)
 		th, err := solver.Solve(control.Envelope{
 			IMin: iMin, IMax: iMax,
 			Floor: floor, Ceil: ceil,
-			Settle: opts.Settle,
-		}, opts.Delay)
+			Settle: sp.Control.SettleCycles,
+		}, sp.Sensor.DelayCycles)
 		if err != nil {
 			return nil, err
 		}
 		// Guard-band for sensor error (Section 4.5): raise Low and lower
-		// High by the noise amplitude so a worst-case misreading still
-		// triggers in time.
+		// High by the guard band (defaulting to the noise amplitude) so a
+		// worst-case misreading still triggers in time.
+		guard := sp.Sensor.GuardBandMV * 1e-3
 		if th.Stable {
-			lo, hi := th.Low+noise, th.High-noise
+			lo, hi := th.Low+guard, th.High-guard
 			if lo >= hi {
 				th.Stable = false
 			} else {
@@ -301,6 +259,10 @@ func (s *System) Close() {
 // Envelope returns the calibration current envelope.
 func (s *System) Envelope() (iMin, iMax float64) { return s.iMin, s.iMax }
 
+// Spec returns the resolved run spec the system was built from. Its Key()
+// identifies the configuration in manifests and server responses.
+func (s *System) Spec() spec.RunSpec { return s.spec }
+
 // CycleState reports one cycle for trace-level consumers (Figure 11).
 type CycleState struct {
 	Cycle   uint64
@@ -321,7 +283,7 @@ func (s *System) StepCycle() CycleState {
 	rep := s.Power.Step(act, s.phantom)
 	v := s.Sim.Step(rep.Current)
 
-	if s.cycle >= s.opts.WarmupCycles {
+	if s.cycle >= s.spec.Budget.WarmupCycles {
 		if v < s.minV {
 			s.minV = v
 		}
@@ -339,7 +301,7 @@ func (s *System) StepCycle() CycleState {
 	}
 
 	level := sensor.Normal
-	if s.opts.Control {
+	if s.spec.Control.Enabled {
 		level = s.Sensor.Sense(v)
 		lowBefore := s.policy.LowEvents
 		gate, phantom := s.policy.Update(level == sensor.Low, level == sensor.High)
@@ -351,7 +313,7 @@ func (s *System) StepCycle() CycleState {
 			p = power.Phantom{}
 		}
 		s.gating, s.phantom = g, p
-		if s.opts.FlushRecovery && s.policy.LowEvents > lowBefore {
+		if s.spec.Control.FlushRecovery && s.policy.LowEvents > lowBefore {
 			s.CPU.Flush(s.CPU.Config().BranchPenalty)
 		}
 	}
@@ -360,15 +322,15 @@ func (s *System) StepCycle() CycleState {
 	// default): after a quiet spell, restart execution at half rate. The
 	// ramp's gating is recomputed every cycle on top of the controller's
 	// decision (or from scratch when no controller runs).
-	if s.opts.PessimisticRamp > 0 {
-		if !s.opts.Control {
+	if s.spec.Control.PessimisticRamp > 0 {
+		if !s.spec.Control.Enabled {
 			s.gating = cpu.Gating{}
 		}
 		if act.Issued == 0 {
 			s.quietStreak++
 		} else {
 			if s.quietStreak >= 8 {
-				s.rampLeft = s.opts.PessimisticRamp
+				s.rampLeft = s.spec.Control.PessimisticRamp
 			}
 			s.quietStreak = 0
 		}
@@ -440,7 +402,7 @@ func boolArg(b bool) int32 {
 // Run advances the loop until the program retires or MaxCycles elapse and
 // returns the aggregated result.
 func (s *System) Run() (*Result, error) {
-	for s.cycle < s.opts.MaxCycles {
+	for s.cycle < s.spec.Budget.MaxCycles {
 		st := s.StepCycle()
 		if st.Done {
 			break
@@ -450,8 +412,8 @@ func (s *System) Run() (*Result, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	measured := uint64(0)
-	if s.cycle > s.opts.WarmupCycles {
-		measured = s.cycle - s.opts.WarmupCycles
+	if s.cycle > s.spec.Budget.WarmupCycles {
+		measured = s.cycle - s.spec.Budget.WarmupCycles
 	}
 	r := &Result{
 		Stats:        s.CPU.Stats(),

@@ -6,8 +6,43 @@ import (
 
 	"didt/internal/actuator"
 	"didt/internal/isa"
+	"didt/internal/spec"
 	"didt/internal/telemetry"
 )
+
+// knobs is the flat option shape these tests vary; options maps it onto a
+// spec-backed Options value.
+type knobs struct {
+	ImpedancePct  float64
+	MaxCycles     uint64
+	WarmupCycles  uint64
+	Control       bool
+	Mechanism     string
+	Delay         int
+	NoiseMV       float64
+	Seed          int64
+	EnvelopeIMin  float64
+	EnvelopeIMax  float64
+	FlushRecovery bool
+}
+
+func (k knobs) options() Options {
+	var s spec.RunSpec
+	s.PDN.ImpedancePct = k.ImpedancePct
+	s.PDN.EnvelopeIMin = k.EnvelopeIMin
+	s.PDN.EnvelopeIMax = k.EnvelopeIMax
+	s.Control.Enabled = k.Control
+	s.Control.FlushRecovery = k.FlushRecovery
+	s.Actuator.Mechanism = k.Mechanism
+	s.Sensor.DelayCycles = k.Delay
+	s.Sensor.NoiseMV = k.NoiseMV
+	s.Budget.MaxCycles = k.MaxCycles
+	s.Budget.WarmupCycles = k.WarmupCycles
+	if k.Seed != 0 {
+		s.Seed = spec.NewSeed(k.Seed)
+	}
+	return Options{Spec: s}
+}
 
 // alternator builds a current-swinging loop: a divide-stall phase feeding a
 // dependent burst, a miniature stressmark for fast tests.
@@ -47,7 +82,7 @@ func alternator(iters int) isa.Program {
 }
 
 func TestSystemRunsAndReports(t *testing.T) {
-	sys, err := NewSystem(alternator(300), Options{MaxCycles: 100000})
+	sys, err := NewSystem(alternator(300), knobs{MaxCycles: 100000}.options())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +108,7 @@ func TestSystemRunsAndReports(t *testing.T) {
 }
 
 func TestEnvelopeMeasurement(t *testing.T) {
-	sys, err := NewSystem(alternator(50), Options{MaxCycles: 50000})
+	sys, err := NewSystem(alternator(50), knobs{MaxCycles: 50000}.options())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,9 +123,9 @@ func TestEnvelopeMeasurement(t *testing.T) {
 }
 
 func TestEnvelopeOverride(t *testing.T) {
-	sys, err := NewSystem(alternator(50), Options{
+	sys, err := NewSystem(alternator(50), knobs{
 		MaxCycles: 1000, EnvelopeIMin: 12, EnvelopeIMax: 48,
-	})
+	}.options())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +136,11 @@ func TestEnvelopeOverride(t *testing.T) {
 }
 
 func TestRecordTraces(t *testing.T) {
-	sys, err := NewSystem(alternator(100), Options{MaxCycles: 30000, RecordTraces: true})
+	sys, err := NewSystem(alternator(100), func() Options {
+		o := knobs{MaxCycles: 30000}.options()
+		o.RecordTraces = true
+		return o
+	}())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +155,7 @@ func TestRecordTraces(t *testing.T) {
 
 func TestHigherImpedanceWidensSwings(t *testing.T) {
 	dev := func(pct float64) float64 {
-		sys, err := NewSystem(alternator(800), Options{ImpedancePct: pct, MaxCycles: 100000, WarmupCycles: 20000})
+		sys, err := NewSystem(alternator(800), knobs{ImpedancePct: pct, MaxCycles: 100000, WarmupCycles: 20000}.options())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +174,7 @@ func TestControlEliminatesEmergencies(t *testing.T) {
 	// The headline result: at an impedance where the uncontrolled machine
 	// has emergencies, the controller removes them (ideal actuator, small
 	// delay), at modest performance cost.
-	base, err := NewSystem(alternator(1500), Options{ImpedancePct: 3, MaxCycles: 250000, WarmupCycles: 20000})
+	base, err := NewSystem(alternator(1500), knobs{ImpedancePct: 3, MaxCycles: 250000, WarmupCycles: 20000}.options())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,10 +186,10 @@ func TestControlEliminatesEmergencies(t *testing.T) {
 		t.Skip("workload does not produce emergencies at 300% on this configuration")
 	}
 
-	ctl, err := NewSystem(alternator(1500), Options{
+	ctl, err := NewSystem(alternator(1500), knobs{
 		ImpedancePct: 3, MaxCycles: 400000, WarmupCycles: 20000,
-		Control: true, Mechanism: actuator.Ideal, Delay: 2,
-	})
+		Control: true, Mechanism: actuator.Ideal.Name, Delay: 2,
+	}.options())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,10 +215,10 @@ func TestControlEliminatesEmergencies(t *testing.T) {
 
 func TestControlPreservesArchitecturalResults(t *testing.T) {
 	run := func(control bool) int64 {
-		sys, err := NewSystem(alternator(200), Options{
+		sys, err := NewSystem(alternator(200), knobs{
 			ImpedancePct: 3, MaxCycles: 200000,
-			Control: control, Delay: 1, Mechanism: actuator.FUDL1,
-		})
+			Control: control, Delay: 1, Mechanism: actuator.FUDL1.Name,
+		}.options())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -198,9 +237,9 @@ func TestControlPreservesArchitecturalResults(t *testing.T) {
 
 func TestSensorDelayDegradesStressmarkPerformance(t *testing.T) {
 	cycles := func(delay int) uint64 {
-		sys, err := NewSystem(alternator(800), Options{
+		sys, err := NewSystem(alternator(800), knobs{
 			ImpedancePct: 3, MaxCycles: 500000, Control: true, Delay: delay,
-		})
+		}.options())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -217,9 +256,9 @@ func TestSensorDelayDegradesStressmarkPerformance(t *testing.T) {
 
 func TestNoiseGuardBandNarrowsWindow(t *testing.T) {
 	th := func(noise float64) float64 {
-		sys, err := NewSystem(alternator(50), Options{
+		sys, err := NewSystem(alternator(50), knobs{
 			MaxCycles: 1000, Control: true, Delay: 1, NoiseMV: noise,
-		})
+		}.options())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -235,9 +274,9 @@ func TestNoiseGuardBandNarrowsWindow(t *testing.T) {
 }
 
 func TestStepCycleReportsLevels(t *testing.T) {
-	sys, err := NewSystem(alternator(200), Options{
+	sys, err := NewSystem(alternator(200), knobs{
 		ImpedancePct: 3, MaxCycles: 100000, Control: true, Delay: 1,
-	})
+	}.options())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,9 +297,9 @@ func TestStepCycleReportsLevels(t *testing.T) {
 
 func TestDeterministicRuns(t *testing.T) {
 	run := func() *Result {
-		sys, err := NewSystem(alternator(300), Options{
+		sys, err := NewSystem(alternator(300), knobs{
 			ImpedancePct: 2, MaxCycles: 100000, Control: true, Delay: 2, NoiseMV: 10, Seed: 42,
-		})
+		}.options())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -281,10 +320,10 @@ func TestFlushRecoveryStillProtects(t *testing.T) {
 	// must preserve protection and architectural results, at some extra
 	// performance cost relative to protect-and-resume.
 	run := func(flush bool) (*Result, int64) {
-		sys, err := NewSystem(alternator(800), Options{
+		sys, err := NewSystem(alternator(800), knobs{
 			ImpedancePct: 3, MaxCycles: 500000, WarmupCycles: 20000,
 			Control: true, Delay: 2, FlushRecovery: flush,
-		})
+		}.options())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -314,11 +353,12 @@ func TestFlushRecoveryStillProtects(t *testing.T) {
 
 func TestTelemetryEventsRecorded(t *testing.T) {
 	tracer := telemetry.NewTracer(1 << 14)
-	sys, err := NewSystem(alternator(400), Options{
-		ImpedancePct: 3, MaxCycles: 200000,
-		Control: true, Delay: 2,
-		Telemetry: tracer, TelemetryName: "alt",
-	})
+	sys, err := NewSystem(alternator(400), func() Options {
+		o := knobs{ImpedancePct: 3, MaxCycles: 200000, Control: true, Delay: 2}.options()
+		o.Telemetry = tracer
+		o.TelemetryName = "alt"
+		return o
+	}())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,9 +395,11 @@ func TestTelemetryEventsRecorded(t *testing.T) {
 
 func TestTelemetryDisabledAndNil(t *testing.T) {
 	run := func(tracer *telemetry.Tracer) *Result {
-		sys, err := NewSystem(alternator(50), Options{
-			MaxCycles: 50000, Telemetry: tracer,
-		})
+		sys, err := NewSystem(alternator(50), func() Options {
+			o := knobs{MaxCycles: 50000}.options()
+			o.Telemetry = tracer
+			return o
+		}())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -386,7 +428,7 @@ func TestTelemetryDisabledAndNil(t *testing.T) {
 func TestRunPublishesMetrics(t *testing.T) {
 	reg := telemetry.Default()
 	before := reg.Snapshot().Counters
-	sys, err := NewSystem(alternator(50), Options{MaxCycles: 50000, Control: true, Delay: 2})
+	sys, err := NewSystem(alternator(50), knobs{MaxCycles: 50000, Control: true, Delay: 2}.options())
 	if err != nil {
 		t.Fatal(err)
 	}

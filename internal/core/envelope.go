@@ -15,11 +15,16 @@ type envelope struct {
 	iMin, iMax float64
 }
 
-// envelopeKey identifies one envelope measurement; both configs are
-// comparable value types.
+// envelopeKey identifies one envelope measurement by the fingerprints of
+// the as-given CPU and power sections — the same sub-hashes those sections
+// contribute to spec.RunSpec.Key. Keying on the pre-resolution sections
+// (rather than their resolved forms) preserves the cache's historical
+// entry structure: sparse and explicit spellings of the same configuration
+// stay distinct entries, exactly as they did when the raw structs were the
+// key.
 type envelopeKey struct {
-	cpu   cpu.Config
-	power power.Params
+	cpu   string
+	power string
 }
 
 // envelopeCache memoizes the saturation-probe measurement: every NewSystem
@@ -52,7 +57,8 @@ func ResetEnvelopeCache() { envelopeCache.Reset() }
 // unreachable envelope would make every real workload look artificially
 // tame (and every threshold artificially loose).
 func measureEnvelope(cfg cpu.Config, pp power.Params) (iMin, iMax float64, err error) {
-	env, err := envelopeCache.Get(envelopeKey{cpu: cfg, power: pp}, func() (envelope, error) {
+	key := envelopeKey{cpu: sim.Fingerprint(cfg), power: sim.Fingerprint(pp)}
+	env, err := envelopeCache.Get(key, func() (envelope, error) {
 		return measureEnvelopeUncached(cfg, pp)
 	})
 	if err != nil {

@@ -69,7 +69,11 @@ func DefaultConfig() Config {
 	}
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults fills zero fields from the Table 1 configuration. The spec
+// layer (internal/spec) is the canonical caller — it resolves the CPU
+// section of a RunSpec through this — and cpu.New applies it again
+// idempotently so direct package users keep the same semantics.
+func (c Config) WithDefaults() Config {
 	d := DefaultConfig()
 	if c.FetchWidth == 0 {
 		c.FetchWidth = d.FetchWidth
@@ -131,7 +135,8 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-func (c Config) validate() error {
+// Validate checks structural invariants on a resolved configuration.
+func (c Config) Validate() error {
 	if c.RUUSize < 2 {
 		return fmt.Errorf("cpu: RUUSize %d too small", c.RUUSize)
 	}

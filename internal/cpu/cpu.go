@@ -118,8 +118,8 @@ type CPU struct {
 // New builds a core for the given program. Zero Config fields take the
 // Table 1 defaults.
 func New(cfg Config, prog isa.Program) (*CPU, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := prog.Validate(); err != nil {

@@ -1,0 +1,46 @@
+// Package cachestats pins the repository's memoization behaviour. It lives
+// in its own package directory so `go test` gives it a fresh process: the
+// five process-global caches start empty, making absolute hit/miss counts
+// meaningful.
+package cachestats
+
+import (
+	"io"
+	"testing"
+
+	"didt/internal/core"
+	"didt/internal/experiments"
+	"didt/internal/pdn"
+	"didt/internal/sim"
+	"didt/internal/workload"
+)
+
+// TestQuickSweepCacheCounts runs a fixed slice of the quick experiment
+// suite and asserts the exact hit/miss counts of every cache. The counts
+// were captured before the run-spec refactor moved all memo identity onto
+// spec fingerprints; they pin that the new keys draw exactly the same
+// distinctions as the old struct keys — a key that became too coarse shows
+// up as extra hits, one that became too fine as extra misses.
+func TestQuickSweepCacheCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment sweep is slow")
+	}
+	cfg := experiments.Quick()
+	reg := experiments.Registry()
+	for _, id := range []string{"fig14", "fig15", "table2", "ablation-window", "fig17", "fig18"} {
+		if err := reg[id](cfg, io.Discard); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	check := func(name string, got sim.CacheStats, hits, misses uint64) {
+		t.Helper()
+		if got.Hits != hits || got.Misses != misses || got.Evictions != 0 {
+			t.Errorf("%s cache: %+v, want Hits:%d Misses:%d Evictions:0", name, got, hits, misses)
+		}
+	}
+	check("memo", experiments.MemoStats(), 2, 4)
+	check("kernel", pdn.KernelCacheStats(), 102, 7)
+	check("envelope", core.EnvelopeCacheStats(), 104, 5)
+	check("program", workload.ProgramCacheStats(), 90, 3)
+	check("stressmark", workload.StressmarkCacheStats(), 24, 1)
+}

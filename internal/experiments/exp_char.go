@@ -351,8 +351,8 @@ type Fig11Result struct {
 func Fig11(cfg Config) (*Fig11Result, error) {
 	cfg = cfg.withDefaults()
 	opts := cfg.baseOptions(2)
-	opts.Control = true
-	opts.Delay = 2
+	opts.Spec.Control.Enabled = true
+	opts.Spec.Sensor.DelayCycles = 2
 	opts.TelemetryName = "fig11 stressmark controller"
 	sys, err := core.NewSystem(cfg.stressProgram(), opts)
 	if err != nil {
@@ -362,7 +362,7 @@ func Fig11(cfg Config) (*Fig11Result, error) {
 	r := &Fig11Result{Low: th.Low, High: th.High, VMin: sys.Net.VMin(), VMax: sys.Net.VMax()}
 	// Run past warmup, then record a window around controller activity.
 	var window []core.CycleState
-	for i := uint64(0); i < opts.MaxCycles; i++ {
+	for i := uint64(0); i < opts.Spec.Budget.MaxCycles; i++ {
 		st := sys.StepCycle()
 		if st.Done {
 			break

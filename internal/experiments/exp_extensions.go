@@ -59,10 +59,10 @@ func asymmetricStudy(cfg Config) (*AsymmetricStudy, error) {
 		}
 		points, err := sweep(cfg, responders, func(r actuator.Responder) (AsymmetricPoint, error) {
 			opts := cfg.baseOptions(2)
-			opts.Control = true
+			opts.Spec.Control.Enabled = true
 			opts.Responder = r
-			opts.Delay = delay
-			opts.MaxCycles = cfg.Cycles * 4
+			opts.Spec.Sensor.DelayCycles = delay
+			opts.Spec.Budget.MaxCycles = cfg.Cycles * 4
 			res, err := run(prog, opts)
 			if err != nil {
 				return AsymmetricPoint{}, err
@@ -174,8 +174,8 @@ func rampStudy(cfg Config) ([]RampPoint, error) {
 		var baseCycles uint64
 		for _, ramp := range []int{0, 16, 48} {
 			opts := cfg.baseOptions(2)
-			opts.MaxCycles = cfg.Cycles * 4
-			opts.PessimisticRamp = ramp
+			opts.Spec.Budget.MaxCycles = cfg.Cycles * 4
+			opts.Spec.Control.PessimisticRamp = ramp
 			res, err := run(prog, opts)
 			if err != nil {
 				return nil, err
@@ -239,7 +239,7 @@ func gatingAblation(cfg Config) ([]GatingAblationPoint, error) {
 		prog := cfg.stressProgram()
 		return sweep(cfg, []float64{0.05, 0.10, 0.25, 0.50}, func(idle float64) (GatingAblationPoint, error) {
 			opts := cfg.baseOptions(2)
-			opts.Power = power.Params{IdleFraction: idle}
+			opts.Spec.Power = power.Params{IdleFraction: idle}
 			res, err := run(prog, opts)
 			if err != nil {
 				return GatingAblationPoint{}, err

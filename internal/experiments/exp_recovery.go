@@ -32,11 +32,11 @@ func recoveryStudy(cfg Config) ([]RecoveryPoint, error) {
 		var out []RecoveryPoint
 		for _, flush := range []bool{false, true} {
 			opts := cfg.baseOptions(2)
-			opts.Control = true
-			opts.Mechanism = actuator.FUDL1
-			opts.Delay = 2
-			opts.FlushRecovery = flush
-			opts.MaxCycles = cfg.Cycles * 4
+			opts.Spec.Control.Enabled = true
+			opts.Spec.Actuator.Mechanism = actuator.FUDL1.Name
+			opts.Spec.Sensor.DelayCycles = 2
+			opts.Spec.Control.FlushRecovery = flush
+			opts.Spec.Budget.MaxCycles = cfg.Cycles * 4
 			res, err := run(prog, opts)
 			if err != nil {
 				return nil, err

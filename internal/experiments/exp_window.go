@@ -27,7 +27,7 @@ func windowAblation(cfg Config) ([]WindowPoint, error) {
 		prog := cfg.stressProgram()
 		return sweep(cfg, []int{32, 64, 128, 256}, func(ruu int) (WindowPoint, error) {
 			opts := cfg.baseOptions(2)
-			opts.CPU = cpu.Config{RUUSize: ruu, LSQSize: ruu / 2}
+			opts.Spec.CPU = cpu.Config{RUUSize: ruu, LSQSize: ruu / 2}
 			res, err := run(prog, opts)
 			if err != nil {
 				return WindowPoint{}, err

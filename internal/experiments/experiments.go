@@ -13,6 +13,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"didt/internal/core"
 	"didt/internal/isa"
 	"didt/internal/sim"
+	"didt/internal/spec"
 	"didt/internal/telemetry"
 	"didt/internal/workload"
 )
@@ -93,6 +95,41 @@ func (c Config) withDefaults() Config {
 		c.StressIter = d.StressIter
 	}
 	return c
+}
+
+// Validate rejects sweep configurations that name unknown benchmarks,
+// reporting every bad name at once with did-you-mean hints. The CLI turns
+// the error into an exit-2 usage failure and the server into a 400; both
+// go through this one path, so the vocabulary and wording match.
+func (c Config) Validate() error {
+	var errs []error
+	for _, b := range c.Benchmarks {
+		if err := spec.ValidBenchmark(b); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ResolveIDs validates experiment identifiers against the registry,
+// reporting every unknown identifier at once with did-you-mean hints, and
+// returns them unchanged on success. An empty list means "all" and
+// resolves to IDs().
+func ResolveIDs(ids []string) ([]string, error) {
+	if len(ids) == 0 {
+		return IDs(), nil
+	}
+	reg := Registry()
+	var errs []error
+	for _, id := range ids {
+		if _, ok := reg[id]; !ok {
+			errs = append(errs, spec.UnknownName(fmt.Sprintf("unknown experiment %q", id), id, IDs()))
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return ids, nil
 }
 
 // benchmarks resolves the benchmark list (nil = all 26).
@@ -173,14 +210,33 @@ func seq(n int) []int {
 	return out
 }
 
+// baseSpec derives the per-run spec every run of this sweep shape starts
+// from: the Config is only sweep shape (which experiments, how many
+// iterations, how wide); everything a single run needs is a RunSpec.
+// Experiments override individual sections (controller, actuator, CPU
+// sizing) on top of this base.
+func (c Config) baseSpec(pct float64) spec.RunSpec {
+	var s spec.RunSpec
+	s.PDN.ImpedancePct = pct
+	s.Budget.MaxCycles = c.Cycles
+	s.Budget.WarmupCycles = c.Warmup
+	s.Seed = spec.NewSeed(c.Seed)
+	return s
+}
+
+// Spec derives the resolved base run spec this sweep shape starts from;
+// experiments override individual sections (impedance, controller,
+// actuator) per sweep point. Run manifests record it, with its Key, so a
+// sweep's output is traceable to one concrete configuration.
+func (c Config) Spec() spec.RunSpec {
+	return c.withDefaults().baseSpec(0).WithDefaults()
+}
+
 // baseOptions assembles core options for an uncontrolled run.
 func (c Config) baseOptions(pct float64) core.Options {
 	return core.Options{
-		ImpedancePct: pct,
-		MaxCycles:    c.Cycles,
-		WarmupCycles: c.Warmup,
-		Seed:         c.Seed,
-		Telemetry:    c.Telemetry,
+		Spec:      c.baseSpec(pct),
+		Telemetry: c.Telemetry,
 	}
 }
 
@@ -197,13 +253,13 @@ func run(prog isa.Program, opts core.Options) (*core.Result, error) {
 // controlled executes one controlled system.
 func (c Config) controlled(prog isa.Program, pct float64, mech actuator.Mechanism, delay int, noiseMV float64) (*core.Result, error) {
 	opts := c.baseOptions(pct)
-	opts.Control = true
-	opts.Mechanism = mech
-	opts.Delay = delay
-	opts.NoiseMV = noiseMV
+	opts.Spec.Control.Enabled = true
+	opts.Spec.Actuator.Mechanism = mech.Name
+	opts.Spec.Sensor.DelayCycles = delay
+	opts.Spec.Sensor.NoiseMV = noiseMV
 	// Controlled runs take longer; leave headroom so the same program
 	// retires fully and cycle counts are comparable.
-	opts.MaxCycles = c.Cycles * 4
+	opts.Spec.Budget.MaxCycles = c.Cycles * 4
 	return run(prog, opts)
 }
 
@@ -211,7 +267,7 @@ func (c Config) controlled(prog isa.Program, pct float64, mech actuator.Mechanis
 // ones so that both retire the full program (performance = cycles ratio).
 func (c Config) uncontrolledFull(prog isa.Program, pct float64) (*core.Result, error) {
 	opts := c.baseOptions(pct)
-	opts.MaxCycles = c.Cycles * 4
+	opts.Spec.Budget.MaxCycles = c.Cycles * 4
 	return run(prog, opts)
 }
 
@@ -238,12 +294,32 @@ func SetMemoCapacity(n int) { memo.SetCapacity(n) }
 // MemoStats reports the shared study memo's effectiveness.
 func MemoStats() sim.CacheStats { return memo.Stats() }
 
-// memoKey folds in every Config field that affects results: Cycles,
-// Warmup, Iterations, StressIter, Benchmarks, and Seed. Parallel is
-// deliberately excluded — the worker count must never change results, and
-// keying on it would defeat the fig14/fig15 (and fig17/fig18) sharing.
+// memoIdentity is everything that affects a study's results: the derived
+// base run spec (budget, seed — the per-run identity) plus the sweep-shape
+// fields that pick programs and points. Parallel and Ctx are deliberately
+// excluded — the worker count and request context must never change
+// results, and keying on them would defeat the fig14/fig15 (and
+// fig17/fig18) sharing.
+type memoIdentity struct {
+	Experiment string       `json:"experiment"`
+	Base       spec.RunSpec `json:"base"`
+	Iterations int          `json:"iterations"`
+	StressIter int          `json:"stress_iter"`
+	Benchmarks []string     `json:"benchmarks"`
+}
+
+// memoKey is the study's content hash, built from the same fingerprint
+// primitive as spec.RunSpec.Key, over the unresolved base spec (so sparse
+// configs that resolve identically still keep their own entries, matching
+// the cache's historical structure).
 func memoKey(name string, cfg Config) string {
-	return fmt.Sprintf("%s|%d|%d|%d|%d|%q|%d", name, cfg.Cycles, cfg.Warmup, cfg.Iterations, cfg.StressIter, cfg.Benchmarks, cfg.Seed)
+	return name + "|" + sim.Fingerprint(memoIdentity{
+		Experiment: name,
+		Base:       cfg.baseSpec(0),
+		Iterations: cfg.Iterations,
+		StressIter: cfg.StressIter,
+		Benchmarks: cfg.Benchmarks,
+	})
 }
 
 func memoized[T any](name string, cfg Config, compute func() (T, error)) (T, error) {

@@ -54,8 +54,10 @@ type Params struct {
 	MaxKernelLen int
 }
 
-// withDefaults fills zero fields from the paper-reference constants.
-func (p Params) withDefaults() Params {
+// WithDefaults fills zero fields from the paper-reference constants. The
+// spec layer resolves the PDN section of a RunSpec through this; New and
+// Calibrate apply it again idempotently for direct users.
+func (p Params) WithDefaults() Params {
 	if p.ClockHz == 0 {
 		p.ClockHz = DefaultClockHz
 	}
@@ -100,10 +102,11 @@ type sampled struct {
 // kernelCache memoizes kernel sampling across Networks. A sweep
 // recalibrates the same handful of (envelope, impedance) points hundreds
 // of times, and re-deriving and re-sampling the 4096-tap kernel each run
-// dominated Network construction. Params is a comparable value type, and
-// sampling is a pure function of it, so cached and fresh kernels are
-// bit-identical.
-var kernelCache = sim.NewCache[Params, sampled](256)
+// dominated Network construction. The key is the fingerprint of the
+// resolved (calibrated) Params — the same sub-hash that section
+// contributes to spec.RunSpec.Key — and sampling is a pure function of the
+// params, so cached and fresh kernels are bit-identical.
+var kernelCache = sim.NewCache[string, sampled](256)
 
 func init() {
 	kernelCache.RegisterMetrics(telemetry.Default(), "cache.pdn_kernel")
@@ -121,11 +124,11 @@ func KernelCacheStats() sim.CacheStats { return kernelCache.Stats() }
 // defaults; PeakZ must be positive (use Calibrate to derive it from a
 // current envelope).
 func New(p Params) (*Network, error) {
-	p = p.withDefaults()
+	p = p.WithDefaults()
 	if p.PeakZ <= 0 {
 		return nil, fmt.Errorf("pdn: PeakZ must be positive (got %g); use Calibrate", p.PeakZ)
 	}
-	sk, err := kernelCache.Get(p, func() (sampled, error) {
+	sk, err := kernelCache.Get(sim.Fingerprint(p), func() (sampled, error) {
 		sys, err := linsys.FromPeak(p.DCResistance, p.ResonantHz, p.PeakZ)
 		if err != nil {
 			return sampled{}, fmt.Errorf("pdn: %w", err)
@@ -157,7 +160,7 @@ func New(p Params) (*Network, error) {
 // why Table 2's leftmost column has zero emergencies by definition while
 // the 200% network is where the stressmark begins to break through.
 func Calibrate(p Params, iMin, iMax, impedancePct float64) (*Network, error) {
-	p = p.withDefaults()
+	p = p.WithDefaults()
 	if iMax <= iMin {
 		return nil, fmt.Errorf("pdn: iMax (%g) must exceed iMin (%g)", iMax, iMin)
 	}

@@ -97,7 +97,10 @@ func DefaultUnitPowers() [NumUnits]float64 {
 	}
 }
 
-func (p Params) withDefaults() Params {
+// WithDefaults fills zero fields with the reference 3 GHz / 1.0 V model.
+// The spec layer resolves the power section of a RunSpec through this;
+// power.New applies it again idempotently for direct users.
+func (p Params) WithDefaults() Params {
 	if p.VNominal == 0 {
 		p.VNominal = 1.0
 	}
@@ -159,7 +162,7 @@ const spreadLen = 64 // exceeds the longest FU latency
 
 // New builds a model for the given core configuration.
 func New(p Params, cfg cpu.Config) *Model {
-	m := &Model{p: p.withDefaults(), cfg: cfg}
+	m := &Model{p: p.WithDefaults(), cfg: cfg}
 	for c := range m.spread {
 		m.spread[c] = make([]float64, spreadLen)
 	}

@@ -31,13 +31,11 @@ import (
 	"sync"
 	"time"
 
-	"didt/internal/actuator"
 	"didt/internal/core"
 	"didt/internal/experiments"
-	"didt/internal/isa"
 	"didt/internal/sim"
+	"didt/internal/spec"
 	"didt/internal/telemetry"
-	"didt/internal/workload"
 )
 
 // Config sizes the service.
@@ -129,6 +127,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/spec/default", s.handleSpecDefault)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -343,13 +342,7 @@ func (req *SweepRequest) ids() ([]string, error) {
 		}
 		ids = []string{req.Run}
 	}
-	reg := experiments.Registry()
-	for _, id := range ids {
-		if _, ok := reg[id]; !ok {
-			return nil, fmt.Errorf("unknown experiment %q", id)
-		}
-	}
-	return ids, nil
+	return experiments.ResolveIDs(ids)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -362,6 +355,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	cfg := req.config(s.cfg.Parallel)
+	if err := cfg.Validate(); err != nil {
+		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -370,7 +368,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
-	cfg := req.config(s.cfg.Parallel)
 	cfg.Ctx = ctx
 
 	// Render into a buffer first: the response body must be exactly the
@@ -390,9 +387,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // SimulateRequest configures one closed-loop run, mirroring cmd/didtsim.
+// Two forms exist: the flat legacy fields below, or a full RunSpec in
+// Spec. The two must not be mixed in one request.
 type SimulateRequest struct {
+	// Spec, when present, is the complete run description; every flat
+	// field except timeout_ms must then be absent. GET /v1/spec/default
+	// returns the fully resolved default to start from.
+	Spec *spec.RunSpec `json:"spec,omitempty"`
+
 	// Workload is "stressmark" or a SPEC2000 profile name (workload.Names).
-	Workload string `json:"workload"`
+	Workload string `json:"workload,omitempty"`
 
 	ImpedancePct float64 `json:"impedance_pct,omitempty"` // 0 = 2.0 (200%)
 	Control      bool    `json:"control,omitempty"`
@@ -408,7 +412,10 @@ type SimulateRequest struct {
 
 // SimulateResponse is the JSON form of a run's summary statistics.
 type SimulateResponse struct {
-	Workload      string  `json:"workload"`
+	Workload string `json:"workload"`
+	// SpecKey is the resolved spec's content hash; set only for requests
+	// made through the spec form (legacy responses are unchanged).
+	SpecKey       string  `json:"spec_key,omitempty"`
 	Cycles        uint64  `json:"cycles"`
 	Instructions  uint64  `json:"instructions"`
 	IPC           float64 `json:"ipc"`
@@ -439,39 +446,22 @@ type ControlSummary struct {
 	Phantom      uint64  `json:"phantom_actuations"`
 }
 
-func mechanismByName(name string) (actuator.Mechanism, error) {
-	switch name {
-	case "FU":
-		return actuator.FU, nil
-	case "FU/DL1":
-		return actuator.FUDL1, nil
-	case "FU/DL1/IL1":
-		return actuator.FUDL1IL1, nil
-	case "ideal", "":
-		return actuator.Ideal, nil
-	}
-	return actuator.Mechanism{}, fmt.Errorf("unknown mechanism %q", name)
-}
-
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req SimulateRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	mech, err := mechanismByName(req.Mechanism)
+	sp, err := req.spec()
 	if err != nil {
 		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if req.Workload == "" {
-		http.Error(w, "didtd: bad request: request names no workload", http.StatusBadRequest)
+	resolved, err := sp.Resolve()
+	if err != nil {
+		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	iters := req.Iterations
-	if iters == 0 {
-		iters = 3000
-	}
-	program, err := loadProgram(req.Workload, iters)
+	program, err := resolved.Program()
 	if err != nil {
 		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
 		return
@@ -485,24 +475,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
-	impedance := req.ImpedancePct
-	if impedance == 0 {
-		impedance = 2
-	}
-	cycles := req.Cycles
-	if cycles == 0 {
-		cycles = 400_000
-	}
-	opts := core.Options{
-		ImpedancePct: impedance,
-		Control:      req.Control,
-		Mechanism:    mech,
-		Delay:        req.Delay,
-		NoiseMV:      req.NoiseMV,
-		MaxCycles:    cycles,
-		WarmupCycles: req.Warmup,
-		Seed:         req.Seed,
-	}
+	opts := core.Options{Spec: resolved}
 	// Run through the sweep engine so the request context is honoured at
 	// the job boundary (a single simulation is a one-job sweep).
 	results, err := sim.Map(ctx, 1, 1, func(context.Context, int) (*core.Result, error) {
@@ -519,7 +492,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	res := results[0]
 	resp := SimulateResponse{
-		Workload:      req.Workload,
+		Workload:      resolved.Workload.Name,
 		Cycles:        res.Cycles,
 		Instructions:  res.Stats.Instructions,
 		IPC:           res.IPC(),
@@ -533,11 +506,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		EnergyJ:       res.Energy,
 		AvgPowerW:     res.AvgPower,
 	}
-	if req.Control {
+	if req.Spec != nil {
+		resp.SpecKey = resolved.Key()
+	}
+	if resolved.Control.Enabled {
+		mech, _ := resolved.Mechanism()
 		resp.Control = &ControlSummary{
 			Mechanism:    mech.Name,
-			Delay:        req.Delay,
-			NoiseMV:      req.NoiseMV,
+			Delay:        resolved.Sensor.DelayCycles,
+			NoiseMV:      resolved.Sensor.NoiseMV,
 			Stable:       res.Thresholds.Stable,
 			LowV:         res.Thresholds.Low,
 			HighV:        res.Thresholds.High,
@@ -549,19 +526,47 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// loadProgram resolves a workload name to a generated program, using the
-// shared generation caches (deterministic: cached and fresh programs are
-// identical for equal parameters).
-func loadProgram(name string, iterations int) (isa.Program, error) {
-	if name == "stressmark" {
-		return workload.StressmarkCached(workload.StressmarkParams{Iterations: iterations}), nil
+// spec assembles the run spec a simulate request describes: the embedded
+// RunSpec verbatim for spec-form requests, or the flat fields mapped onto
+// a spec for the legacy form. Mixing the two forms is an error — silently
+// ignoring flat fields next to a spec would mask caller bugs.
+func (req *SimulateRequest) spec() (spec.RunSpec, error) {
+	if req.Spec != nil {
+		if req.Workload != "" || req.ImpedancePct != 0 || req.Control ||
+			req.Mechanism != "" || req.Delay != 0 || req.NoiseMV != 0 ||
+			req.Cycles != 0 || req.Warmup != 0 || req.Iterations != 0 ||
+			req.Seed != 0 {
+			return spec.RunSpec{}, errors.New("spec cannot be combined with flat simulate fields")
+		}
+		return *req.Spec, nil
 	}
-	p, err := workload.ProfileByName(name)
-	if err != nil {
-		return nil, err
+	if req.Workload == "" {
+		return spec.RunSpec{}, errors.New("request names no workload")
 	}
-	p.Iterations = iterations
-	return workload.GenerateCached(p), nil
+	var sp spec.RunSpec
+	sp.Workload.Name = req.Workload
+	sp.Workload.Iterations = req.Iterations
+	sp.PDN.ImpedancePct = req.ImpedancePct
+	sp.Control.Enabled = req.Control
+	sp.Actuator.Mechanism = req.Mechanism
+	sp.Sensor.DelayCycles = req.Delay
+	sp.Sensor.NoiseMV = req.NoiseMV
+	// The service's historical cycle budget is tighter than the spec
+	// default (requests are interactive), so 0 keeps meaning 400k here.
+	sp.Budget.MaxCycles = req.Cycles
+	if sp.Budget.MaxCycles == 0 {
+		sp.Budget.MaxCycles = 400_000
+	}
+	sp.Budget.WarmupCycles = req.Warmup
+	sp.Seed = spec.NewSeed(req.Seed)
+	return sp, nil
+}
+
+// handleSpecDefault serves the fully resolved default run spec — the
+// canonical starting point callers override to build spec-form simulate
+// requests.
+func (s *Server) handleSpecDefault(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, spec.Default())
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

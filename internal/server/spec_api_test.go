@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+
+	"didt/internal/spec"
+)
+
+// specBody wraps a RunSpec into a simulate request body.
+func specBody(t *testing.T, s spec.RunSpec) string {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Spec spec.RunSpec `json:"spec"`
+	}{s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func tinySpec() spec.RunSpec {
+	var s spec.RunSpec
+	s.Workload.Iterations = 150
+	s.Budget.MaxCycles = 20_000
+	s.Budget.WarmupCycles = 5_000
+	return s
+}
+
+// TestSpecDefaultEndpoint: GET /v1/spec/default serves exactly the
+// checked-in golden — the same bytes didtd -print-default-spec emits and
+// internal/spec's own golden test pins.
+func TestSpecDefaultEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/spec/default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	want, err := os.ReadFile("../spec/testdata/default_spec.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(want) {
+		t.Errorf("/v1/spec/default drifted from testdata/default_spec.json\ngot:\n%s\nwant:\n%s", body, want)
+	}
+}
+
+// TestSimulateSpecIdenticalBodies: two requests carrying the same spec
+// return byte-identical bodies, and the body carries the resolved spec's
+// content hash.
+func TestSimulateSpecIdenticalBodies(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	body := specBody(t, tinySpec())
+	code1, resp1 := postJSON(t, ts.URL+"/v1/simulate", body)
+	code2, resp2 := postJSON(t, ts.URL+"/v1/simulate", body)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("status %d/%d: %s", code1, code2, resp1)
+	}
+	if resp1 != resp2 {
+		t.Errorf("identical specs gave different bodies:\n%s\nvs\n%s", resp1, resp2)
+	}
+	resolved, err := tinySpec().Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp1, resolved.Key()) {
+		t.Errorf("response misses spec_key %s:\n%s", resolved.Key(), resp1)
+	}
+}
+
+// TestSimulateSpecMatchesLegacy: the spec form and the legacy flat form of
+// the same run produce the same simulation results (the spec form adds only
+// the spec_key field).
+func TestSimulateSpecMatchesLegacy(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	legacy := `{"workload":"stressmark","iterations":150,"cycles":20000,"warmup":5000}`
+	codeL, respL := postJSON(t, ts.URL+"/v1/simulate", legacy)
+	codeS, respS := postJSON(t, ts.URL+"/v1/simulate", specBody(t, tinySpec()))
+	if codeL != http.StatusOK || codeS != http.StatusOK {
+		t.Fatalf("status %d/%d: %s %s", codeL, codeS, respL, respS)
+	}
+	var l, s map[string]any
+	if err := json.Unmarshal([]byte(respL), &l); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(respS), &s); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l["spec_key"]; ok {
+		t.Error("legacy response must not carry spec_key")
+	}
+	delete(s, "spec_key")
+	if len(l) != len(s) {
+		t.Fatalf("field sets differ: %v vs %v", l, s)
+	}
+	for k, lv := range l {
+		if sv := s[k]; sv != lv {
+			t.Errorf("field %s: legacy %v vs spec %v", k, lv, sv)
+		}
+	}
+}
+
+// TestSimulateBadRequests: the 400 paths — mixed request forms, invalid
+// specs, and misspelled names with did-you-mean hints.
+func TestSimulateBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	mixed := specBody(t, tinySpec())
+	mixed = strings.TrimSuffix(mixed, "}") + `,"workload":"stressmark"}`
+	for _, tc := range []struct {
+		name, body, frag string
+	}{
+		{"mixed forms", mixed, "cannot be combined"},
+		{"no workload", `{}`, "names no workload"},
+		{"unknown benchmark", `{"workload":"gxc"}`, `did you mean "gcc"`},
+		{"unknown mechanism", `{"workload":"stressmark","control":true,"mechanism":"FU/DL2"}`, `did you mean "FU/DL1"`},
+		{"invalid spec", `{"spec":{"sensor":{"delay_cycles":-1}}}`, "delay_cycles"},
+	} {
+		code, body := postJSON(t, ts.URL+"/v1/simulate", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, code, body)
+			continue
+		}
+		if !strings.Contains(body, tc.frag) {
+			t.Errorf("%s: response misses %q: %s", tc.name, tc.frag, body)
+		}
+	}
+}
+
+// TestSweepDidYouMean: misspelled experiment IDs and benchmark names in
+// sweep requests fail through the same did-you-mean path the CLI uses.
+func TestSweepDidYouMean(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, body, frag string
+	}{
+		{"experiment id", `{"run":"fig41"}`, "did you mean"},
+		{"benchmark", `{"run":"table2","benchmarks":["swum"]}`, `did you mean "swim"`},
+	} {
+		code, body := postJSON(t, ts.URL+"/v1/sweep", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, code, body)
+			continue
+		}
+		if !strings.Contains(body, tc.frag) {
+			t.Errorf("%s: response misses %q: %s", tc.name, tc.frag, body)
+		}
+	}
+}

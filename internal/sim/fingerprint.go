@@ -1,0 +1,30 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint returns the canonical content hash of a configuration value:
+// the hex-encoded SHA-256 of its JSON encoding. It is the one hashing
+// primitive behind every memo identity in the repository — spec.RunSpec.Key
+// and the sim.Cache keys (PDN kernel, workload programs, measured envelope,
+// experiment studies) all reduce to it — so "same configuration" means the
+// same thing at every layer.
+//
+// encoding/json is deterministic for the struct types used as keys (field
+// order follows declaration order, map keys are sorted), so equal values
+// always produce equal fingerprints, and distinct values produce distinct
+// fingerprints because the encoding round-trips every key-relevant field.
+// Values that cannot be marshaled (channels, funcs) panic: a memo key that
+// cannot be serialized is a programming error, not a runtime condition.
+func Fingerprint(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("sim: unfingerprintable key %T: %v", v, err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,79 @@
+package spec
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// Seed is the one "only applied when set" seed representation shared by
+// every configuration surface. The CLIs register a Seed as a flag.Value
+// (unset until the flag appears on the command line, even as an explicit
+// -seed 0) and the server decodes it from JSON (unset when the field is
+// absent or null, set for any number including 0). Both paths therefore
+// resolve seeds through the same type with the same semantics, replacing
+// the flag.Visit bookkeeping and *int64 pointer fields they used to
+// duplicate.
+//
+// The zero value is "unset". A resolved RunSpec always carries an explicit
+// seed (WithDefaults pins unset seeds to 0), so seed choice is part of the
+// spec's content hash.
+type Seed struct {
+	Value    int64 `json:"value"`
+	Explicit bool  `json:"explicit"`
+}
+
+// NewSeed returns an explicitly set seed.
+func NewSeed(v int64) Seed { return Seed{Value: v, Explicit: true} }
+
+// Resolve returns the seed's value when set, or fallback when unset.
+func (s Seed) Resolve(fallback int64) int64 {
+	if s.Explicit {
+		return s.Value
+	}
+	return fallback
+}
+
+// String renders the seed for flag help and logs ("unset" or the value).
+func (s *Seed) String() string {
+	if s == nil || !s.Explicit {
+		return "unset"
+	}
+	return strconv.FormatInt(s.Value, 10)
+}
+
+// Set parses a command-line value, marking the seed explicit. It
+// implements flag.Value, so `flag.Var(&seed, "seed", ...)` gives a CLI
+// exactly the "only applied when the flag appears" behaviour.
+func (s *Seed) Set(v string) error {
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return fmt.Errorf("seed: %v", err)
+	}
+	s.Value, s.Explicit = n, true
+	return nil
+}
+
+// MarshalJSON encodes an unset seed as null and a set seed as its value,
+// so specs serialize the way the server API speaks (a bare number).
+func (s Seed) MarshalJSON() ([]byte, error) {
+	if !s.Explicit {
+		return []byte("null"), nil
+	}
+	return strconv.AppendInt(nil, s.Value, 10), nil
+}
+
+// UnmarshalJSON decodes null (or absence, via the zero value) as unset and
+// any number as an explicit seed.
+func (s *Seed) UnmarshalJSON(b []byte) error {
+	if bytes.Equal(bytes.TrimSpace(b), []byte("null")) {
+		*s = Seed{}
+		return nil
+	}
+	n, err := strconv.ParseInt(string(bytes.TrimSpace(b)), 10, 64)
+	if err != nil {
+		return fmt.Errorf("seed: %v", err)
+	}
+	*s = Seed{Value: n, Explicit: true}
+	return nil
+}

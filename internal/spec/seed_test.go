@@ -1,0 +1,95 @@
+package spec
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"testing"
+)
+
+func TestSeedUnsetVsExplicitZero(t *testing.T) {
+	var unset Seed
+	if unset.Explicit {
+		t.Error("zero Seed must be unset")
+	}
+	if got := unset.Resolve(7); got != 7 {
+		t.Errorf("unset Resolve(7) = %d", got)
+	}
+	zero := NewSeed(0)
+	if !zero.Explicit {
+		t.Error("NewSeed(0) must be explicit")
+	}
+	if got := zero.Resolve(7); got != 0 {
+		t.Errorf("explicit-0 Resolve(7) = %d", got)
+	}
+	if unset.String() != "unset" {
+		t.Errorf("String() = %q", unset.String())
+	}
+}
+
+// TestSeedCLIAndServerAgree is the contract behind the "only applied when
+// set" flag semantics: a seed arriving through a CLI flag (-seed 42) and
+// one arriving through a server JSON body ("seed": 42) must resolve to the
+// same Seed value, hence to byte-identical runs.
+func TestSeedCLIAndServerAgree(t *testing.T) {
+	cases := []struct {
+		flagArgs []string
+		jsonBody string
+		want     Seed
+	}{
+		{nil, `null`, Seed{}},
+		{[]string{"-seed", "0"}, `0`, NewSeed(0)},
+		{[]string{"-seed", "42"}, `42`, NewSeed(42)},
+		{[]string{"-seed", "-3"}, `-3`, NewSeed(-3)},
+	}
+	for _, tc := range cases {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		var cli Seed
+		fs.Var(&cli, "seed", "")
+		if err := fs.Parse(tc.flagArgs); err != nil {
+			t.Fatal(err)
+		}
+		var srv Seed
+		if err := json.Unmarshal([]byte(tc.jsonBody), &srv); err != nil {
+			t.Fatal(err)
+		}
+		if cli != tc.want || srv != tc.want {
+			t.Errorf("args %v / body %s: cli %+v server %+v, want %+v",
+				tc.flagArgs, tc.jsonBody, cli, srv, tc.want)
+		}
+		if cli.Resolve(99) != srv.Resolve(99) {
+			t.Errorf("args %v: CLI and server resolve differently", tc.flagArgs)
+		}
+		// A spec built either way hashes identically.
+		a, b := RunSpec{Seed: cli}, RunSpec{Seed: srv}
+		if a.Key() != b.Key() {
+			t.Errorf("args %v: spec keys diverge", tc.flagArgs)
+		}
+	}
+}
+
+func TestSeedJSONRoundTrip(t *testing.T) {
+	for _, s := range []Seed{{}, NewSeed(0), NewSeed(-17), NewSeed(1 << 40)} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Seed
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != s {
+			t.Errorf("%+v -> %s -> %+v", s, b, back)
+		}
+	}
+	if b, _ := json.Marshal(Seed{}); string(b) != "null" {
+		t.Errorf("unset seed marshals as %s, want null", b)
+	}
+	if b, _ := json.Marshal(NewSeed(5)); string(b) != "5" {
+		t.Errorf("explicit seed marshals as %s, want 5", b)
+	}
+	if err := json.Unmarshal([]byte(`"x"`), new(Seed)); err == nil {
+		t.Error("non-numeric seed should fail to parse")
+	}
+}

@@ -1,0 +1,52 @@
+package spec
+
+import "strings"
+
+// Suggest returns the candidate closest to name by edit distance, or ""
+// when nothing is close enough to be a plausible typo (distance greater
+// than half the name's length). Validation errors use it for did-you-mean
+// hints on benchmark, experiment and mechanism names.
+func Suggest(name string, candidates []string) string {
+	best, bestDist := "", len(name)/2+1
+	lower := strings.ToLower(name)
+	for _, c := range candidates {
+		if d := editDistance(lower, strings.ToLower(c)); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

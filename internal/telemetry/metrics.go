@@ -313,9 +313,15 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 // Manifest is the machine-readable record written alongside an experiment
 // run: what ran, on what machine, and every metric the run produced.
 type Manifest struct {
-	Tool          string   `json:"tool"`
-	Experiments   []string `json:"experiments,omitempty"`
-	Workers       int      `json:"workers"`
+	Tool        string   `json:"tool"`
+	Experiments []string `json:"experiments,omitempty"`
+	Workers     int      `json:"workers"`
+	// Spec and SpecKey record the resolved run spec (a spec.RunSpec,
+	// typed as any because telemetry sits below the spec layer) and its
+	// content hash, so a manifest pins exactly which configuration
+	// produced its metrics.
+	Spec          any      `json:"spec,omitempty"`
+	SpecKey       string   `json:"spec_key,omitempty"`
 	GOMAXPROCS    int      `json:"gomaxprocs"`
 	NumCPU        int      `json:"num_cpu"`
 	GoVersion     string   `json:"go_version"`

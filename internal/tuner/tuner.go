@@ -1,12 +1,17 @@
-package workload
+// Package tuner automates the stressmark's loop-shape search on a concrete
+// system configuration. It lives above both workload (which only generates
+// programs) and core (which only runs them), so the generator layer stays
+// free of simulation dependencies.
+package tuner
 
 import (
 	"didt/internal/core"
+	"didt/internal/workload"
 )
 
 // TuneResult reports one stressmark tuning evaluation.
 type TuneResult struct {
-	Params        StressmarkParams
+	Params        workload.StressmarkParams
 	MaxDeviation  float64 // volts from nominal, worse side
 	CyclesPerIter float64
 	Emergencies   uint64
@@ -20,19 +25,19 @@ type TuneResult struct {
 func TuneStressmark(opts core.Options) (best TuneResult, all []TuneResult, err error) {
 	const iters = 1200
 	opts.RecordTraces = false
-	if opts.MaxCycles == 0 || opts.MaxCycles > 400000 {
-		opts.MaxCycles = 400000
+	if opts.Spec.Budget.MaxCycles == 0 || opts.Spec.Budget.MaxCycles > 400000 {
+		opts.Spec.Budget.MaxCycles = 400000
 	}
 	for _, divs := range []int{2, 3, 4} {
 		for _, alu := range []int{40, 60, 80, 100, 120} {
 			for _, st := range []int{24, 40, 56} {
-				p := StressmarkParams{
+				p := workload.StressmarkParams{
 					Iterations:  iters,
 					ChainedDivs: divs,
 					BurstALU:    alu,
 					BurstStores: st,
 				}
-				sys, err := core.NewSystem(Stressmark(p), opts)
+				sys, err := core.NewSystem(workload.Stressmark(p), opts)
 				if err != nil {
 					return TuneResult{}, nil, err
 				}

@@ -10,14 +10,15 @@ import (
 // Program generation is fully deterministic in its parameters, and the
 // experiment sweeps regenerate the same handful of programs hundreds of
 // times (every delay/impedance/noise point of a study re-runs the same
-// benchmark). These caches memoize the generated isa.Program per profile;
-// both Profile and StressmarkParams are comparable value types, so they key
-// the caches directly. Cached programs are shared across callers —
+// benchmark). These caches memoize the generated isa.Program per profile,
+// keyed on the parameter fingerprint — the same sub-hash the workload
+// section contributes to spec.RunSpec.Key, so spec-equal runs share one
+// program instance. Cached programs are shared across callers —
 // isa.Program is read-only after construction (the CPU only ever indexes
 // into it), so concurrent simulations can safely execute one instance.
 var (
-	programCache    = sim.NewCache[Profile, isa.Program](128)
-	stressmarkCache = sim.NewCache[StressmarkParams, isa.Program](64)
+	programCache    = sim.NewCache[string, isa.Program](128)
+	stressmarkCache = sim.NewCache[string, isa.Program](64)
 )
 
 func init() {
@@ -42,7 +43,7 @@ func ResetProgramCache() {
 // GenerateCached returns the (shared, read-only) program for a profile,
 // generating it at most once per distinct profile.
 func GenerateCached(p Profile) isa.Program {
-	prog, _ := programCache.Get(p, func() (isa.Program, error) {
+	prog, _ := programCache.Get(sim.Fingerprint(p), func() (isa.Program, error) {
 		return Generate(p), nil
 	})
 	return prog
@@ -52,7 +53,7 @@ func GenerateCached(p Profile) isa.Program {
 // the given parameters, generating it at most once per distinct parameter
 // set.
 func StressmarkCached(p StressmarkParams) isa.Program {
-	prog, _ := stressmarkCache.Get(p, func() (isa.Program, error) {
+	prog, _ := stressmarkCache.Get(sim.Fingerprint(p), func() (isa.Program, error) {
 		return Stressmark(p), nil
 	})
 	return prog

@@ -1,0 +1,99 @@
+// Closed-loop workload properties. These tests run programs through
+// internal/core, which sits above workload in the dependency order, so they
+// live in the external test package (workload itself must stay importable
+// by spec and core).
+package workload_test
+
+import (
+	"testing"
+
+	"didt/internal/core"
+	"didt/internal/isa"
+	"didt/internal/spec"
+	"didt/internal/workload"
+)
+
+func observeOptions(impedancePct float64, maxCycles, warmup uint64) core.Options {
+	var s spec.RunSpec
+	s.PDN.ImpedancePct = impedancePct
+	s.Budget.MaxCycles = maxCycles
+	s.Budget.WarmupCycles = warmup
+	return core.Options{Spec: s}
+}
+
+func TestStableVsVariableVoltageSpread(t *testing.T) {
+	// The paper's Figure 10 contrast: ammp's voltage is exceptionally
+	// stable while galgel varies across a wide range.
+	spread := func(name string) float64 {
+		p, err := workload.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := core.NewSystem(workload.Generate(p), observeOptions(1, 120000, 40000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MaxV - res.MinV
+	}
+	stable := spread("mcf")
+	variable := spread("galgel")
+	if variable <= stable {
+		t.Errorf("galgel spread %.1fmV should exceed mcf %.1fmV", variable*1e3, stable*1e3)
+	}
+}
+
+func TestStressmarkBeatsSPEC(t *testing.T) {
+	// Figure 9 / Table 2 premise: the stressmark's swing dwarfs ordinary
+	// workloads.
+	run := func(prog isa.Program) float64 {
+		sys, err := core.NewSystem(prog, observeOptions(2, 120000, 40000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := res.VNominal - res.MinV
+		if hi := res.MaxV - res.VNominal; hi > lo {
+			return hi
+		}
+		return lo
+	}
+	p, _ := workload.ProfileByName("gzip")
+	p.Iterations = 2000
+	specDev := run(workload.Generate(p))
+	stressDev := run(workload.Stressmark(workload.StressmarkParams{Iterations: 2000}))
+	if stressDev <= specDev {
+		t.Errorf("stressmark dev %.1fmV should exceed gzip %.1fmV", stressDev*1e3, specDev*1e3)
+	}
+}
+
+func TestSmoothedBurstReducesSwing(t *testing.T) {
+	// The related-work software mitigation: same instruction count, chained
+	// scheduling, smaller voltage swing.
+	dev := func(smoothed bool) float64 {
+		prog := workload.Stressmark(workload.StressmarkParams{Iterations: 1200, SmoothedBurst: smoothed})
+		sys, err := core.NewSystem(prog, observeOptions(2, 150000, 30000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo := res.VNominal - res.MinV
+		if hi := res.MaxV - res.VNominal; hi > lo {
+			return hi
+		}
+		return lo
+	}
+	base, smooth := dev(false), dev(true)
+	if smooth >= base {
+		t.Errorf("smoothed schedule dev %.1fmV should undercut baseline %.1fmV", smooth*1e3, base*1e3)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"strings"
 	"testing"
 
-	"didt/internal/core"
 	"didt/internal/cpu"
 	"didt/internal/isa"
 )
@@ -181,85 +180,6 @@ func TestProfilesExecuteCorrectly(t *testing.T) {
 		if !c.Done() || c.Err() != nil {
 			t.Errorf("%s: did not complete cleanly (err=%v)", name, c.Err())
 		}
-	}
-}
-
-func TestStableVsVariableVoltageSpread(t *testing.T) {
-	// The paper's Figure 10 contrast: ammp's voltage is exceptionally
-	// stable while galgel varies across a wide range.
-	spread := func(name string) float64 {
-		p, err := ProfileByName(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sys, err := core.NewSystem(Generate(p), core.Options{
-			ImpedancePct: 1, MaxCycles: 120000, WarmupCycles: 40000,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := sys.Run()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return res.MaxV - res.MinV
-	}
-	stable := spread("mcf")
-	variable := spread("galgel")
-	if variable <= stable {
-		t.Errorf("galgel spread %.1fmV should exceed mcf %.1fmV", variable*1e3, stable*1e3)
-	}
-}
-
-func TestStressmarkBeatsSPEC(t *testing.T) {
-	// Figure 9 / Table 2 premise: the stressmark's swing dwarfs ordinary
-	// workloads.
-	run := func(prog isa.Program) float64 {
-		sys, err := core.NewSystem(prog, core.Options{ImpedancePct: 2, MaxCycles: 120000, WarmupCycles: 40000})
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := sys.Run()
-		if err != nil {
-			t.Fatal(err)
-		}
-		lo := res.VNominal - res.MinV
-		if hi := res.MaxV - res.VNominal; hi > lo {
-			return hi
-		}
-		return lo
-	}
-	p, _ := ProfileByName("gzip")
-	p.Iterations = 2000
-	specDev := run(Generate(p))
-	stressDev := run(Stressmark(StressmarkParams{Iterations: 2000}))
-	if stressDev <= specDev {
-		t.Errorf("stressmark dev %.1fmV should exceed gzip %.1fmV", stressDev*1e3, specDev*1e3)
-	}
-}
-
-func TestSmoothedBurstReducesSwing(t *testing.T) {
-	// The related-work software mitigation: same instruction count, chained
-	// scheduling, smaller voltage swing.
-	dev := func(smoothed bool) float64 {
-		prog := Stressmark(StressmarkParams{Iterations: 1200, SmoothedBurst: smoothed})
-		sys, err := core.NewSystem(prog, core.Options{ImpedancePct: 2, MaxCycles: 150000, WarmupCycles: 30000})
-		if err != nil {
-			t.Fatal(err)
-		}
-		res, err := sys.Run()
-		if err != nil {
-			t.Fatal(err)
-		}
-		lo := res.VNominal - res.MinV
-		if hi := res.MaxV - res.VNominal; hi > lo {
-			return hi
-		}
-		return lo
-	}
-	base, smooth := dev(false), dev(true)
-	if smooth >= base {
-		t.Errorf("smoothed schedule dev %.1fmV should undercut baseline %.1fmV", smooth*1e3, base*1e3)
 	}
 }
 
