@@ -40,10 +40,21 @@ go test -race -count=1 -run TestParallelOutputIdenticalWithTelemetry ./internal/
 # pressure never compute an in-flight study twice.
 go test -race -count=1 -run 'TestServer' ./internal/server
 
+# Allocation gate: the per-cycle simulation kernels (streaming PDN step,
+# batched SoA step, FFT block convolution) must stay allocation-free —
+# one allocation per cycle is the difference between the profiled ~50
+# ns/cycle and multiples of it. The benchmarks run under -benchmem and
+# any "N allocs/op" with N > 0 fails.
+go test -run NONE -bench 'BenchmarkStep$|BenchmarkBatchStep$|BenchmarkConvolve$' \
+    -benchtime 100x -benchmem ./internal/pdn ./internal/fft | tee /tmp/didt_allocgate.txt
+! grep -E ' [1-9][0-9]* allocs/op' /tmp/didt_allocgate.txt
+
 # Perf gate: the telemetry-off hot path (a disabled tracer attached to
 # every system, the configuration all production sweeps run in) must stay
-# within CI_BENCH_TOLERANCE_PCT (default 5%) of the committed
-# BENCH_sweep.json baseline. Regenerate the baseline with
-# `go run ./cmd/benchreport` after intentional perf changes.
+# within CI_BENCH_TOLERANCE_PCT (default 10%) of the bare serial sweep
+# measured in the same process — a ratio, so the gate is insensitive to
+# how fast the shared CI host happens to be running. Regenerate the
+# committed BENCH_sweep.json with `go run ./cmd/benchreport` after
+# intentional perf changes.
 go run ./cmd/benchreport -check -baseline BENCH_sweep.json \
-    -tolerance "${CI_BENCH_TOLERANCE_PCT:-5}"
+    -tolerance "${CI_BENCH_TOLERANCE_PCT:-10}"

@@ -31,6 +31,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,8 +50,31 @@ func main() {
 		parallel = flag.Int("parallel", 0, "default sweep worker count per request (0 = GOMAXPROCS)")
 		grace    = flag.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on shutdown")
 		dump     = flag.Bool("print-default-spec", false, "print the resolved default run spec as JSON and exit")
+		listCaps = flag.Bool("list-cache-caps", false, "print the tunable shared-cache capacities and exit")
 	)
+	flag.Func("cache-cap", "override a shared cache capacity as name=entries (repeatable; 0 = unbounded; see -list-cache-caps)", func(v string) error {
+		name, val, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want name=entries, got %q", v)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad entry count %q: %w", val, err)
+		}
+		if _, known := sim.CacheCapacity(name); !known {
+			return fmt.Errorf("unknown cache %q (known: %s)", name, strings.Join(sim.CacheCapacityNames(), ", "))
+		}
+		return sim.SetCacheCapacity(name, n)
+	})
 	flag.Parse()
+
+	if *listCaps {
+		for _, name := range sim.CacheCapacityNames() {
+			n, _ := sim.CacheCapacity(name)
+			fmt.Printf("%s\t%d\n", name, n)
+		}
+		return
+	}
 
 	if *dump {
 		// Exactly the bytes GET /v1/spec/default serves; ci.sh diffs this

@@ -18,6 +18,8 @@ import (
 	"math"
 
 	"didt/internal/pdn"
+	"didt/internal/sim"
+	"didt/internal/telemetry"
 )
 
 // Envelope describes the current-domain authority of the plant and its
@@ -54,20 +56,47 @@ type Thresholds struct {
 	SafeWindow float64
 }
 
-// Solver finds and caches thresholds for one PDN.
+// Solver finds thresholds for one PDN. Results are memoized in the
+// process-wide solve cache, so distinct Solver instances over networks
+// with equal parameters share their work.
 type Solver struct {
-	net   *pdn.Network
-	cache map[solveKey]Thresholds
+	net *pdn.Network
 }
 
-type solveKey struct {
-	iMin, iMax, floor, ceil float64
-	settle, delay           int
+// solveCacheKey is the full identity of one solve: the PDN parameters
+// (every comparable field of pdn.Params, including IFloor and the
+// truncation controls that shape the kernel), the actuation envelope, and
+// the sensor delay.
+type solveCacheKey struct {
+	params pdn.Params
+	env    Envelope
+	delay  int
 }
+
+// solveCache memoizes threshold solving across Solver instances. Every
+// NewSystem with control enabled used to run its own ~64-bisection solve
+// (hundreds of excursion simulations) even when a sweep re-solved the
+// identical (PDN, envelope, delay) point for every workload; the solve is
+// a pure function of the key, so cached and fresh thresholds are
+// bit-identical.
+var solveCache = sim.NewCache[solveCacheKey, Thresholds](256)
+
+func init() {
+	solveCache.RegisterMetrics(telemetry.Default(), "cache.control_solve")
+	sim.RegisterCacheCapacity("control_solve", 256, solveCache.SetCapacity)
+}
+
+// SolveCacheStats reports the shared threshold-solve cache's
+// effectiveness.
+func SolveCacheStats() sim.CacheStats { return solveCache.Stats() }
+
+// ResetSolveCache empties the shared threshold-solve cache (benchmarks use
+// it to measure cold-start cost).
+func ResetSolveCache() { solveCache.Reset() }
 
 // NewSolver builds a solver over the given network.
 func NewSolver(net *pdn.Network) *Solver {
-	return &Solver{net: net, cache: make(map[solveKey]Thresholds)}
+	return &Solver{net: net}
 }
 
 // Solve computes thresholds for the given envelope and sensor delay.
@@ -78,20 +107,21 @@ func (s *Solver) Solve(env Envelope, delay int) (Thresholds, error) {
 	if delay < 0 {
 		return Thresholds{}, fmt.Errorf("control: negative delay %d", delay)
 	}
-	key := solveKey{env.IMin, env.IMax, env.Floor, env.Ceil, env.Settle, delay}
-	if th, ok := s.cache[key]; ok {
-		return th, nil
-	}
-	th := s.solve(env, delay)
-	s.cache[key] = th
-	return th, nil
+	key := solveCacheKey{params: s.net.Params(), env: env, delay: delay}
+	return solveCache.Get(key, func() (Thresholds, error) {
+		return s.solve(env, delay), nil
+	})
 }
+
+// solveEps is the solver's numerical slack: a voltage has to leave the
+// emergency band by more than 0.1 mV before a probe calls it a violation.
+const solveEps = 1e-4
 
 func (s *Solver) solve(env Envelope, delay int) Thresholds {
 	p := s.net.Params()
 	vNom := p.VNominal
 	vMin, vMax := s.net.VMin(), s.net.VMax()
-	eps := 1e-4 // 0.1 mV numerical slack
+	pr := s.newProbe(env, delay)
 
 	// solveLo bisects for the minimal Low threshold whose undershoot stays
 	// legal given a fixed High; returns ok=false when even the most
@@ -99,12 +129,12 @@ func (s *Solver) solve(env Envelope, delay int) Thresholds {
 	// the actuator lacks downward authority.
 	solveLo := func(hi float64) (float64, bool) {
 		a, b := vMin, vNom-1e-4
-		if minV, _ := s.excursions(b, hi, env, delay); minV < vMin-eps {
+		if low, _ := pr.violations(b, hi, true, false); low {
 			return 0, false
 		}
 		for i := 0; i < 16; i++ {
 			mid := 0.5 * (a + b)
-			if minV, _ := s.excursions(mid, hi, env, delay); minV < vMin-eps {
+			if low, _ := pr.violations(mid, hi, true, false); low {
 				a = mid
 			} else {
 				b = mid
@@ -116,15 +146,15 @@ func (s *Solver) solve(env Envelope, delay int) Thresholds {
 	// legal given a fixed Low.
 	solveHi := func(lo float64) (float64, bool) {
 		a, b := vNom+1e-4, vMax
-		if _, maxV := s.excursions(lo, a, env, delay); maxV > vMax+eps {
+		if _, high := pr.violations(lo, a, false, true); high {
 			return 0, false
 		}
-		if _, maxV := s.excursions(lo, b, env, delay); maxV <= vMax+eps {
+		if _, high := pr.violations(lo, b, false, true); !high {
 			return b, true // fully permissive High is already safe
 		}
 		for i := 0; i < 16; i++ {
 			mid := 0.5 * (a + b)
-			if _, maxV := s.excursions(lo, mid, env, delay); maxV > vMax+eps {
+			if _, high := pr.violations(lo, mid, false, true); high {
 				b = mid
 			} else {
 				a = mid
@@ -145,8 +175,8 @@ func (s *Solver) solve(env Envelope, delay int) Thresholds {
 		return Thresholds{Stable: false}
 	}
 	for round := 0; round < 2; round++ {
-		minV, maxV := s.excursions(lo, hi, env, delay)
-		if minV >= vMin-eps && maxV <= vMax+eps && hi > lo {
+		low, high := pr.violations(lo, hi, true, true)
+		if !low && !high && hi > lo {
 			return Thresholds{Low: lo, High: hi, Stable: true, SafeWindow: hi - lo}
 		}
 		if lo, ok = solveLo(hi); !ok {
@@ -156,8 +186,8 @@ func (s *Solver) solve(env Envelope, delay int) Thresholds {
 			return Thresholds{Stable: false}
 		}
 	}
-	minV, maxV := s.excursions(lo, hi, env, delay)
-	if minV < vMin-eps || maxV > vMax+eps || hi <= lo {
+	low, high := pr.violations(lo, hi, true, true)
+	if low || high || hi <= lo {
 		return Thresholds{Stable: false}
 	}
 	return Thresholds{Low: lo, High: hi, Stable: true, SafeWindow: hi - lo}
@@ -213,6 +243,107 @@ const (
 
 var scenarios = []scenario{scResonant, scResonantShifted, scStepUp, scStepDownAfterHigh}
 
+// scenarioDemand is the adversarial demand stream for one worst-case
+// scenario at one cycle: resonant square waves (two phases), a sustained
+// step up, and a step down after a sustained high.
+func scenarioDemand(sc scenario, c, cycles, period int, env Envelope) float64 {
+	switch sc {
+	case scResonant:
+		if c%period < period/2 {
+			return env.IMax
+		}
+		return env.IMin
+	case scResonantShifted:
+		if (c+period/2)%period < period/2 {
+			return env.IMax
+		}
+		return env.IMin
+	case scStepUp:
+		return env.IMax
+	case scStepDownAfterHigh:
+		if c < cycles/2 {
+			return env.IMax
+		}
+		return env.IMin
+	}
+	return env.IMin
+}
+
+// scenarioCtl is one replica of the threshold controller the solver
+// simulates against: the sensed-level latch, the actuator settle counter,
+// and the sensor delay pipeline. Shared by the solo scenario runner and
+// the lockstep probe so both step the exact same state machine.
+type scenarioCtl struct {
+	state        int // 0 normal, -1 gating, +1 phantom
+	sinceTrigger int
+	prevI        float64
+	vHist        []float64 // vHist[0] is the voltage from `delay` cycles ago
+}
+
+func newScenarioCtl(vNom float64, env Envelope, delay int) scenarioCtl {
+	ctl := scenarioCtl{prevI: env.IMin, vHist: make([]float64, delay+1)}
+	ctl.reset(vNom, env)
+	return ctl
+}
+
+func (ctl *scenarioCtl) reset(vNom float64, env Envelope) {
+	ctl.state = 0
+	ctl.sinceTrigger = 0
+	ctl.prevI = env.IMin
+	for i := range ctl.vHist {
+		ctl.vHist[i] = vNom
+	}
+}
+
+// decide consumes this cycle's sensed voltage and demand and returns the
+// current the plant actually draws: the clamp when the actuator has
+// settled, the previous level while it is still ramping (worst case holds
+// level), the demand when no threshold is latched.
+func (ctl *scenarioCtl) decide(lo, hi, demand float64, env Envelope) float64 {
+	sensed := ctl.vHist[0]
+	switch {
+	case sensed < lo:
+		if ctl.state != -1 {
+			ctl.sinceTrigger = 0
+		}
+		ctl.state = -1
+	case sensed > hi:
+		if ctl.state != 1 {
+			ctl.sinceTrigger = 0
+		}
+		ctl.state = 1
+	default:
+		ctl.state = 0
+	}
+
+	var i float64
+	switch ctl.state {
+	case -1:
+		if ctl.sinceTrigger >= env.Settle {
+			i = env.Floor
+		} else {
+			i = ctl.prevI
+		}
+	case 1:
+		if ctl.sinceTrigger >= env.Settle {
+			i = env.Ceil
+		} else {
+			i = ctl.prevI
+		}
+	default:
+		i = demand
+	}
+	ctl.sinceTrigger++
+	ctl.prevI = i
+	return i
+}
+
+// observe pushes this cycle's plant voltage into the sensor pipeline.
+func (ctl *scenarioCtl) observe(v float64) {
+	copy(ctl.vHist, ctl.vHist[1:])
+	ctl.vHist[len(ctl.vHist)-1] = v
+}
+
 // runScenario simulates the threshold-controlled plant: an adversarial
 // demand stream, a sensor with the given delay, and clamp-style actuation
 // with the envelope's authority and settle time.
@@ -220,89 +351,101 @@ func (s *Solver) runScenario(sc scenario, lo, hi float64, env Envelope, delay in
 	period := s.net.ResonantPeriodCycles()
 	cycles := s.net.KernelLen() + 14*period
 	sim := s.net.NewSimulator()
+	defer sim.Release()
 	p := s.net.Params()
 
-	demand := func(c int) float64 {
-		switch sc {
-		case scResonant:
-			if c%period < period/2 {
-				return env.IMax
-			}
-			return env.IMin
-		case scResonantShifted:
-			if (c+period/2)%period < period/2 {
-				return env.IMax
-			}
-			return env.IMin
-		case scStepUp:
-			return env.IMax
-		case scStepDownAfterHigh:
-			if c < cycles/2 {
-				return env.IMax
-			}
-			return env.IMin
-		}
-		return env.IMin
-	}
-
 	res := scenarioResult{minV: p.VNominal, maxV: p.VNominal}
-	vHist := make([]float64, delay+1)
-	for i := range vHist {
-		vHist[i] = p.VNominal
-	}
-	state := 0 // 0 normal, -1 gating, +1 phantom
-	sinceTrigger := 0
-	prevI := env.IMin
-
+	ctl := newScenarioCtl(p.VNominal, env, delay)
 	for c := 0; c < cycles; c++ {
-		// The sensor sees the voltage from `delay` cycles ago.
-		sensed := vHist[0]
-		switch {
-		case sensed < lo:
-			if state != -1 {
-				sinceTrigger = 0
-			}
-			state = -1
-		case sensed > hi:
-			if state != 1 {
-				sinceTrigger = 0
-			}
-			state = 1
-		default:
-			state = 0
-		}
-
-		var i float64
-		switch state {
-		case -1:
-			if sinceTrigger >= env.Settle {
-				i = env.Floor
-			} else {
-				i = prevI // actuator still ramping: worst case holds level
-			}
-		case 1:
-			if sinceTrigger >= env.Settle {
-				i = env.Ceil
-			} else {
-				i = prevI
-			}
-		default:
-			i = demand(c)
-		}
-		sinceTrigger++
-		prevI = i
-
-		if state != 0 {
+		i := ctl.decide(lo, hi, scenarioDemand(sc, c, cycles, period, env), env)
+		if ctl.state != 0 {
 			res.intervened++
 		}
 		res.cycles++
 		v := sim.Step(i)
 		res.minV = math.Min(res.minV, v)
 		res.maxV = math.Max(res.maxV, v)
-		copy(vHist, vHist[1:])
-		vHist[delay] = v
+		ctl.observe(v)
 	}
 	return res
+}
+
+// probe owns the reusable lockstep machinery for one solve: a 4-lane batch
+// convolver (one lane per worst-case scenario) plus a controller replica
+// per lane, reset between evaluations instead of reallocated — a solve
+// evaluates it dozens of times.
+type probe struct {
+	net      *pdn.Network
+	env      Envelope
+	period   int
+	cycles   int
+	vNom     float64
+	vLow     float64 // vMin - solveEps
+	vHigh    float64 // vMax + solveEps
+	batch    *pdn.BatchSimulator
+	ctls     []scenarioCtl
+	currents []float64
+	volts    []float64
+}
+
+func (s *Solver) newProbe(env Envelope, delay int) *probe {
+	period := s.net.ResonantPeriodCycles()
+	p := &probe{
+		net:      s.net,
+		env:      env,
+		period:   period,
+		cycles:   s.net.KernelLen() + 14*period,
+		vNom:     s.net.Params().VNominal,
+		vLow:     s.net.VMin() - solveEps,
+		vHigh:    s.net.VMax() + solveEps,
+		batch:    s.net.NewBatchSimulator(len(scenarios)),
+		ctls:     make([]scenarioCtl, len(scenarios)),
+		currents: make([]float64, len(scenarios)),
+		volts:    make([]float64, len(scenarios)),
+	}
+	for l := range p.ctls {
+		p.ctls[l] = newScenarioCtl(p.vNom, env, delay)
+	}
+	return p
+}
+
+// violations evaluates one threshold pair against the worst-case suite and
+// reports whether any scenario drives the supply below vMin-solveEps
+// (lowBad) or above vMax+solveEps (highBad) — exactly the comparisons
+// excursions' extreme voltages feed, but computed in lockstep across the
+// four scenarios and stopped the cycle every *needed* verdict has resolved
+// to true. A needed verdict can only resolve false by surviving the whole
+// horizon, so early exit never changes an answer; a verdict the caller did
+// not ask for may be reported false even when a longer run would have
+// tripped it. Per-lane voltages are bit-identical to the solo simulator's
+// (the batch kernel preserves per-lane accumulation order), which is what
+// keeps solved thresholds identical to the sequential implementation.
+func (p *probe) violations(lo, hi float64, needLow, needHigh bool) (lowBad, highBad bool) {
+	p.batch.Reset()
+	for l := range p.ctls {
+		p.ctls[l].reset(p.vNom, p.env)
+	}
+	for c := 0; c < p.cycles; c++ {
+		for l := range p.ctls {
+			demand := scenarioDemand(scenarios[l], c, p.cycles, p.period, p.env)
+			p.currents[l] = p.ctls[l].decide(lo, hi, demand, p.env)
+		}
+		p.batch.Step(p.currents, p.volts)
+		for l := range p.ctls {
+			v := p.volts[l]
+			if v < p.vLow {
+				lowBad = true
+			}
+			if v > p.vHigh {
+				highBad = true
+			}
+			p.ctls[l].observe(v)
+		}
+		if (lowBad || !needLow) && (highBad || !needHigh) {
+			return lowBad, highBad
+		}
+	}
+	return lowBad, highBad
 }
 
 // Policy is the runtime threshold-control state machine used by the

@@ -181,3 +181,78 @@ func TestThresholdsSymmetricAroundNominal(t *testing.T) {
 		t.Errorf("asymmetric thresholds at delay 0: -%.1fmV / +%.1fmV", lowGap*1e3, highGap*1e3)
 	}
 }
+
+// TestProbeViolationsMatchExcursions pins the lockstep probe's contract:
+// for any threshold pair, its violation booleans equal the comparisons the
+// sequential excursions path would make, including at thresholds very near
+// the band edges where one extra 1e-16 of drift would flip a bisection.
+func TestProbeViolationsMatchExcursions(t *testing.T) {
+	s := NewSolver(refNet(t, 2))
+	env := refEnv()
+	vNom := 1.0
+	vMin, vMax := s.net.VMin(), s.net.VMax()
+	for _, delay := range []int{0, 2, 5} {
+		pr := s.newProbe(env, delay)
+		for _, lo := range []float64{vMin, vMin + 0.01, 0.5 * (vMin + vNom), vNom - 1e-4} {
+			for _, hi := range []float64{vNom + 1e-4, 0.5 * (vNom + vMax), vMax} {
+				minV, maxV := s.excursions(lo, hi, env, delay)
+				wantLow := minV < vMin-solveEps
+				wantHigh := maxV > vMax+solveEps
+				// Needed verdicts must match the sequential path exactly.
+				if low, _ := pr.violations(lo, hi, true, false); low != wantLow {
+					t.Errorf("delay %d lo %.6f hi %.6f: lowBad=%t want %t", delay, lo, hi, low, wantLow)
+				}
+				if _, high := pr.violations(lo, hi, false, true); high != wantHigh {
+					t.Errorf("delay %d lo %.6f hi %.6f: highBad=%t want %t", delay, lo, hi, high, wantHigh)
+				}
+				// A dual-verdict probe that runs to the horizon (at most one
+				// verdict trips) resolves both; when it exits early both are
+				// true, which also matches.
+				low, high := pr.violations(lo, hi, true, true)
+				if low != wantLow || high != wantHigh {
+					t.Errorf("delay %d lo %.6f hi %.6f: (%t,%t) want (%t,%t)", delay, lo, hi, low, high, wantLow, wantHigh)
+				}
+			}
+		}
+	}
+}
+
+// TestWeakActuatorMatchesSequentialSolve pins that the probe rewrite did
+// not move any stability frontier: a weak actuator must go unstable at the
+// same delay as before (Table 3's FU-only finding).
+func TestWeakActuatorMatchesSequentialSolve(t *testing.T) {
+	s := NewSolver(refNet(t, 2))
+	weak := refEnv()
+	weak.Floor = 35 // barely below the midpoint: little downward authority
+	firstUnstable := -1
+	for d := 0; d <= 8; d++ {
+		th, err := s.Solve(weak, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !th.Stable {
+			firstUnstable = d
+			break
+		}
+	}
+	if firstUnstable < 0 {
+		t.Skip("weak envelope stayed stable over the probed delays")
+	}
+	// Re-derive stability at the frontier from the sequential path.
+	for d := firstUnstable - 1; d <= firstUnstable; d++ {
+		if d < 0 {
+			continue
+		}
+		th, err := s.Solve(weak, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vMin, vMax := s.net.VMin(), s.net.VMax()
+		if th.Stable {
+			minV, maxV := s.excursions(th.Low, th.High, weak, d)
+			if minV < vMin-solveEps || maxV > vMax+solveEps {
+				t.Errorf("delay %d: solved thresholds violate the band on the sequential path", d)
+			}
+		}
+	}
+}

@@ -53,6 +53,14 @@ type Options struct {
 	// cycle, so the hot path is unchanged when observability is off.
 	Telemetry     *telemetry.Tracer
 	TelemetryName string
+
+	// ProgKey, when non-empty, is a stable identity for the program
+	// (typically a fingerprint of its generation parameters). It enables
+	// the machine-trace cache on the open-loop fast path: runs that share
+	// program, CPU and power configuration reuse one cycle-accurate
+	// current trace and re-convolve it per PDN. Empty disables that cache
+	// — results are identical either way.
+	ProgKey string
 }
 
 // Result summarizes one run.
@@ -109,6 +117,7 @@ type System struct {
 
 	gating  cpu.Gating
 	phantom power.Phantom
+	act     cpu.Activity // per-cycle scratch for StepCycle (avoids a fresh zeroed copy per cycle)
 
 	quietStreak uint64 // consecutive no-issue cycles (pessimistic ramp)
 	rampLeft    int
@@ -278,11 +287,32 @@ type CycleState struct {
 //
 //didt:hotpath
 func (s *System) StepCycle() CycleState {
-	s.CPU.SetGating(s.gating)
-	act, done := s.CPU.Step()
-	rep := s.Power.Step(act, s.phantom)
-	v := s.Sim.Step(rep.Current)
+	current, done := s.machineStep(&s.act)
+	v := s.Sim.Step(current)
+	return s.observe(&s.act, current, v, done)
+}
 
+// machineStep advances the machine half of the loop — actuator gating into
+// the core, core activity into the power model — and returns the cycle's
+// activity, load current and completion flag. The PDN convolution and
+// everything downstream of the voltage live in observe; RunBatch steps
+// many systems' machine halves against one batched convolver between the
+// two.
+//
+//didt:hotpath
+func (s *System) machineStep(act *cpu.Activity) (float64, bool) {
+	s.CPU.SetGating(s.gating)
+	done := s.CPU.StepInto(act)
+	rep := s.Power.Step(act, s.phantom)
+	return rep.Current, done
+}
+
+// observe ingests this cycle's voltage: statistics, traces, the sensor →
+// policy → responder control path, the pessimistic ramp, telemetry, and
+// the cycle counter. Exactly the post-convolution half of StepCycle.
+//
+//didt:hotpath
+func (s *System) observe(act *cpu.Activity, current, v float64, done bool) CycleState {
 	if s.cycle >= s.spec.Budget.WarmupCycles {
 		if v < s.minV {
 			s.minV = v
@@ -296,7 +326,7 @@ func (s *System) StepCycle() CycleState {
 		s.hist.Add(v)
 	}
 	if s.opts.RecordTraces {
-		s.curTr = append(s.curTr, rep.Current)
+		s.curTr = append(s.curTr, current)
 		s.voltTr = append(s.voltTr, v)
 	}
 
@@ -343,12 +373,12 @@ func (s *System) StepCycle() CycleState {
 	}
 
 	if s.stream.Enabled() {
-		s.emitCycle(rep.Current, v, level)
+		s.emitCycle(current, v, level)
 	}
 
 	st := CycleState{
 		Cycle:   s.cycle,
-		Current: rep.Current,
+		Current: current,
 		Voltage: v,
 		Level:   level,
 		Gating:  s.gating,
@@ -401,7 +431,19 @@ func boolArg(b bool) int32 {
 
 // Run advances the loop until the program retires or MaxCycles elapse and
 // returns the aggregated result.
+//
+// Open-loop runs — no controller, no pessimistic ramp, no responder, no
+// enabled telemetry stream — have a machine whose evolution cannot depend
+// on the voltage, so Run computes the whole current trace first and block-
+// convolves it through the PDN's FFT path instead of paying a kernel-length
+// multiply-add per cycle. The FFT agrees with the streaming convolver to
+// <= 1e-9 V (see internal/pdn's property tests); anything that feeds the
+// voltage back (control, ramp, telemetry) stays on the streaming reference
+// path.
 func (s *System) Run() (*Result, error) {
+	if s.openLoop() {
+		return s.runOpenLoop()
+	}
 	for s.cycle < s.spec.Budget.MaxCycles {
 		st := s.StepCycle()
 		if st.Done {
@@ -411,14 +453,33 @@ func (s *System) Run() (*Result, error) {
 	if err := s.CPU.Err(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	return s.finish(s.CPU.Stats(), s.Power.TotalEnergy()), nil
+}
+
+// openLoop reports whether nothing in this run feeds the computed voltage
+// back into the machine: the controller is off (no sensing, no actuation),
+// the pessimistic ramp is off (its gating feeds the next machine cycle),
+// no code-level responder is attached, and the telemetry stream is
+// disabled (per-cycle emission is interleaved with stepping).
+func (s *System) openLoop() bool {
+	return !s.spec.Control.Enabled &&
+		s.spec.Control.PessimisticRamp == 0 &&
+		s.opts.Responder == nil &&
+		!s.stream.Enabled()
+}
+
+// finish aggregates the run's statistics into a Result and publishes the
+// whole-run metrics. Every completion path — streaming, open-loop, batched
+// — funnels through here.
+func (s *System) finish(st cpu.Stats, energy float64) *Result {
 	measured := uint64(0)
 	if s.cycle > s.spec.Budget.WarmupCycles {
 		measured = s.cycle - s.spec.Budget.WarmupCycles
 	}
 	r := &Result{
-		Stats:        s.CPU.Stats(),
+		Stats:        st,
 		Cycles:       s.cycle,
-		Energy:       s.Power.TotalEnergy(),
+		Energy:       energy,
 		IMin:         s.iMin,
 		IMax:         s.iMax,
 		MinV:         s.minV,
@@ -439,7 +500,7 @@ func (s *System) Run() (*Result, error) {
 		r.AvgPower = r.Energy / (float64(s.cycle) / s.Power.Params().ClockHz)
 	}
 	s.publishMetrics(r)
-	return r, nil
+	return r
 }
 
 // publishMetrics folds the finished run into the process-wide metrics

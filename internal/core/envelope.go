@@ -32,10 +32,11 @@ type envelopeKey struct {
 // builds hundreds of systems from the same configuration. The probe is
 // deterministic in its inputs, so cached and fresh envelopes are
 // identical.
-var envelopeCache = sim.NewCache[envelopeKey, envelope](64)
+var envelopeCache = sim.NewCache[envelopeKey, envelope](256)
 
 func init() {
 	envelopeCache.RegisterMetrics(telemetry.Default(), "cache.core_envelope")
+	sim.RegisterCacheCapacity("core_envelope", 256, envelopeCache.SetCapacity)
 }
 
 // EnvelopeCacheStats reports the saturation-probe envelope cache's
@@ -82,9 +83,10 @@ func measureEnvelopeUncached(cfg cpu.Config, pp power.Params) (envelope, error) 
 		window = 8000
 	)
 	samples := make([]float64, 0, window)
+	var act cpu.Activity
 	for i := 0; i < warmup+window; i++ {
-		act, done := c.Step()
-		rep := pm.Step(act, power.Phantom{})
+		done := c.StepInto(&act)
+		rep := pm.Step(&act, power.Phantom{})
 		if i >= warmup {
 			samples = append(samples, rep.Current)
 		}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"didt/internal/cpu"
+	"didt/internal/sim"
+	"didt/internal/telemetry"
+)
+
+// machineRun is the voltage-independent half of an open-loop run: the full
+// per-cycle current trace plus the machine's end-of-run aggregates.
+// Immutable once cached — the currents slice is shared across every run
+// that reuses it and must never be written.
+type machineRun struct {
+	currents []float64
+	stats    cpu.Stats
+	energy   float64
+	cycles   uint64
+}
+
+// machineKey identifies one machine trace: the program plus everything
+// that shapes machine evolution on the open-loop path (CPU and power
+// configuration, cycle budget). Warmup is excluded — it gates statistics,
+// not stepping — and the PDN is excluded by construction: the open-loop
+// machine never sees the voltage, which is exactly what lets table2 re-use
+// one trace across its four impedance points.
+type machineKey struct {
+	prog      string
+	cpu       string
+	power     string
+	maxCycles uint64
+}
+
+// traceCache memoizes machine traces across open-loop runs keyed by
+// Options.ProgKey. Entries are a few hundred KB to a few MB each (8 bytes
+// per simulated cycle), so the default capacity is deliberately small —
+// 16 covers a full characterization sweep's distinct (program, machine,
+// budget) combinations without letting a long-lived server hold more
+// than ~100 MB of traces.
+var traceCache = sim.NewCache[machineKey, *machineRun](16)
+
+func init() {
+	traceCache.RegisterMetrics(telemetry.Default(), "cache.core_trace")
+	sim.RegisterCacheCapacity("core_trace", 16, traceCache.SetCapacity)
+}
+
+// TraceCacheStats reports the machine-trace cache's effectiveness.
+func TraceCacheStats() sim.CacheStats { return traceCache.Stats() }
+
+// ResetTraceCache empties the machine-trace cache (benchmarks use it to
+// measure cold-start cost).
+func ResetTraceCache() { traceCache.Reset() }
+
+// machineTrace returns this run's machine evolution, from the trace cache
+// when a ProgKey is present, stepping this system's own machine otherwise.
+func (s *System) machineTrace() (*machineRun, error) {
+	if s.opts.ProgKey == "" {
+		return s.stepMachine()
+	}
+	key := machineKey{
+		prog:      s.opts.ProgKey,
+		cpu:       sim.Fingerprint(s.spec.CPU),
+		power:     sim.Fingerprint(s.spec.Power),
+		maxCycles: s.spec.Budget.MaxCycles,
+	}
+	return traceCache.Get(key, func() (*machineRun, error) {
+		return s.stepMachine()
+	})
+}
+
+// stepMachine runs the machine half to completion with quiescent control
+// state (zero gating, zero phantom — the open-loop invariant), mirroring
+// Run's loop structure exactly: step, count, stop on completion or budget.
+func (s *System) stepMachine() (*machineRun, error) {
+	mr := &machineRun{currents: make([]float64, 0, s.spec.Budget.MaxCycles)}
+	var act cpu.Activity
+	for mr.cycles < s.spec.Budget.MaxCycles {
+		current, done := s.machineStep(&act)
+		mr.currents = append(mr.currents, current)
+		mr.cycles++
+		if done {
+			break
+		}
+	}
+	if err := s.CPU.Err(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	mr.stats = s.CPU.Stats()
+	mr.energy = s.Power.TotalEnergy()
+	return mr, nil
+}
+
+// runOpenLoop is the fast path: machine trace (possibly cached), one block
+// convolution, then a statistics replay in cycle order. The replay applies
+// the same per-cycle updates as observe does on the streaming path, so the
+// only difference in the result is FFT round-off (<= 1e-9 V).
+func (s *System) runOpenLoop() (*Result, error) {
+	mr, err := s.machineTrace()
+	if err != nil {
+		return nil, err
+	}
+	volts := make([]float64, len(mr.currents))
+	s.Net.ConvolveVoltages(volts, mr.currents)
+
+	warm := s.spec.Budget.WarmupCycles
+	vmin, vmax := s.Net.VMin(), s.Net.VMax()
+	for c, v := range volts {
+		if uint64(c) < warm {
+			continue
+		}
+		if v < s.minV {
+			s.minV = v
+		}
+		if v > s.maxV {
+			s.maxV = v
+		}
+		if v < vmin || v > vmax {
+			s.emerg++
+		}
+		s.hist.Add(v)
+	}
+	if s.opts.RecordTraces {
+		s.curTr = append(s.curTr, mr.currents...)
+		s.voltTr = append(s.voltTr, volts...)
+	}
+	s.cycle = mr.cycles
+	return s.finish(mr.stats, mr.energy), nil
+}
+
+// RunBatch advances the given systems in lockstep through one shared
+// structure-of-arrays PDN convolver and returns their results in input
+// order. All systems must target the same PDN parameters (hence the same
+// sampled kernel) and must be freshly built — RunBatch is the batched
+// equivalent of calling Run on each.
+//
+// Each lane's sequence of machine steps, voltages, sensor readings and
+// actuation decisions is bit-identical to a solo Run: the batch kernel
+// preserves per-lane accumulation order, and every lane keeps its own CPU,
+// power model, sensor RNG and policy state. A lane that finishes early
+// stops being observed; its slot is driven at IFloor (zero deviation)
+// until the whole batch drains.
+func RunBatch(systems []*System) ([]*Result, error) {
+	if len(systems) == 0 {
+		return nil, nil
+	}
+	if len(systems) == 1 {
+		r, err := systems[0].Run()
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{r}, nil
+	}
+	params := systems[0].Net.Params()
+	for _, s := range systems[1:] {
+		if s.Net.Params() != params {
+			return nil, fmt.Errorf("core: RunBatch requires identical PDN params (got %+v vs %+v)", s.Net.Params(), params)
+		}
+	}
+	w := len(systems)
+	batch := systems[0].Net.NewBatchSimulator(w)
+	currents := make([]float64, w)
+	volts := make([]float64, w)
+	acts := make([]cpu.Activity, w)
+	dones := make([]bool, w)
+	finished := make([]bool, w)
+	remaining := w
+	for remaining > 0 {
+		// Once the batch is mostly drained, one fixed w-wide kernel step
+		// costs more than stepping the survivors' own streaming simulators,
+		// so hand each survivor its lane's ring state and let it finish on
+		// the per-run path (bit-identical — see ExtractLane).
+		if 2*remaining <= w {
+			break
+		}
+		for l, s := range systems {
+			if finished[l] {
+				currents[l] = params.IFloor
+				continue
+			}
+			currents[l], dones[l] = s.machineStep(&acts[l])
+		}
+		batch.Step(currents, volts)
+		for l, s := range systems {
+			if finished[l] {
+				continue
+			}
+			st := s.observe(&acts[l], currents[l], volts[l], dones[l])
+			if st.Done || s.cycle >= s.spec.Budget.MaxCycles {
+				finished[l] = true
+				remaining--
+			}
+		}
+	}
+	for l, s := range systems {
+		if finished[l] {
+			continue
+		}
+		batch.ExtractLane(l, s.Sim)
+		for s.cycle < s.spec.Budget.MaxCycles {
+			if st := s.StepCycle(); st.Done {
+				break
+			}
+		}
+	}
+	results := make([]*Result, w)
+	for l, s := range systems {
+		if err := s.CPU.Err(); err != nil {
+			return nil, fmt.Errorf("core: lane %d: %w", l, err)
+		}
+		results[l] = s.finish(s.CPU.Stats(), s.Power.TotalEnergy())
+	}
+	return results, nil
+}

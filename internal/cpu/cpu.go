@@ -98,9 +98,13 @@ type CPU struct {
 
 	fuBusy [numFUGroups][]uint64 // per-unit busy-until cycle
 
-	// Front end.
+	// Front end. fetchQ is a fixed ring of FetchQLen slots (fqHead is the
+	// oldest entry, fqLen the occupancy) so steady-state fetch/dispatch
+	// traffic never reallocates or re-slices the queue.
 	fetchPC      int
 	fetchQ       []fetchSlot
+	fqHead       int
+	fqLen        int
 	fetchBlocked bool // mispredicted branch in flight; no wrong-path fetch
 	fetchHalted  bool // HALT fetched or PC ran off the program
 	fetchReadyAt uint64
@@ -152,6 +156,7 @@ func New(cfg Config, prog isa.Program) (*CPU, error) {
 		Mem:          hier,
 		ruu:          make([]entry, cfg.RUUSize),
 		lsq:          make([]int32, cfg.LSQSize),
+		fetchQ:       make([]fetchSlot, cfg.FetchQLen),
 		seq:          1,
 		curFetchLine: ^uint64(0),
 	}
@@ -189,9 +194,9 @@ func (c *CPU) Flush(penalty int) {
 	if c.fetchBlocked || c.fetchHalted {
 		return
 	}
-	if len(c.fetchQ) > 0 {
-		c.fetchPC = c.fetchQ[0].pc
-		c.fetchQ = c.fetchQ[:0]
+	if c.fqLen > 0 {
+		c.fetchPC = c.fetchQ[c.fqHead].pc
+		c.fqHead, c.fqLen = 0, 0
 		c.curFetchLine = ^uint64(0)
 	}
 	if penalty < 0 {
@@ -230,23 +235,33 @@ func (c *CPU) idx(pos int) int32 { return int32(pos % c.cfg.RUUSize) }
 
 // Step advances the core one clock cycle and returns the structural
 // activity of that cycle. done becomes true when the program has retired.
+func (c *CPU) Step() (Activity, bool) {
+	var act Activity
+	done := c.StepInto(&act)
+	return act, done
+}
+
+// StepInto is Step without the ~200-byte Activity return copy: it resets
+// *act and fills it in place. The simulation loops call it once per
+// machine cycle per lane, where the value-return copies (Step's return,
+// the power model's argument) were a measurable slice of a cold sweep.
 //
 //didt:hotpath
-func (c *CPU) Step() (Activity, bool) {
+func (c *CPU) StepInto(act *Activity) bool {
+	*act = Activity{}
 	if c.done {
-		return Activity{}, true
+		return true
 	}
-	var act Activity
 	act.FUsGated, act.DL1Gated, act.IL1Gated = c.gating.FUs, c.gating.DL1, c.gating.IL1
 	if c.gating.FUs || c.gating.DL1 || c.gating.IL1 {
 		c.stats.GatedCycles++
 	}
 
-	c.writeback(&act)
-	c.commit(&act)
-	c.issue(&act)
-	c.dispatch(&act)
-	c.fetch(&act)
+	c.writeback(act)
+	c.commit(act)
+	c.issue(act)
+	c.dispatch(act)
+	c.fetch(act)
 
 	act.RUUOccupancy = c.count
 	act.LSQOccupancy = c.lsqCount
@@ -276,15 +291,15 @@ func (c *CPU) Step() (Activity, bool) {
 		c.idleStreak = 0
 	}
 
-	if c.count == 0 && (c.fetchHalted || c.fetchBlocked) && len(c.fetchQ) == 0 && c.haltSeen {
+	if c.count == 0 && (c.fetchHalted || c.fetchBlocked) && c.fqLen == 0 && c.haltSeen {
 		c.done = true
 	}
 	// A program that runs off the end without HALT also terminates once
 	// drained.
-	if c.count == 0 && c.fetchHalted && len(c.fetchQ) == 0 {
+	if c.count == 0 && c.fetchHalted && c.fqLen == 0 {
 		c.done = true
 	}
-	return act, c.done
+	return c.done
 }
 
 // idleStreak tracks consecutive no-progress cycles for the deadlock guard.
@@ -335,7 +350,7 @@ func (c *CPU) resolveBranch(e *entry) {
 	if e.mispred {
 		// Recovery: drop the wrong-path fetch queue and restart the front
 		// end at the correct target after the refill penalty.
-		c.fetchQ = c.fetchQ[:0]
+		c.fqHead, c.fqLen = 0, 0
 		c.fetchBlocked = false
 		c.fetchPC = e.out.NextPC
 		c.fetchReadyAt = c.cycle + 1 + uint64(c.cfg.BranchPenalty)
@@ -503,7 +518,8 @@ func (c *CPU) tryIssue(idx int32, e *entry, act *Activity) bool {
 		act.L2Access++
 	}
 	// Register-file read traffic.
-	act.RegReads += len(sourceRegs(e.in))
+	_, nsrc := sourceRegs(e.in)
+	act.RegReads += nsrc
 	return true
 }
 
@@ -536,28 +552,40 @@ func (c *CPU) dispatch(act *Activity) {
 	if c.fetchBlocked {
 		return
 	}
-	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchQ) > 0; n++ {
+	for n := 0; n < c.cfg.DecodeWidth && c.fqLen > 0; n++ {
 		if c.count == c.cfg.RUUSize {
 			return
 		}
-		slot := c.fetchQ[0]
+		slot := &c.fetchQ[c.fqHead]
 		isMem := slot.in.IsMem()
 		if isMem && c.lsqCount == c.cfg.LSQSize {
 			return
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fqHead++
+		if c.fqHead == len(c.fetchQ) {
+			c.fqHead = 0
+		}
+		c.fqLen--
 
 		pos := c.idx(c.head + c.count)
 		c.count++
 		e := &c.ruu[pos]
-		*e = entry{
-			in:    slot.in,
-			pc:    slot.pc,
-			seq:   c.seq,
-			pred:  slot.pred,
-			class: isa.ClassOf(slot.in.Op),
-			state: stWaiting,
-		}
+		// Reset the slot field-by-field rather than with a struct-literal
+		// overwrite: that keeps the consumer list's capacity (writeback's
+		// appends would otherwise reallocate per dispatched entry) and skips
+		// re-zeroing the large out/pred fields that the assignments below
+		// overwrite in full anyway.
+		e.in = slot.in
+		e.pc = slot.pc
+		e.seq = c.seq
+		e.pred = slot.pred
+		e.class = isa.ClassOf(slot.in.Op)
+		e.state = stWaiting
+		e.mispred = false
+		e.waitCnt = 0
+		e.addrReady = false
+		e.doneAt = 0
+		e.consumers = e.consumers[:0]
 		c.seq++
 		// Functional execution: exact values, outcome and address.
 		e.out = c.arch.Exec(slot.in)
@@ -570,7 +598,8 @@ func (c *CPU) dispatch(act *Activity) {
 		}
 
 		// Collect operand dependencies against in-flight producers.
-		for _, src := range sourceRegs(slot.in) {
+		srcs, nsrc := sourceRegs(slot.in)
+		for _, src := range srcs[:nsrc] {
 			var p *prodRef
 			if src.fp {
 				p = &c.fpProd[src.reg]
@@ -628,7 +657,7 @@ func (c *CPU) fetch(act *Activity) {
 		return
 	}
 	lineMask := ^uint64(int64(c.Mem.Config().LineBytes - 1))
-	for n := 0; n < c.cfg.FetchWidth && len(c.fetchQ) < c.cfg.FetchQLen; n++ {
+	for n := 0; n < c.cfg.FetchWidth && c.fqLen < len(c.fetchQ); n++ {
 		if c.fetchPC < 0 || c.fetchPC >= len(c.prog) {
 			c.fetchHalted = true
 			c.haltSeen = true
@@ -656,7 +685,12 @@ func (c *CPU) fetch(act *Activity) {
 			slot.pred = c.Pred.Lookup(c.fetchPC, in)
 			act.BpredLookups++
 		}
-		c.fetchQ = append(c.fetchQ, slot)
+		tail := c.fqHead + c.fqLen
+		if tail >= len(c.fetchQ) {
+			tail -= len(c.fetchQ)
+		}
+		c.fetchQ[tail] = slot
+		c.fqLen++
 		act.Fetched++
 		c.stats.Fetched++
 		if in.Op == isa.HALT {
@@ -677,29 +711,33 @@ type regRef struct {
 	reg uint8
 }
 
-func sourceRegs(in isa.Instr) []regRef {
+// sourceRegs returns the operands by value (array plus count) rather than
+// a slice: it runs for every dispatched and issued instruction, and a
+// heap-allocated slice literal per call was one of the dominant allocation
+// sites in a cold sweep.
+func sourceRegs(in isa.Instr) ([3]regRef, int) {
 	switch in.Op {
 	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
 		isa.CMPLT, isa.CMPEQ, isa.MUL, isa.DIV:
-		return []regRef{{false, in.Src1}, {false, in.Src2}}
+		return [3]regRef{{false, in.Src1}, {false, in.Src2}}, 2
 	case isa.CMOVNZ:
-		return []regRef{{false, in.Src1}, {false, in.Src2}, {false, in.Dst}}
+		return [3]regRef{{false, in.Src1}, {false, in.Src2}, {false, in.Dst}}, 3
 	case isa.ADDI:
-		return []regRef{{false, in.Src1}}
+		return [3]regRef{{false, in.Src1}}, 1
 	case isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV:
-		return []regRef{{true, in.Src1}, {true, in.Src2}}
+		return [3]regRef{{true, in.Src1}, {true, in.Src2}}, 2
 	case isa.LD, isa.FLD:
-		return []regRef{{false, in.Src1}}
+		return [3]regRef{{false, in.Src1}}, 1
 	case isa.ST:
-		return []regRef{{false, in.Src1}, {false, in.Src2}}
+		return [3]regRef{{false, in.Src1}, {false, in.Src2}}, 2
 	case isa.FST:
-		return []regRef{{false, in.Src1}, {true, in.Src2}}
+		return [3]regRef{{false, in.Src1}, {true, in.Src2}}, 2
 	case isa.BEQZ, isa.BNEZ:
-		return []regRef{{false, in.Src1}}
+		return [3]regRef{{false, in.Src1}}, 1
 	case isa.RET:
-		return []regRef{{false, isa.LinkReg}}
+		return [3]regRef{{false, isa.LinkReg}}, 1
 	}
-	return nil
+	return [3]regRef{}, 0
 }
 
 // insertionSortReady keeps the ready list in ascending seq (age) order;

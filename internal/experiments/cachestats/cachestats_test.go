@@ -1,6 +1,6 @@
 // Package cachestats pins the repository's memoization behaviour. It lives
 // in its own package directory so `go test` gives it a fresh process: the
-// five process-global caches start empty, making absolute hit/miss counts
+// process-global caches start empty, making absolute hit/miss counts
 // meaningful.
 package cachestats
 
@@ -8,6 +8,7 @@ import (
 	"io"
 	"testing"
 
+	"didt/internal/control"
 	"didt/internal/core"
 	"didt/internal/experiments"
 	"didt/internal/pdn"
@@ -17,10 +18,18 @@ import (
 
 // TestQuickSweepCacheCounts runs a fixed slice of the quick experiment
 // suite and asserts the exact hit/miss counts of every cache. The counts
-// were captured before the run-spec refactor moved all memo identity onto
-// spec fingerprints; they pin that the new keys draw exactly the same
-// distinctions as the old struct keys — a key that became too coarse shows
-// up as extra hits, one that became too fine as extra misses.
+// pin that each cache key draws exactly the intended distinctions — a key
+// that became too coarse shows up as extra hits, one that became too fine
+// as extra misses.
+//
+// The run/trace/solve counts additionally pin the batch scheduler's
+// dedup: 87 distinct simulations serve the slice's 109 requested runs
+// (the uncontrolled baselines are shared across studies, "ideal" and
+// "fu+dl1+il1" are one behavioral mechanism, and ablation-window's
+// RUU=256 point is table2's stressmark at 200%), 11 machine traces cover
+// every open-loop run, and 19 threshold solves cover every controlled
+// configuration (the solve key is workload- and mechanism-boolean-
+// independent).
 func TestQuickSweepCacheCounts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-experiment sweep is slow")
@@ -39,8 +48,11 @@ func TestQuickSweepCacheCounts(t *testing.T) {
 		}
 	}
 	check("memo", experiments.MemoStats(), 2, 4)
-	check("kernel", pdn.KernelCacheStats(), 102, 7)
-	check("envelope", core.EnvelopeCacheStats(), 104, 5)
+	check("kernel", pdn.KernelCacheStats(), 80, 7)
+	check("envelope", core.EnvelopeCacheStats(), 83, 4)
 	check("program", workload.ProgramCacheStats(), 90, 3)
 	check("stressmark", workload.StressmarkCacheStats(), 24, 1)
+	check("run", experiments.RunCacheStats(), 22, 87)
+	check("trace", core.TraceCacheStats(), 12, 11)
+	check("solve", control.SolveCacheStats(), 45, 19)
 }

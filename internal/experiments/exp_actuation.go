@@ -36,20 +36,22 @@ func actuationStudy(cfg Config) (*ActuationStudy, error) {
 		mechs := actuator.Granularities()
 		const delays = 6
 
+		baseJobs := make([]runJob, len(benches))
+		for i, name := range benches {
+			prog, key, err := cfg.benchProgramKeyed(name)
+			if err != nil {
+				return nil, err
+			}
+			baseJobs[i] = cfg.uncontrolledFullJob(prog, key, 2)
+		}
 		type base struct{ cycles, energy float64 }
-		bases, err := sweep(cfg, benches, func(name string) (base, error) {
-			prog, err := cfg.benchProgram(name)
-			if err != nil {
-				return base{}, err
-			}
-			res, err := cfg.uncontrolledFull(prog, 2)
-			if err != nil {
-				return base{}, err
-			}
-			return base{float64(res.Cycles), res.Energy}, nil
-		})
+		baseRes, err := cfg.runJobs(baseJobs)
 		if err != nil {
 			return nil, err
+		}
+		bases := make([]base, len(benches))
+		for i, res := range baseRes {
+			bases[i] = base{float64(res.Cycles), res.Energy}
 		}
 
 		// The full (mechanism, delay, benchmark) grid, flattened
@@ -61,26 +63,28 @@ func actuationStudy(cfg Config) (*ActuationStudy, error) {
 			stable             bool
 		}
 		nb := len(benches)
-		runs, err := sweep(cfg, seq(len(mechs)*delays*nb), func(j int) (outcome, error) {
+		jobs := make([]runJob, len(mechs)*delays*nb)
+		for j := range jobs {
 			m, d, i := j/(delays*nb), (j/nb)%delays, j%nb
-			prog, err := cfg.benchProgram(benches[i])
+			prog, key, err := cfg.benchProgramKeyed(benches[i])
 			if err != nil {
-				return outcome{}, err
+				return nil, err
 			}
-			res, err := cfg.controlled(prog, 2, mechs[m], d, 0)
-			if err != nil {
-				return outcome{}, err
-			}
-			b := bases[i]
-			return outcome{
+			jobs[j] = cfg.controlledJob(prog, key, 2, mechs[m], d, 0)
+		}
+		gridRes, err := cfg.runJobs(jobs)
+		if err != nil {
+			return nil, err
+		}
+		runs := make([]outcome, len(gridRes))
+		for j, res := range gridRes {
+			b := bases[j%nb]
+			runs[j] = outcome{
 				perfPct:     100 * (float64(res.Cycles)/b.cycles - 1),
 				energyPct:   100 * (res.Energy/b.energy - 1),
 				emergencies: res.Emergencies,
 				stable:      res.Thresholds.Stable,
-			}, nil
-		})
-		if err != nil {
-			return nil, err
+			}
 		}
 
 		st := &ActuationStudy{}
@@ -190,30 +194,33 @@ type StressmarkActuationStudy struct {
 func stressmarkActuation(cfg Config) (*StressmarkActuationStudy, error) {
 	cfg = cfg.withDefaults()
 	return memoized("stressmark-actuation", cfg, func() (*StressmarkActuationStudy, error) {
-		prog := cfg.stressProgram()
-		baseRes, err := cfg.uncontrolledFull(prog, 2)
+		prog, progKey := cfg.stressProgramKeyed()
+		baseRes, err := cfg.runKeyed(cfg.uncontrolledFullJob(prog, progKey, 2))
 		if err != nil {
 			return nil, err
 		}
 		mechs := actuator.Granularities()
 		const delays = 6
-		points, err := sweep(cfg, seq(len(mechs)*delays), func(j int) (StressActuationPoint, error) {
+		jobs := make([]runJob, len(mechs)*delays)
+		for j := range jobs {
 			m, d := j/delays, j%delays
-			res, err := cfg.controlled(prog, 2, mechs[m], d, 0)
-			if err != nil {
-				return StressActuationPoint{}, err
-			}
-			return StressActuationPoint{
+			jobs[j] = cfg.controlledJob(prog, progKey, 2, mechs[m], d, 0)
+		}
+		gridRes, err := cfg.runJobs(jobs)
+		if err != nil {
+			return nil, err
+		}
+		points := make([]StressActuationPoint, len(gridRes))
+		for j, res := range gridRes {
+			m, d := j/delays, j%delays
+			points[j] = StressActuationPoint{
 				Mechanism:   mechs[m].Name,
 				Delay:       d,
 				PerfLossPct: 100 * (float64(res.Cycles)/float64(baseRes.Cycles) - 1),
 				EnergyPct:   100 * (res.Energy/baseRes.Energy - 1),
 				Emergencies: res.Emergencies,
 				Stable:      res.Thresholds.Stable,
-			}, nil
-		})
-		if err != nil {
-			return nil, err
+			}
 		}
 		return &StressmarkActuationStudy{Points: points}, nil
 	})

@@ -34,7 +34,9 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	return memoized("fig9", cfg, func() (*Fig9Result, error) {
 		opts := cfg.baseOptions(2)
 		opts.RecordTraces = true
-		res, err := run(cfg.stressProgram(), opts)
+		prog, progKey := cfg.stressProgramKeyed()
+		opts.ProgKey = progKey
+		res, err := run(prog, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -137,22 +139,24 @@ func Table2(cfg Config) (*Table2Result, error) {
 		for _, pct := range r.Pcts {
 			jobs = append(jobs, job{pct: pct})
 		}
-		freqs, err := sweep(cfg, jobs, func(j job) (float64, error) {
-			prog := cfg.stressProgram()
+		rjobs := make([]runJob, len(jobs))
+		for k, j := range jobs {
+			prog, key := cfg.stressProgramKeyed()
 			if j.bench != "" {
 				var err error
-				if prog, err = cfg.benchProgram(j.bench); err != nil {
-					return 0, err
+				if prog, key, err = cfg.benchProgramKeyed(j.bench); err != nil {
+					return nil, err
 				}
 			}
-			res, err := run(prog, cfg.baseOptions(float64(j.pct)/100))
-			if err != nil {
-				return 0, err
-			}
-			return res.EmergencyFreq, nil
-		})
+			rjobs[k] = cfg.baseJob(prog, key, float64(j.pct)/100)
+		}
+		results, err := cfg.runJobs(rjobs)
 		if err != nil {
 			return nil, err
+		}
+		freqs := make([]float64, len(results))
+		for k, res := range results {
+			freqs[k] = res.EmergencyFreq
 		}
 		for i, name := range names {
 			row := Table2Row{Name: name, Freq: map[int]float64{}}
@@ -268,26 +272,28 @@ func Fig10(cfg Config) (*Fig10Result, error) {
 	cfg = cfg.withDefaults()
 	return memoized("fig10", cfg, func() (*Fig10Result, error) {
 		names := append(append([]string{}, cfg.benchmarks()...), "stressmark")
-		rows, err := sweep(cfg, names, func(name string) (Fig10Row, error) {
-			prog := cfg.stressProgram()
+		jobs := make([]runJob, len(names))
+		for i, name := range names {
+			prog, key := cfg.stressProgramKeyed()
 			if name != "stressmark" {
 				var err error
-				if prog, err = cfg.benchProgram(name); err != nil {
-					return Fig10Row{}, err
+				if prog, key, err = cfg.benchProgramKeyed(name); err != nil {
+					return nil, err
 				}
 			}
-			res, err := run(prog, cfg.baseOptions(1))
-			if err != nil {
-				return Fig10Row{}, err
-			}
-			return Fig10Row{
-				Name: name, Hist: res.Hist,
-				MinV: res.MinV, MaxV: res.MaxV,
-				Spread: res.Hist.Spread(),
-			}, nil
-		})
+			jobs[i] = cfg.baseJob(prog, key, 1)
+		}
+		results, err := cfg.runJobs(jobs)
 		if err != nil {
 			return nil, err
+		}
+		rows := make([]Fig10Row, len(names))
+		for i, res := range results {
+			rows[i] = Fig10Row{
+				Name: names[i], Hist: res.Hist,
+				MinV: res.MinV, MaxV: res.MaxV,
+				Spread: res.Hist.Spread(),
+			}
 		}
 		return &Fig10Result{
 			Rows:       rows[:len(rows)-1],

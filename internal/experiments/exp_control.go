@@ -119,27 +119,30 @@ func sensorDelayStudy(cfg Config) (*SensorDelayStudy, error) {
 		benches := cfg.challenging()
 		// Workload index len(benches) is the stressmark throughout.
 		workloads := len(benches) + 1
-		program := func(i int) (isa.Program, error) {
+		program := func(i int) (isa.Program, string, error) {
 			if i == len(benches) {
-				return cfg.stressProgram(), nil
+				prog, key := cfg.stressProgramKeyed()
+				return prog, key, nil
 			}
-			return cfg.benchProgram(benches[i])
+			return cfg.benchProgramKeyed(benches[i])
 		}
 
+		baseJobs := make([]runJob, workloads)
+		for i := range baseJobs {
+			prog, key, err := program(i)
+			if err != nil {
+				return nil, err
+			}
+			baseJobs[i] = cfg.uncontrolledFullJob(prog, key, 2)
+		}
 		type base struct{ cycles, energy float64 }
-		bases, err := sweep(cfg, seq(workloads), func(i int) (base, error) {
-			prog, err := program(i)
-			if err != nil {
-				return base{}, err
-			}
-			res, err := cfg.uncontrolledFull(prog, 2)
-			if err != nil {
-				return base{}, err
-			}
-			return base{float64(res.Cycles), res.Energy}, nil
-		})
+		baseRes, err := cfg.runJobs(baseJobs)
 		if err != nil {
 			return nil, err
+		}
+		bases := make([]base, workloads)
+		for i, res := range baseRes {
+			bases[i] = base{float64(res.Cycles), res.Energy}
 		}
 
 		// One controlled run per (delay, workload); the flattened grid
@@ -150,25 +153,27 @@ func sensorDelayStudy(cfg Config) (*SensorDelayStudy, error) {
 			perfPct, energyPct float64
 			emergencies        uint64
 		}
-		runs, err := sweep(cfg, seq(delays*workloads), func(j int) (outcome, error) {
+		jobs := make([]runJob, delays*workloads)
+		for j := range jobs {
 			d, i := j/workloads, j%workloads
-			prog, err := program(i)
+			prog, key, err := program(i)
 			if err != nil {
-				return outcome{}, err
+				return nil, err
 			}
-			res, err := cfg.controlled(prog, 2, actuator.Ideal, d, 0)
-			if err != nil {
-				return outcome{}, err
-			}
-			b := bases[i]
-			return outcome{
+			jobs[j] = cfg.controlledJob(prog, key, 2, actuator.Ideal, d, 0)
+		}
+		gridRes, err := cfg.runJobs(jobs)
+		if err != nil {
+			return nil, err
+		}
+		runs := make([]outcome, len(gridRes))
+		for j, res := range gridRes {
+			b := bases[j%workloads]
+			runs[j] = outcome{
 				perfPct:     100 * (float64(res.Cycles)/b.cycles - 1),
 				energyPct:   100 * (res.Energy/b.energy - 1),
 				emergencies: res.Emergencies,
-			}, nil
-		})
-		if err != nil {
-			return nil, err
+			}
 		}
 
 		st := &SensorDelayStudy{}
@@ -269,41 +274,45 @@ func sensorErrorStudy(cfg Config) (*SensorErrorStudy, error) {
 		benches := cfg.challenging()
 		noises := []float64{0, 10, 15, 20, 25}
 
+		baseJobs := make([]runJob, len(benches))
+		for i, name := range benches {
+			prog, key, err := cfg.benchProgramKeyed(name)
+			if err != nil {
+				return nil, err
+			}
+			baseJobs[i] = cfg.uncontrolledFullJob(prog, key, 2)
+		}
 		type base struct{ cycles, energy float64 }
-		bases, err := sweep(cfg, benches, func(name string) (base, error) {
-			prog, err := cfg.benchProgram(name)
-			if err != nil {
-				return base{}, err
-			}
-			res, err := cfg.uncontrolledFull(prog, 2)
-			if err != nil {
-				return base{}, err
-			}
-			return base{float64(res.Cycles), res.Energy}, nil
-		})
+		baseRes, err := cfg.runJobs(baseJobs)
 		if err != nil {
 			return nil, err
 		}
+		bases := make([]base, len(benches))
+		for i, res := range baseRes {
+			bases[i] = base{float64(res.Cycles), res.Energy}
+		}
 
-		type outcome struct{ perfPct, energyPct float64 }
-		runs, err := sweep(cfg, seq(len(noises)*len(benches)), func(j int) (outcome, error) {
+		jobs := make([]runJob, len(noises)*len(benches))
+		for j := range jobs {
 			n, i := j/len(benches), j%len(benches)
-			prog, err := cfg.benchProgram(benches[i])
+			prog, key, err := cfg.benchProgramKeyed(benches[i])
 			if err != nil {
-				return outcome{}, err
+				return nil, err
 			}
-			res, err := cfg.controlled(prog, 2, actuator.Ideal, delay, noises[n])
-			if err != nil {
-				return outcome{}, err
-			}
-			b := bases[i]
-			return outcome{
-				perfPct:   100 * (float64(res.Cycles)/b.cycles - 1),
-				energyPct: 100 * (res.Energy/b.energy - 1),
-			}, nil
-		})
+			jobs[j] = cfg.controlledJob(prog, key, 2, actuator.Ideal, delay, noises[n])
+		}
+		gridRes, err := cfg.runJobs(jobs)
 		if err != nil {
 			return nil, err
+		}
+		type outcome struct{ perfPct, energyPct float64 }
+		runs := make([]outcome, len(gridRes))
+		for j, res := range gridRes {
+			b := bases[j%len(benches)]
+			runs[j] = outcome{
+				perfPct:   100 * (float64(res.Cycles)/b.cycles - 1),
+				energyPct: 100 * (res.Energy/b.energy - 1),
+			}
 		}
 
 		st := &SensorErrorStudy{Delay: delay}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"didt/internal/core"
+	"didt/internal/cpu"
 	"didt/internal/power"
 	"didt/internal/quadrant"
 	"didt/internal/report"
@@ -58,9 +59,10 @@ func Locality(cfg Config) (*LocalityResult, error) {
 		c := sys.CPU
 		pm := power.New(power.Params{}, c.Config())
 		stream := cfg.Telemetry.Stream("locality quadrants")
+		var act cpu.Activity
 		for i := uint64(0); i < cfg.Cycles; i++ {
-			act, done := c.Step()
-			rep := pm.Step(act, power.Phantom{})
+			done := c.StepInto(&act)
+			rep := pm.Step(&act, power.Phantom{})
 			g, locals := qm.CycleVoltages(rep)
 			if stream.Enabled() {
 				stream.Emit(i, telemetry.KindVoltage, 0, g)

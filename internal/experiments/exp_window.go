@@ -24,25 +24,32 @@ type WindowPoint struct {
 func windowAblation(cfg Config) ([]WindowPoint, error) {
 	cfg = cfg.withDefaults()
 	return memoized("ablation-window", cfg, func() ([]WindowPoint, error) {
-		prog := cfg.stressProgram()
-		return sweep(cfg, []int{32, 64, 128, 256}, func(ruu int) (WindowPoint, error) {
+		prog, progKey := cfg.stressProgramKeyed()
+		ruus := []int{32, 64, 128, 256}
+		jobs := make([]runJob, len(ruus))
+		for i, ruu := range ruus {
 			opts := cfg.baseOptions(2)
 			opts.Spec.CPU = cpu.Config{RUUSize: ruu, LSQSize: ruu / 2}
-			res, err := run(prog, opts)
-			if err != nil {
-				return WindowPoint{}, err
-			}
+			jobs[i] = runJob{prog: prog, progKey: progKey, opts: opts}
+		}
+		results, err := cfg.runJobs(jobs)
+		if err != nil {
+			return nil, err
+		}
+		points := make([]WindowPoint, len(ruus))
+		for i, res := range results {
 			dev := res.VNominal - res.MinV
 			if up := res.MaxV - res.VNominal; up > dev {
 				dev = up
 			}
-			return WindowPoint{
-				RUUSize:     ruu,
+			points[i] = WindowPoint{
+				RUUSize:     ruus[i],
 				IPC:         res.IPC(),
 				MaxDevMV:    dev * 1e3,
 				Emergencies: res.Emergencies,
-			}, nil
-		})
+			}
+		}
+		return points, nil
 	})
 }
 

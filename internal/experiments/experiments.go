@@ -276,10 +276,11 @@ func (c Config) uncontrolledFull(prog isa.Program, pct float64) (*core.Result, e
 // semantics: concurrent experiments never compute the same study twice.
 // The capacity bound keeps long-lived processes (benchmark harnesses,
 // future servers) from growing it without limit.
-var memo = sim.NewCache[string, interface{}](64)
+var memo = sim.NewCache[string, interface{}](256)
 
 func init() {
 	memo.RegisterMetrics(telemetry.Default(), "cache.experiments_memo")
+	sim.RegisterCacheCapacity("experiments_memo", 256, memo.SetCapacity)
 }
 
 // ResetMemo drops every cached study. Benchmarks and determinism tests use

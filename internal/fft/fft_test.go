@@ -1,0 +1,230 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n^2) reference transform.
+func naiveDFT(re, im []float64) ([]float64, []float64) {
+	n := len(re)
+	or := make([]float64, n)
+	oi := make([]float64, n)
+	for k := 0; k < n; k++ {
+		for t := 0; t < n; t++ {
+			theta := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			c, s := math.Cos(theta), math.Sin(theta)
+			or[k] += re[t]*c - im[t]*s
+			oi[k] += re[t]*s + im[t]*c
+		}
+	}
+	return or, oi
+}
+
+// directConv is the O(n*m) reference causal convolution.
+func directConv(h, x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i := range x {
+		for j := 0; j < len(h) && j <= i; j++ {
+			y[i] += h[j] * x[i-j]
+		}
+	}
+	return y
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestNewPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{-4, 0, 1, 3, 6, 12, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d): expected error", n)
+		}
+	}
+	for _, n := range []int{2, 4, 8, 1024} {
+		if _, err := NewPlan(n); err != nil {
+			t.Errorf("NewPlan(%d): %v", n, err)
+		}
+	}
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 64, 256} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := make([]float64, n)
+		im := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			im[i] = rng.NormFloat64()
+		}
+		wantRe, wantIm := naiveDFT(re, im)
+		p.Forward(re, im)
+		if d := maxAbsDiff(re, wantRe); d > 1e-9 {
+			t.Errorf("n=%d: re error %g", n, d)
+		}
+		if d := maxAbsDiff(im, wantIm); d > 1e-9 {
+			t.Errorf("n=%d: im error %g", n, d)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 128, 4096} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := make([]float64, n)
+		im := make([]float64, n)
+		orig := make([]float64, n)
+		for i := range re {
+			re[i] = rng.NormFloat64()
+			orig[i] = re[i]
+		}
+		p.Forward(re, im)
+		p.Inverse(re, im)
+		if d := maxAbsDiff(re, orig); d > 1e-11 {
+			t.Errorf("n=%d: round-trip re error %g", n, d)
+		}
+		for i, v := range im {
+			if math.Abs(v) > 1e-11 {
+				t.Errorf("n=%d: im[%d] = %g after round trip", n, i, v)
+				break
+			}
+		}
+	}
+}
+
+func TestNewKernelValidation(t *testing.T) {
+	if _, err := NewKernel(nil, 0); err == nil {
+		t.Error("empty kernel: expected error")
+	}
+	if _, err := NewKernel(make([]float64, 10), 8); err == nil {
+		t.Error("fftSize <= len(h): expected error")
+	}
+	k, err := NewKernel(make([]float64, 10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.plan.n < 80 {
+		t.Errorf("auto size %d < 8*m", k.plan.n)
+	}
+	if k.BlockStep() != k.plan.n-k.M()+1 {
+		t.Errorf("BlockStep %d != n-m+1", k.BlockStep())
+	}
+}
+
+// TestConvolveMatchesDirect sweeps kernel lengths and trace lengths around
+// the overlap-save block boundary: shorter than one block, exactly one
+// block, one off either side, and many blocks.
+func TestConvolveMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range []int{1, 2, 7, 64, 573} {
+		h := make([]float64, m)
+		for i := range h {
+			h[i] = rng.NormFloat64() * math.Exp(-float64(i)/float64(m))
+		}
+		k, err := NewKernel(h, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := k.NewScratch()
+		step := k.BlockStep()
+		for _, n := range []int{1, m, step - 1, step, step + 1, 3*step + 17} {
+			if n < 1 {
+				continue
+			}
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			dst := make([]float64, n)
+			k.Convolve(dst, x, s)
+			want := directConv(h, x)
+			if d := maxAbsDiff(dst, want); d > 1e-9 {
+				t.Errorf("m=%d n=%d: max abs error %g", m, n, d)
+			}
+		}
+	}
+}
+
+func TestConvolveScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := []float64{0.5, -0.25, 0.125}
+	k, err := NewKernel(h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := k.NewScratch()
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	a := make([]float64, len(x))
+	b := make([]float64, len(x))
+	k.Convolve(a, x, s)
+	k.Convolve(b, x, s) // same scratch, second pass must be identical
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scratch reuse changed output at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConvolveZeroAlloc(t *testing.T) {
+	h := make([]float64, 573)
+	for i := range h {
+		h[i] = math.Exp(-float64(i) / 100)
+	}
+	k, err := NewKernel(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := k.NewScratch()
+	x := make([]float64, 10000)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	dst := make([]float64, len(x))
+	allocs := testing.AllocsPerRun(5, func() {
+		k.Convolve(dst, x, s)
+	})
+	if allocs != 0 {
+		t.Errorf("Convolve allocated %v times per run; want 0", allocs)
+	}
+}
+
+func BenchmarkConvolve(b *testing.B) {
+	h := make([]float64, 573)
+	for i := range h {
+		h[i] = math.Exp(-float64(i) / 100)
+	}
+	k, err := NewKernel(h, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := k.NewScratch()
+	x := make([]float64, 90000)
+	for i := range x {
+		x[i] = float64(i % 23)
+	}
+	dst := make([]float64, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Convolve(dst, x, s)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"math"
 	"sync"
 
+	"didt/internal/fft"
 	"didt/internal/linsys"
 	"didt/internal/sim"
 	"didt/internal/telemetry"
@@ -87,16 +88,20 @@ type Network struct {
 	params Params
 	sys    *linsys.SecondOrder
 	kernel []float64 // impulse response sampled at the CPU clock, scaled by dt
+	fftk   *fft.Kernel
 
 	simPool sync.Pool // recycled Simulator history buffers ([]float64)
+	fftPool sync.Pool // recycled fft.Scratch + deviation buffers (*fftWork)
 }
 
 // sampled pairs the derived artifacts a Network shares with every other
-// Network built from the same parameters: the analytic system and the
-// sampled impulse-response kernel. Both are immutable after construction.
+// Network built from the same parameters: the analytic system, the sampled
+// impulse-response kernel, and the kernel's frozen FFT spectrum for the
+// open-loop block convolver. All are immutable after construction.
 type sampled struct {
 	sys    *linsys.SecondOrder
 	kernel []float64
+	fftk   *fft.Kernel
 }
 
 // kernelCache memoizes kernel sampling across Networks. A sweep
@@ -106,10 +111,11 @@ type sampled struct {
 // resolved (calibrated) Params — the same sub-hash that section
 // contributes to spec.RunSpec.Key — and sampling is a pure function of the
 // params, so cached and fresh kernels are bit-identical.
-var kernelCache = sim.NewCache[string, sampled](256)
+var kernelCache = sim.NewCache[string, sampled](512)
 
 func init() {
 	kernelCache.RegisterMetrics(telemetry.Default(), "cache.pdn_kernel")
+	sim.RegisterCacheCapacity("pdn_kernel", 512, kernelCache.SetCapacity)
 }
 
 // ResetKernelCache empties the shared impulse-response cache (benchmarks
@@ -137,13 +143,17 @@ func New(p Params) (*Network, error) {
 		if len(kernel) == 0 {
 			return sampled{}, fmt.Errorf("pdn: empty impulse-response kernel")
 		}
-		return sampled{sys: sys, kernel: kernel}, nil
+		fftk, err := fft.NewKernel(kernel, 0)
+		if err != nil {
+			return sampled{}, fmt.Errorf("pdn: %w", err)
+		}
+		return sampled{sys: sys, kernel: kernel, fftk: fftk}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	telemetry.Default().Counter("pdn.networks_built_total").Inc()
-	return &Network{params: p, sys: sk.sys, kernel: sk.kernel}, nil
+	return &Network{params: p, sys: sk.sys, kernel: sk.kernel, fftk: sk.fftk}, nil
 }
 
 // Calibrate sets the network's peak impedance from the de facto target-
@@ -200,12 +210,60 @@ func (n *Network) VMax() float64 { return n.params.VNominal * (1 + n.params.Tole
 // returns the per-cycle supply voltage. It is a convenience for offline
 // analysis; closed-loop simulation uses Simulator.
 func (n *Network) VoltageTrace(current []float64) []float64 {
-	sim := n.NewSimulator()
 	out := make([]float64, len(current))
-	for i, c := range current {
-		out[i] = sim.Step(c)
-	}
+	n.ConvolveVoltages(out, current)
 	return out
+}
+
+// fftWork is the pooled per-goroutine state for one block convolution: the
+// FFT scratch plus the deviation buffer that decouples the convolver's
+// input from its output (overlap-save re-reads m-1 samples of history per
+// block, so convolving in place would read already-overwritten values).
+type fftWork struct {
+	scratch *fft.Scratch
+	dev     []float64
+}
+
+// ConvolveVoltages computes the supply voltage for an entire current trace
+// at once, writing into dst (which must have length >= len(current) and
+// may alias current). Traces at least one kernel length long go through
+// the overlap-save FFT block convolver — O(log taps) per cycle instead of
+// O(taps) — while shorter traces use the streaming Simulator, whose output
+// is the bit-exact reference. The FFT path agrees with streaming to
+// <= 1e-9 V (pinned by the property tests in this package); callers that
+// need bit-exactness against Step must use a Simulator directly.
+//
+// The history before the trace is quiescent (I = IFloor, V = VNominal),
+// matching a fresh Simulator.
+func (n *Network) ConvolveVoltages(dst, current []float64) {
+	if len(current) < len(n.kernel) {
+		s := n.NewSimulator()
+		for i, c := range current {
+			dst[i] = s.Step(c)
+		}
+		s.Release()
+		return
+	}
+	var w *fftWork
+	if pooled, ok := n.fftPool.Get().(*fftWork); ok {
+		w = pooled
+	} else {
+		w = &fftWork{scratch: n.fftk.NewScratch()}
+	}
+	if cap(w.dev) < len(current) {
+		w.dev = make([]float64, len(current))
+	}
+	dev := w.dev[:len(current)]
+	ifloor := n.params.IFloor
+	for i, c := range current {
+		dev[i] = c - ifloor
+	}
+	n.fftk.Convolve(dst, dev, w.scratch)
+	vnom := n.params.VNominal
+	for i := range dst[:len(current)] {
+		dst[i] = vnom - dst[i]
+	}
+	n.fftPool.Put(w)
 }
 
 // WorstCaseDeviation drives the network with a sustained square wave
@@ -280,18 +338,7 @@ func (s *Simulator) Step(current float64) float64 {
 	k := s.net.kernel
 	h := s.hist
 	h[s.pos] = current - s.net.params.IFloor
-	drop := 0.0
-	// kernel index 0 multiplies the newest sample: h[pos], h[pos-1], ...,
-	// h[0], then h[len-1] down to h[pos+1].
-	i := 0
-	for idx := s.pos; idx >= 0 && i < len(k); idx-- {
-		drop += k[i] * h[idx]
-		i++
-	}
-	for idx := len(h) - 1; i < len(k); idx-- {
-		drop += k[i] * h[idx]
-		i++
-	}
+	drop := dotRing(0, k, h, 0, s.pos)
 	s.pos++
 	if s.pos == len(h) {
 		s.pos = 0
@@ -308,21 +355,249 @@ func (s *Simulator) Step(current float64) float64 {
 func (s *Simulator) Peek(current float64) float64 {
 	k := s.net.kernel
 	h := s.hist
-	drop := k[0] * (current - s.net.params.IFloor)
-	i := 1
-	for idx := s.pos - 1; idx >= 0 && i < len(k); idx-- {
-		drop += k[i] * h[idx]
-		i++
-	}
-	for idx := len(h) - 1; i < len(k); idx-- {
-		drop += k[i] * h[idx]
-		i++
-	}
+	drop := dotRing(k[0]*(current-s.net.params.IFloor), k, h, 1, s.pos-1)
 	return s.net.params.VNominal - drop
+}
+
+// dotRing accumulates acc + sum of k[i..] against the ring buffer h walked
+// backwards from idx (the slot holding the sample that kernel tap i
+// multiplies), wrapping once at the start. The walk is split into its two
+// contiguous halves instead of testing for wrap every tap; the summation
+// order — ascending kernel index, i.e. newest sample first — is the
+// bit-exactness contract Step, Peek and BatchSimulator all share.
+//
+//didt:hotpath
+func dotRing(acc float64, k, h []float64, i, idx int) float64 {
+	for ; idx >= 0 && i < len(k); idx-- {
+		acc += k[i] * h[idx]
+		i++
+	}
+	for idx = len(h) - 1; i < len(k); idx-- {
+		acc += k[i] * h[idx]
+		i++
+	}
+	return acc
 }
 
 // Cycles reports how many cycles have been simulated.
 func (s *Simulator) Cycles() int { return s.n }
+
+// Lanes is the preferred BatchSimulator width: eight float64 history
+// samples per ring slot is one 64-byte cache line, and the width the
+// specialized register-accumulator inner loop is built for.
+const Lanes = 8
+
+// BatchSimulator advances W independent runs on the same Network in
+// lockstep through one structure-of-arrays inner loop. The history buffer
+// is laid out slot-major (hist[slot*W + lane]), so each kernel tap touches
+// one contiguous W-wide row and the per-tap kernel load plus ring-index
+// arithmetic is amortized across all lanes — the sweep engine groups runs
+// that share a PDN kernel and steps them through one of these.
+//
+// Per lane, the accumulation order is exactly Simulator.Step's (ascending
+// kernel index), so every lane's voltage sequence is bit-identical to
+// running that lane alone on a Simulator. Not safe for concurrent use.
+type BatchSimulator struct {
+	net  *Network
+	w    int
+	hist []float64 // len(kernel) * w deviations, slot-major
+	acc  []float64 // per-lane accumulators, reused across steps
+	pos  int       // next write slot
+	n    int       // cycles processed
+}
+
+// NewBatchSimulator creates a lockstep simulator for w lanes, all starting
+// quiescent (history at IFloor, V = VNominal).
+func (n *Network) NewBatchSimulator(w int) *BatchSimulator {
+	if w < 1 {
+		w = 1
+	}
+	return &BatchSimulator{
+		net:  n,
+		w:    w,
+		hist: make([]float64, len(n.kernel)*w),
+		acc:  make([]float64, w),
+	}
+}
+
+// Lanes reports the batch width.
+func (b *BatchSimulator) Lanes() int { return b.w }
+
+// Cycles reports how many cycles have been simulated.
+func (b *BatchSimulator) Cycles() int { return b.n }
+
+// Step advances all lanes one CPU cycle: currents[l] is lane l's load
+// current and volts[l] receives its supply voltage. Both slices must have
+// length >= Lanes(). Zero allocations.
+//
+//didt:hotpath
+func (b *BatchSimulator) Step(currents, volts []float64) {
+	k := b.net.kernel
+	w := b.w
+	ifloor := b.net.params.IFloor
+	row := b.hist[b.pos*w : b.pos*w+w]
+	for l := 0; l < w; l++ {
+		row[l] = currents[l] - ifloor
+	}
+	if w == Lanes {
+		b.step8(volts)
+		return
+	}
+	if w == 4 {
+		b.step4(volts)
+		return
+	}
+	acc := b.acc[:w]
+	for l := 0; l < w; l++ {
+		acc[l] = 0
+	}
+	// Same two-half ring walk as Simulator.Step, with the lane loop
+	// innermost so each tap's row is one contiguous cache-line-friendly
+	// read. Per lane the taps still accumulate in ascending order.
+	i := 0
+	for idx := b.pos; idx >= 0 && i < len(k); idx-- {
+		ki := k[i]
+		r := b.hist[idx*w : idx*w+w]
+		for l := 0; l < w; l++ {
+			acc[l] += ki * r[l]
+		}
+		i++
+	}
+	for idx := len(k) - 1; i < len(k); idx-- {
+		ki := k[i]
+		r := b.hist[idx*w : idx*w+w]
+		for l := 0; l < w; l++ {
+			acc[l] += ki * r[l]
+		}
+		i++
+	}
+	b.pos++
+	if b.pos == len(k) {
+		b.pos = 0
+	}
+	b.n++
+	vnom := b.net.params.VNominal
+	for l := 0; l < w; l++ {
+		volts[l] = vnom - acc[l]
+	}
+}
+
+// step8 is the full-width specialization: eight scalar accumulators live
+// in registers across the whole tap walk (the generic loop's slice-based
+// accumulators force a store+load per tap), and each tap's 64-byte row is
+// one cache line. Accumulation order per lane is identical to the generic
+// loop and to Simulator.Step.
+//
+//didt:hotpath
+func (b *BatchSimulator) step8(volts []float64) {
+	k := b.net.kernel
+	var a0, a1, a2, a3, a4, a5, a6, a7 float64
+	i := 0
+	for idx := b.pos; idx >= 0 && i < len(k); idx-- {
+		ki := k[i]
+		r := b.hist[idx*Lanes : idx*Lanes+Lanes : idx*Lanes+Lanes]
+		a0 += ki * r[0]
+		a1 += ki * r[1]
+		a2 += ki * r[2]
+		a3 += ki * r[3]
+		a4 += ki * r[4]
+		a5 += ki * r[5]
+		a6 += ki * r[6]
+		a7 += ki * r[7]
+		i++
+	}
+	for idx := len(k) - 1; i < len(k); idx-- {
+		ki := k[i]
+		r := b.hist[idx*Lanes : idx*Lanes+Lanes : idx*Lanes+Lanes]
+		a0 += ki * r[0]
+		a1 += ki * r[1]
+		a2 += ki * r[2]
+		a3 += ki * r[3]
+		a4 += ki * r[4]
+		a5 += ki * r[5]
+		a6 += ki * r[6]
+		a7 += ki * r[7]
+		i++
+	}
+	b.pos++
+	if b.pos == len(k) {
+		b.pos = 0
+	}
+	b.n++
+	vnom := b.net.params.VNominal
+	volts[0] = vnom - a0
+	volts[1] = vnom - a1
+	volts[2] = vnom - a2
+	volts[3] = vnom - a3
+	volts[4] = vnom - a4
+	volts[5] = vnom - a5
+	volts[6] = vnom - a6
+	volts[7] = vnom - a7
+}
+
+// step4 is the half-width specialization the threshold solver uses (one
+// lane per worst-case scenario): four register accumulators across the tap
+// walk, same per-lane accumulation order as the generic loop, step8 and
+// Simulator.Step.
+//
+//didt:hotpath
+func (b *BatchSimulator) step4(volts []float64) {
+	k := b.net.kernel
+	var a0, a1, a2, a3 float64
+	i := 0
+	for idx := b.pos; idx >= 0 && i < len(k); idx-- {
+		ki := k[i]
+		r := b.hist[idx*4 : idx*4+4 : idx*4+4]
+		a0 += ki * r[0]
+		a1 += ki * r[1]
+		a2 += ki * r[2]
+		a3 += ki * r[3]
+		i++
+	}
+	for idx := len(k) - 1; i < len(k); idx-- {
+		ki := k[i]
+		r := b.hist[idx*4 : idx*4+4 : idx*4+4]
+		a0 += ki * r[0]
+		a1 += ki * r[1]
+		a2 += ki * r[2]
+		a3 += ki * r[3]
+		i++
+	}
+	b.pos++
+	if b.pos == len(k) {
+		b.pos = 0
+	}
+	b.n++
+	vnom := b.net.params.VNominal
+	volts[0] = vnom - a0
+	volts[1] = vnom - a1
+	volts[2] = vnom - a2
+	volts[3] = vnom - a3
+}
+
+// ExtractLane copies lane l's ring state into dst, a Simulator on the
+// same Network. Both layouts index history by the same slot sequence (slot
+// = cycle mod kernel length, identical write position and walk order), so
+// after the copy, stepping dst continues lane l's voltage sequence
+// bit-identically — the only difference between the two is storage stride.
+// RunBatch uses this to let a nearly drained batch finish its last lanes
+// on the cheaper per-run path.
+func (b *BatchSimulator) ExtractLane(l int, dst *Simulator) {
+	for i := range dst.hist {
+		dst.hist[i] = b.hist[i*b.w+l]
+	}
+	dst.pos = b.pos
+	dst.n = b.n
+}
+
+// Reset returns all lanes to the quiescent state.
+func (b *BatchSimulator) Reset() {
+	for i := range b.hist {
+		b.hist[i] = 0
+	}
+	b.pos = 0
+	b.n = 0
+}
 
 // Reset returns the simulator to the quiescent state.
 func (s *Simulator) Reset() {

@@ -154,6 +154,11 @@ type Model struct {
 	spread [isa.NumClasses][]float64
 	pos    int
 
+	// sumPeak is the peak power of units 1..NumUnits-1 accumulated in
+	// ascending unit order — the same order (hence the same float) the
+	// per-cycle loop used to recompute it before it was hoisted here.
+	sumPeak float64
+
 	cycles      uint64
 	totalEnergy float64 // joules
 }
@@ -165,6 +170,9 @@ func New(p Params, cfg cpu.Config) *Model {
 	m := &Model{p: p.WithDefaults(), cfg: cfg}
 	for c := range m.spread {
 		m.spread[c] = make([]float64, spreadLen)
+	}
+	for u := Unit(1); u < NumUnits; u++ {
+		m.sumPeak += m.p.Peak[u]
 	}
 	return m
 }
@@ -201,15 +209,19 @@ func max1(v int) int {
 // Step accounts one cycle of activity and returns its power.
 //
 //didt:hotpath
-func (m *Model) Step(act cpu.Activity, ph Phantom) CycleReport {
+func (m *Model) Step(act *cpu.Activity, ph Phantom) CycleReport {
 	// Feed the spreading calendars with this cycle's issues.
 	for cl, n := range act.IssuedByClass {
 		if n == 0 {
 			continue
 		}
 		lat := m.classLatency(isa.Class(cl))
+		idx := m.pos
 		for k := 0; k < lat && k < spreadLen; k++ {
-			m.spread[cl][(m.pos+k)%spreadLen] += float64(n)
+			m.spread[cl][idx] += float64(n)
+			if idx++; idx == spreadLen {
+				idx = 0
+			}
 		}
 	}
 	busy := func(cl isa.Class) float64 { return m.spread[cl][m.pos] }
@@ -277,14 +289,13 @@ func (m *Model) Step(act cpu.Activity, ph Phantom) CycleReport {
 	r.PerUnit[UnitL2] = util(UnitL2, float64(act.L2Access), false, false)
 
 	// Clock tree: fixed floor plus a share tracking overall chip activity.
-	var sum, sumPeak float64
+	var sum float64
 	for u := Unit(1); u < NumUnits; u++ {
 		sum += r.PerUnit[u]
-		sumPeak += m.p.Peak[u]
 	}
 	activityFrac := 0.0
-	if sumPeak > 0 {
-		activityFrac = sum / sumPeak
+	if m.sumPeak > 0 {
+		activityFrac = sum / m.sumPeak
 	}
 	r.PerUnit[UnitClock] = m.p.Peak[UnitClock] * (0.35 + 0.65*activityFrac)
 

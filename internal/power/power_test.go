@@ -40,13 +40,13 @@ func TestEnvelopeOrdering(t *testing.T) {
 
 func TestIdleCycleNearMinCurrent(t *testing.T) {
 	m := newM()
-	r := m.Step(cpu.Activity{}, Phantom{})
+	r := m.Step(&cpu.Activity{}, Phantom{})
 	if d := math.Abs(r.Current - m.MinCurrent()); d > 1.0 {
 		t.Errorf("idle cycle current %g vs MinCurrent %g", r.Current, m.MinCurrent())
 	}
 }
 
-func fullActivity(cfg cpu.Config) cpu.Activity {
+func fullActivity(cfg cpu.Config) *cpu.Activity {
 	var act cpu.Activity
 	act.Fetched = cfg.FetchWidth
 	act.Dispatched = cfg.DecodeWidth
@@ -67,7 +67,7 @@ func fullActivity(cfg cpu.Config) cpu.Activity {
 	act.WindowWakeups = cfg.IssueWidth
 	act.RUUOccupancy = cfg.RUUSize
 	act.LSQOccupancy = cfg.LSQSize
-	return act
+	return &act
 }
 
 func TestBusyCycleApproachesMax(t *testing.T) {
@@ -95,7 +95,7 @@ func TestMoreActivityMorePower(t *testing.T) {
 	half.RUUOccupancy = cfg.RUUSize / 2
 	var rHalf, rFull CycleReport
 	for i := 0; i < 10; i++ {
-		rHalf = m1.Step(half, Phantom{})
+		rHalf = m1.Step(&half, Phantom{})
 		rFull = m2.Step(fullActivity(cfg), Phantom{})
 	}
 	if rHalf.Power >= rFull.Power {
@@ -110,10 +110,10 @@ func TestMultiCycleSpreading(t *testing.T) {
 	m := newM()
 	var act cpu.Activity
 	act.IssuedByClass[isa.ClassFPDiv] = 1
-	r0 := m.Step(act, Phantom{})
+	r0 := m.Step(&act, Phantom{})
 	elevated := 0
 	for i := 0; i < cfg.LatFPDiv+5; i++ {
-		r := m.Step(cpu.Activity{}, Phantom{})
+		r := m.Step(&cpu.Activity{}, Phantom{})
 		if r.PerUnit[UnitFPMult] > m.Params().Peak[UnitFPMult]*m.Params().IdleFraction*1.01 {
 			elevated++
 		}
@@ -130,14 +130,14 @@ func TestHardGatingBelowIdle(t *testing.T) {
 	m := newM()
 	var act cpu.Activity
 	act.FUsGated, act.DL1Gated, act.IL1Gated = true, true, true
-	r := m.Step(act, Phantom{})
+	r := m.Step(&act, Phantom{})
 	p := m.Params()
 	for _, u := range []Unit{UnitIntALU, UnitFPALU, UnitL1D, UnitL1I} {
 		if r.PerUnit[u] > p.Peak[u]*p.GatedFraction*1.001 {
 			t.Errorf("%s gated power %g exceeds residual", u, r.PerUnit[u])
 		}
 	}
-	idleR := newM().Step(cpu.Activity{}, Phantom{})
+	idleR := newM().Step(&cpu.Activity{}, Phantom{})
 	if r.Current >= idleR.Current {
 		t.Errorf("hard-gated current %g should undercut idle %g", r.Current, idleR.Current)
 	}
@@ -145,8 +145,8 @@ func TestHardGatingBelowIdle(t *testing.T) {
 
 func TestPhantomFiringRaisesCurrent(t *testing.T) {
 	m1, m2 := newM(), newM()
-	idle := m1.Step(cpu.Activity{}, Phantom{})
-	ph := m2.Step(cpu.Activity{}, Phantom{FUs: true, DL1: true, IL1: true})
+	idle := m1.Step(&cpu.Activity{}, Phantom{})
+	ph := m2.Step(&cpu.Activity{}, Phantom{FUs: true, DL1: true, IL1: true})
 	if ph.Current <= idle.Current+10 {
 		t.Errorf("phantom firing raised current only from %g to %g", idle.Current, ph.Current)
 	}
@@ -190,12 +190,12 @@ func TestEnergyAccumulates(t *testing.T) {
 	if m.TotalEnergy() != 0 {
 		t.Fatal("fresh model has energy")
 	}
-	r := m.Step(cpu.Activity{}, Phantom{})
+	r := m.Step(&cpu.Activity{}, Phantom{})
 	want := r.Power / m.Params().ClockHz
 	if math.Abs(m.TotalEnergy()-want) > 1e-18 {
 		t.Errorf("energy %g, want %g", m.TotalEnergy(), want)
 	}
-	m.Step(cpu.Activity{}, Phantom{})
+	m.Step(&cpu.Activity{}, Phantom{})
 	if m.Cycles() != 2 {
 		t.Errorf("cycles = %d", m.Cycles())
 	}
@@ -209,7 +209,7 @@ func TestActivityFractionsClamped(t *testing.T) {
 	act.DCacheAccess = 1000
 	act.RegReads = 1000
 	act.IssuedByClass[isa.ClassIntALU] = 1000
-	r := m.Step(act, Phantom{})
+	r := m.Step(&act, Phantom{})
 	p := m.Params()
 	for u := Unit(0); u < NumUnits; u++ {
 		if r.PerUnit[u] > p.Peak[u]*1.0001 {

@@ -53,7 +53,7 @@ func TestQuiescentVoltagesNearNominal(t *testing.T) {
 	// nominal since idle current is below each regulator reference.
 	var rep power.CycleReport
 	for i := 0; i < 500; i++ {
-		rep = pm.Step(cpu.Activity{}, power.Phantom{})
+		rep = pm.Step(&cpu.Activity{}, power.Phantom{})
 		g, locals := m.CycleVoltages(rep)
 		if g < 0.99 || g > 1.05 {
 			t.Fatalf("cycle %d: global voltage %g implausible", i, g)
@@ -83,7 +83,7 @@ func TestLocalSwingExceedsGlobalForClusteredActivity(t *testing.T) {
 			act.RegReads = 16
 			act.RegWrites = 8
 		}
-		rep := pm.Step(act, power.Phantom{})
+		rep := pm.Step(&act, power.Phantom{})
 		g, locals := m.CycleVoltages(rep)
 		if i < 1000 {
 			continue // build up

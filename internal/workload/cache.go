@@ -17,13 +17,15 @@ import (
 // isa.Program is read-only after construction (the CPU only ever indexes
 // into it), so concurrent simulations can safely execute one instance.
 var (
-	programCache    = sim.NewCache[string, isa.Program](128)
-	stressmarkCache = sim.NewCache[string, isa.Program](64)
+	programCache    = sim.NewCache[string, isa.Program](256)
+	stressmarkCache = sim.NewCache[string, isa.Program](128)
 )
 
 func init() {
 	programCache.RegisterMetrics(telemetry.Default(), "cache.workload_program")
 	stressmarkCache.RegisterMetrics(telemetry.Default(), "cache.workload_stressmark")
+	sim.RegisterCacheCapacity("workload_program", 256, programCache.SetCapacity)
+	sim.RegisterCacheCapacity("workload_stressmark", 128, stressmarkCache.SetCapacity)
 }
 
 // ProgramCacheStats reports the benchmark-program cache's effectiveness.
