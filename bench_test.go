@@ -13,12 +13,14 @@ package didt
 // the honest end-to-end cost.
 
 import (
+	"context"
 	"io"
 	"testing"
 
 	"didt/internal/core"
 	"didt/internal/experiments"
 	"didt/internal/pdn"
+	"didt/internal/telemetry"
 	"didt/internal/workload"
 )
 
@@ -200,6 +202,7 @@ func benchSweep(b *testing.B, parallel int) {
 		// Reset every memo so each iteration pays the full simulation
 		// cost; otherwise iterations after the first measure rendering.
 		experiments.ResetMemo()
+		experiments.ResetRunCache()
 		workload.ResetProgramCache()
 		pdn.ResetKernelCache()
 		core.ResetEnvelopeCache()
@@ -218,3 +221,32 @@ func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, 1) }
 // output is byte-identical to the serial run (see internal/experiments
 // TestParallelOutputIdentical).
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
+
+// BenchmarkSpansOff runs the parallel sweep with a span tracer threaded
+// through the request context but disabled — exactly how didtd executes
+// when -spans=false, and the hot path every enabled-but-not-sampling
+// request takes inside sim.Map. The observability contract is that this
+// stays within 2% of BenchmarkSweepParallel: a disabled tracer costs one
+// pointer test per job dispatch, nothing more.
+func BenchmarkSpansOff(b *testing.B) {
+	tracer := telemetry.NewTracer(0)
+	tracer.SetEnabled(false)
+	ctx := telemetry.ContextWithTracer(context.Background(), tracer)
+	ids := []string{"table2", "fig14", "stressmark-actuation", "ablation-window"}
+	reg := experiments.Registry()
+	cfg := sweepBenchConfig(0)
+	cfg.Ctx = ctx
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.ResetMemo()
+		experiments.ResetRunCache()
+		workload.ResetProgramCache()
+		pdn.ResetKernelCache()
+		core.ResetEnvelopeCache()
+		for _, id := range ids {
+			if err := reg[id](cfg, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -17,6 +17,12 @@ test -z "$(gofmt -l .)"
 # ever is, these analyzers can also be adapted behind `go vet -vettool`.)
 go run ./cmd/didtlint ./...
 
+# Span-guard gate, called out explicitly: the packages where an unguarded
+# Tracer.Start/Span.End would tax every request and every sweep job. The
+# ./... run above already covers them; this line keeps the observability
+# contract visible when the lint scope changes.
+go run ./cmd/didtlint ./internal/server ./internal/telemetry
+
 go vet ./...
 go build ./...
 
@@ -40,6 +46,18 @@ go test -race -count=1 -run TestParallelOutputIdenticalWithTelemetry ./internal/
 # pressure never compute an in-flight study twice.
 go test -race -count=1 -run 'TestServer' ./internal/server
 
+# Observability smoke test under the race detector: a sweep served over
+# SSE (with structured JSON logging and spans live) reconstructs the
+# exact bytes of the non-streaming response, error envelopes carry trace
+# ids that appear in the access log, and the Prometheus exposition parses.
+go test -race -count=1 \
+    -run 'TestSweepSSE|TestErrorEnvelope|TestAccessLogAndSpanCorrelation|TestMetricsPrometheusFormat' \
+    ./internal/server
+
+# Determinism with spans + structured logs on: experiment bytes identical
+# at parallel 1 and 4 whether tracing is enabled or not.
+go test -race -count=1 -run TestParallelOutputIdenticalWithSpans ./internal/experiments
+
 # Allocation gate: the per-cycle simulation kernels (streaming PDN step,
 # batched SoA step, FFT block convolution) must stay allocation-free —
 # one allocation per cycle is the difference between the profiled ~50
@@ -49,12 +67,13 @@ go test -run NONE -bench 'BenchmarkStep$|BenchmarkBatchStep$|BenchmarkConvolve$'
     -benchtime 100x -benchmem ./internal/pdn ./internal/fft | tee /tmp/didt_allocgate.txt
 ! grep -E ' [1-9][0-9]* allocs/op' /tmp/didt_allocgate.txt
 
-# Perf gate: the telemetry-off hot path (a disabled tracer attached to
-# every system, the configuration all production sweeps run in) must stay
-# within CI_BENCH_TOLERANCE_PCT (default 10%) of the bare serial sweep
-# measured in the same process — a ratio, so the gate is insensitive to
-# how fast the shared CI host happens to be running. Regenerate the
-# committed BENCH_sweep.json with `go run ./cmd/benchreport` after
-# intentional perf changes.
+# Perf gate: the telemetry-off hot path (a disabled cycle tracer attached
+# to every system) and the spans-off hot path (a disabled span tracer in
+# the run context — didtd with -spans=false) must both stay within
+# CI_BENCH_TOLERANCE_PCT (default 10%) of the bare serial sweep measured
+# in the same process — a ratio, so the gate is insensitive to how fast
+# the shared CI host happens to be running. Regenerate the committed
+# BENCH_sweep.json (including spans_off_ns_per_op) with
+# `go run ./cmd/benchreport` after intentional perf changes.
 go run ./cmd/benchreport -check -baseline BENCH_sweep.json \
     -tolerance "${CI_BENCH_TOLERANCE_PCT:-10}"

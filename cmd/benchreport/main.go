@@ -7,12 +7,14 @@
 //	benchreport -o out.json -repeat 3
 //	benchreport -check           # CI gate: telemetry-off regression check
 //
-// Five timings are reported: serial cold (one worker, all caches flushed),
+// Six timings are reported: serial cold (one worker, all caches flushed),
 // parallel cold (one worker per core, caches flushed), serial warm (memos
 // populated — measures the kernel/program/envelope cache win), serial cold
-// with a disabled telemetry tracer attached (the "telemetry off" tax,
-// which must stay under a few percent), and the derived speedups. The
-// four configurations are interleaved round-robin — with the order
+// with a disabled cycle-telemetry tracer attached (the "telemetry off"
+// tax), serial cold with a disabled span tracer in the run context (the
+// "spans off" tax — how didtd runs with -spans=false), and the derived
+// speedups; both disabled-tracer taxes must stay under a few percent. The
+// five configurations are interleaved round-robin — with the order
 // reversed on alternate rounds — and each reports its median, so slow
 // machine drift (thermal throttling, background load, turbo decay within
 // a round) lands on every configuration equally instead of biasing
@@ -20,15 +22,17 @@
 // hit/miss/eviction counts after the warm pass, so the perf trajectory
 // captures cache effectiveness, not just wall time.
 //
-// -check measures the telemetry-off and bare serial cold sweeps in the
-// same process (interleaved, medians) and exits non-zero when a disabled
-// tracer costs more than -tolerance percent over the bare sweep. The gate
+// -check measures the telemetry-off, spans-off and bare serial cold
+// sweeps in the same process (interleaved, medians) and exits non-zero
+// when either disabled tracer costs more than -tolerance percent over the
+// bare sweep. The gate
 // is a ratio on purpose: absolute wall-clock comparisons against a
 // committed baseline false-fail whenever a shared host runs slower than
 // it did at baseline time.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -59,9 +63,11 @@ type Report struct {
 	ParallelNs      int64    `json:"parallel_cold_ns_per_op"`
 	SerialWarmNs    int64    `json:"serial_warm_ns_per_op"`
 	TelemetryOffNs  int64    `json:"telemetry_off_ns_per_op"`
+	SpansOffNs      int64    `json:"spans_off_ns_per_op"`
 	Speedup         float64  `json:"parallel_speedup"`
 	CacheSpeedup    float64  `json:"warm_cache_speedup"`
 	TelemetryOffPct float64  `json:"telemetry_off_overhead_pct"`
+	SpansOffPct     float64  `json:"spans_off_overhead_pct"`
 	// ColdSpeedup compares this run's serial cold time against the
 	// baseline report it replaces (the previous BENCH_sweep.json); zero
 	// when no prior baseline was readable.
@@ -160,6 +166,20 @@ func telemetryOffConfig() experiments.Config {
 	return cfg
 }
 
+// spansOffConfig is the serial cold sweep with a disabled span tracer in
+// the run context — exactly how didtd executes with -spans=false. The
+// span dispatch in sim.Map must cost one pointer test per job when the
+// tracer is off, so this measurement is gated against the bare serial
+// sweep the same way the cycle-telemetry one is.
+func spansOffConfig() experiments.Config {
+	cfg := benchConfig()
+	cfg.Parallel = 1
+	tracer := telemetry.NewTracer(0)
+	tracer.SetEnabled(false)
+	cfg.Ctx = telemetry.ContextWithTracer(context.Background(), tracer)
+	return cfg
+}
+
 // check gates the telemetry-off overhead: a disabled tracer attached to
 // every system must cost no more than tolerancePct over the bare serial
 // cold sweep. Both configurations are measured in this process,
@@ -180,42 +200,57 @@ func check(baselinePath string, repeat int, tolerancePct float64) {
 	}
 	serialCfg := benchConfig()
 	serialCfg.Parallel = 1
-	var serials, offs []time.Duration
+	var serials, offs, spansOffs []time.Duration
 	for r := 0; r < repeat; r++ {
-		// Alternate which configuration runs first: under sustained load
-		// the host slows down within a round (turbo decay), and a fixed
-		// order would systematically tax whichever side runs second.
-		measure := func() error {
-			d, err := timeOnce(serialCfg, false)
-			serials = append(serials, d)
-			return err
+		// Rotate which configuration runs first: under sustained load the
+		// host slows down within a round (turbo decay), and a fixed order
+		// would systematically tax whichever side runs last.
+		blocks := []func() error{
+			func() error {
+				d, err := timeOnce(serialCfg, false)
+				serials = append(serials, d)
+				return err
+			},
+			func() error {
+				d, err := timeOnce(telemetryOffConfig(), false)
+				offs = append(offs, d)
+				return err
+			},
+			func() error {
+				d, err := timeOnce(spansOffConfig(), false)
+				spansOffs = append(spansOffs, d)
+				return err
+			},
 		}
-		measureOff := func() error {
-			d, err := timeOnce(telemetryOffConfig(), false)
-			offs = append(offs, d)
-			return err
-		}
-		if r%2 == 1 {
-			measure, measureOff = measureOff, measure
-		}
-		if err := measure(); err != nil {
-			fatal(err)
-		}
-		if err := measureOff(); err != nil {
-			fatal(err)
+		for i := 0; i < len(blocks); i++ {
+			if err := blocks[(i+r)%len(blocks)](); err != nil {
+				fatal(err)
+			}
 		}
 	}
-	serial, off := median(serials), median(offs)
+	serial := median(serials)
 	limit := time.Duration(float64(serial) * (1 + tolerancePct/100))
-	fmt.Printf("telemetry-off sweep: measured %v vs bare serial %v, limit %v (+%.0f%%)\n",
-		off.Round(time.Millisecond), serial.Round(time.Millisecond),
-		limit.Round(time.Millisecond), tolerancePct)
-	if off > limit {
-		fmt.Fprintf(os.Stderr, "FAIL: a disabled tracer costs more than %.0f%% over the bare serial sweep\n",
-			tolerancePct)
+	failed := false
+	for _, g := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"telemetry-off", median(offs)},
+		{"spans-off", median(spansOffs)},
+	} {
+		fmt.Printf("%s sweep: measured %v vs bare serial %v, limit %v (+%.0f%%)\n",
+			g.name, g.d.Round(time.Millisecond), serial.Round(time.Millisecond),
+			limit.Round(time.Millisecond), tolerancePct)
+		if g.d > limit {
+			fmt.Fprintf(os.Stderr, "FAIL: %s costs more than %.0f%% over the bare serial sweep\n",
+				g.name, tolerancePct)
+			failed = true
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Println("ok: telemetry-off hot path within tolerance of the bare sweep")
+	fmt.Println("ok: disabled telemetry and span hot paths within tolerance of the bare sweep")
 }
 
 func main() {
@@ -255,7 +290,7 @@ func main() {
 	// reverse order on odd rounds, because under sustained load the host
 	// slows down within a round (turbo decay) and a fixed order would
 	// systematically tax whichever block runs last.
-	var serialColds, serialWarms, parallelColds, telemOffs []time.Duration
+	var serialColds, serialWarms, parallelColds, telemOffs, spansOffsT []time.Duration
 	var caches map[string]sim.CacheStats
 	serialBlock := func() error {
 		d, err := timeOnce(serialCfg, false)
@@ -282,10 +317,15 @@ func main() {
 		telemOffs = append(telemOffs, d)
 		return err
 	}
+	spansOffBlock := func() error {
+		d, err := timeOnce(spansOffConfig(), false)
+		spansOffsT = append(spansOffsT, d)
+		return err
+	}
 	for r := 0; r < *repeat; r++ {
-		blocks := []func() error{serialBlock, parallelBlock, offBlock}
+		blocks := []func() error{serialBlock, parallelBlock, offBlock, spansOffBlock}
 		if r%2 == 1 {
-			blocks = []func() error{offBlock, parallelBlock, serialBlock}
+			blocks = []func() error{spansOffBlock, offBlock, parallelBlock, serialBlock}
 		}
 		for _, b := range blocks {
 			if err := b(); err != nil {
@@ -297,6 +337,7 @@ func main() {
 	serialWarm := median(serialWarms)
 	parallelCold := median(parallelColds)
 	telemOff := median(telemOffs)
+	spansOff := median(spansOffsT)
 
 	rep := Report{
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
@@ -307,9 +348,11 @@ func main() {
 		ParallelNs:      parallelCold.Nanoseconds(),
 		SerialWarmNs:    serialWarm.Nanoseconds(),
 		TelemetryOffNs:  telemOff.Nanoseconds(),
+		SpansOffNs:      spansOff.Nanoseconds(),
 		Speedup:         float64(serialCold) / float64(parallelCold),
 		CacheSpeedup:    float64(serialCold) / float64(serialWarm),
 		TelemetryOffPct: 100 * (float64(telemOff)/float64(serialCold) - 1),
+		SpansOffPct:     100 * (float64(spansOff)/float64(serialCold) - 1),
 		Caches:          caches,
 		GeneratedUnix:   time.Now().Unix(),
 	}
@@ -329,9 +372,10 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: serial %v, parallel(%d) %v (%.2fx), warm %v (%.1fx cache win), telemetry-off %v (%+.1f%%)\n",
+	fmt.Printf("wrote %s: serial %v, parallel(%d) %v (%.2fx), warm %v (%.1fx cache win), telemetry-off %v (%+.1f%%), spans-off %v (%+.1f%%)\n",
 		*out, serialCold.Round(time.Millisecond), rep.GOMAXPROCS,
 		parallelCold.Round(time.Millisecond), rep.Speedup,
 		serialWarm.Round(time.Millisecond), rep.CacheSpeedup,
-		telemOff.Round(time.Millisecond), rep.TelemetryOffPct)
+		telemOff.Round(time.Millisecond), rep.TelemetryOffPct,
+		spansOff.Round(time.Millisecond), rep.SpansOffPct)
 }

@@ -13,9 +13,15 @@
 //	POST /v1/simulate   run one closed-loop simulation, JSON summary out;
 //	                    accepts either flat fields or a full run spec
 //	GET  /v1/spec/default  the fully resolved default run spec
-//	GET  /healthz       liveness + drain state
-//	GET  /metrics       telemetry registry snapshot
+//	GET  /v1/spans      recent spans as JSONL (?format=chrome for a Chrome
+//	                    trace viewer file)
+//	GET  /healthz       liveness, drain state, build identity
+//	GET  /metrics       telemetry registry snapshot (?format=prometheus for
+//	                    text exposition)
 //	GET  /debug/pprof/  pprof profiling endpoints
+//
+// Requests log as structured JSON (or text with -log-format text) with a
+// trace_id correlating each access-log line with its spans.
 //
 // Admission is a bounded queue: when max-concurrent requests are running
 // and queue-depth more are waiting, further work is rejected with 429. On
@@ -28,6 +34,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,18 +46,51 @@ import (
 	"didt/internal/server"
 	"didt/internal/sim"
 	"didt/internal/spec"
+	"didt/internal/telemetry"
 )
+
+// newLogger builds the process logger from the -log-level/-log-format
+// flags. Logs go to stderr; stdout stays reserved for -print-default-spec
+// and friends.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want json or text)", format)
+	}
+}
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		maxConc  = flag.Int("max-concurrent", 2, "sweep/simulate requests executing at once")
-		queue    = flag.Int("queue-depth", 8, "admitted requests that may wait for a run slot")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-request deadline (requests may set their own)")
-		parallel = flag.Int("parallel", 0, "default sweep worker count per request (0 = GOMAXPROCS)")
-		grace    = flag.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on shutdown")
-		dump     = flag.Bool("print-default-spec", false, "print the resolved default run spec as JSON and exit")
-		listCaps = flag.Bool("list-cache-caps", false, "print the tunable shared-cache capacities and exit")
+		addr      = flag.String("addr", ":8080", "listen address")
+		maxConc   = flag.Int("max-concurrent", 2, "sweep/simulate requests executing at once")
+		queue     = flag.Int("queue-depth", 8, "admitted requests that may wait for a run slot")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "default per-request deadline (requests may set their own)")
+		parallel  = flag.Int("parallel", 0, "default sweep worker count per request (0 = GOMAXPROCS)")
+		grace     = flag.Duration("shutdown-grace", 30*time.Second, "how long to drain in-flight requests on shutdown")
+		dump      = flag.Bool("print-default-spec", false, "print the resolved default run spec as JSON and exit")
+		listCaps  = flag.Bool("list-cache-caps", false, "print the tunable shared-cache capacities and exit")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		logFormat = flag.String("log-format", "json", "log output format: json or text")
+		spans     = flag.Bool("spans", true, "record request/experiment spans (export at GET /v1/spans)")
+		spanRing  = flag.Int("span-ring", telemetry.DefaultSpanRingCap, "completed spans kept in memory for export")
 	)
 	flag.Func("cache-cap", "override a shared cache capacity as name=entries (repeatable; 0 = unbounded; see -list-cache-caps)", func(v string) error {
 		name, val, ok := strings.Cut(v, "=")
@@ -88,6 +128,18 @@ func main() {
 		return
 	}
 
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "didtd:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	sim.SetCacheLogger(logger)
+
+	tracer := telemetry.NewTracer(0)
+	tracer.SetSpanRingCap(*spanRing)
+	tracer.SetEnabled(*spans)
+
 	if *parallel > 0 {
 		sim.SetDefaultWorkers(*parallel)
 	}
@@ -96,6 +148,8 @@ func main() {
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		Parallel:       *parallel,
+		Logger:         logger,
+		Spans:          tracer,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -104,23 +158,23 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "didtd: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr, "max_concurrent", *maxConc, "queue_depth", *queue, "spans", *spans)
 
 	select {
 	case err := <-errc:
-		fmt.Fprintln(os.Stderr, "didtd:", err)
+		logger.Error("serve failed", "err", err)
 		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "didtd: shutting down, draining in-flight requests")
+	logger.Info("shutting down, draining in-flight requests", "grace", grace.String())
 	srv.BeginShutdown()
 	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Drain(graceCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "didtd: drain incomplete:", err)
+		logger.Warn("drain incomplete", "err", err)
 	}
 	if err := hs.Shutdown(graceCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "didtd: shutdown:", err)
+		logger.Warn("shutdown error", "err", err)
 	}
 }

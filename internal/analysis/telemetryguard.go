@@ -5,17 +5,20 @@ import (
 	"go/types"
 )
 
-// TelemetryGuard proves the telemetry-cost contract (PR 2): every call to
-// a telemetry Stream's Emit must be dominated by the Enabled() guard on
-// the same receiver, either an enclosing `if recv.Enabled() { ... }` or an
-// earlier `if !recv.Enabled() { return }`. Emit is itself nil-safe, but
-// the guard is what keeps a disabled tracer's cost to one pointer test
-// plus one atomic load — an unguarded call site pays the full argument
-// evaluation and call overhead on every cycle even when tracing is off.
+// TelemetryGuard proves the telemetry-cost contract (PR 2, extended to
+// request spans in PR 7): every call to a telemetry emission method —
+// Stream.Emit, Tracer.Start, Span.End — must be dominated by the
+// Enabled() guard on the same receiver, either an enclosing
+// `if recv.Enabled() { ... }` or an earlier `if !recv.Enabled() { return }`.
+// The methods are themselves nil-safe, but the guard is what keeps a
+// disabled tracer's cost to one pointer test plus one atomic load — an
+// unguarded call site pays the full argument evaluation (attribute
+// construction, for spans) and call overhead even when tracing is off.
 var TelemetryGuard = &Analyzer{
 	Name: "telemetryguard",
-	Doc: "require telemetry Stream.Emit calls to be dominated by the " +
-		"nil-safe Enabled() guard on the same receiver",
+	Doc: "require telemetry emission calls (Stream.Emit, Tracer.Start, " +
+		"Span.End) to be dominated by the nil-safe Enabled() guard on the " +
+		"same receiver",
 	AppliesTo: func(pkgPath string) bool {
 		// The telemetry package's own internals (sinks, tests' helpers)
 		// legitimately drive streams directly.
@@ -34,7 +37,11 @@ func runTelemetryGuard(pass *Pass) error {
 			}
 			stack = append(stack, n)
 			call, ok := n.(*ast.CallExpr)
-			if !ok || !isStreamEmit(pass.Info, call) {
+			if !ok {
+				return true
+			}
+			method, emits := isTelemetryEmission(pass.Info, call)
+			if !emits {
 				return true
 			}
 			recv, ok := recvExprString(call)
@@ -42,7 +49,7 @@ func runTelemetryGuard(pass *Pass) error {
 				return true
 			}
 			if !guardedByEnabled(pass.Info, stack, call, recv) {
-				pass.Reportf(call.Pos(), "%s.Emit is not dominated by an %s.Enabled() guard; wrap it in `if %s.Enabled() { ... }` so disabled tracing costs one pointer test", recv, recv, recv)
+				pass.Reportf(call.Pos(), "%s.%s is not dominated by an %s.Enabled() guard; wrap it in `if %s.Enabled() { ... }` so disabled tracing costs one pointer test", recv, method, recv, recv)
 			}
 			return true
 		})
@@ -50,10 +57,22 @@ func runTelemetryGuard(pass *Pass) error {
 	return nil
 }
 
-// isStreamEmit matches (didt/internal/telemetry.Stream).Emit.
-func isStreamEmit(info *types.Info, call *ast.CallExpr) bool {
+// isTelemetryEmission matches the guarded emission surface of
+// didt/internal/telemetry: Stream.Emit (cycle events), Tracer.Start
+// (opens a request span, evaluating attribute args) and Span.End
+// (records the span). Returns the method name for the diagnostic.
+func isTelemetryEmission(info *types.Info, call *ast.CallExpr) (string, bool) {
 	pkg, typ, name, ok := methodInfo(calleeFunc(info, call))
-	return ok && pkg == telemetryPath && typ == "Stream" && name == "Emit"
+	if !ok || pkg != telemetryPath {
+		return "", false
+	}
+	switch {
+	case typ == "Stream" && name == "Emit",
+		typ == "Tracer" && name == "Start",
+		typ == "Span" && name == "End":
+		return name, true
+	}
+	return "", false
 }
 
 // isEnabledCall reports whether e is a call recv.Enabled() for the given

@@ -1,6 +1,6 @@
-// Package guardfix exercises the telemetryguard analyzer: Stream.Emit
-// call sites must be dominated by the Enabled() guard on the same
-// receiver.
+// Package guardfix exercises the telemetryguard analyzer: Stream.Emit,
+// Tracer.Start, and Span.End call sites must be dominated by the
+// Enabled() guard on the same receiver.
 package guardfix
 
 import "didt/internal/telemetry"
@@ -8,6 +8,7 @@ import "didt/internal/telemetry"
 type system struct {
 	stream *telemetry.Stream
 	other  *telemetry.Stream
+	tracer *telemetry.Tracer
 }
 
 func (s *system) unguarded(c uint64, v float64) {
@@ -59,4 +60,41 @@ func (s *system) guardDoesNotCrossFuncs(c uint64, v float64) {
 
 func (s *system) allowedColdPath(c uint64, v float64) {
 	s.stream.Emit(c, telemetry.KindVoltage, 0, v) //didt:allow telemetryguard -- once-per-run cold path, cost is irrelevant
+}
+
+func (s *system) unguardedSpanStart() {
+	sp := s.tracer.Start("request", telemetry.AttrStr("k", "v")) // want `not dominated by an s\.tracer\.Enabled\(\) guard`
+	_ = sp
+}
+
+func (s *system) guardedSpanStartAndEnd() {
+	var sp *telemetry.Span
+	if s.tracer.Enabled() {
+		sp = s.tracer.Start("request", telemetry.AttrStr("k", "v"))
+	}
+	sp.SetAttr("outcome", "ok") // SetAttr is not part of the guarded surface
+	if sp.Enabled() {
+		sp.End()
+	}
+}
+
+func (s *system) unguardedSpanEnd(sp *telemetry.Span) {
+	sp.End() // want `not dominated by an sp\.Enabled\(\) guard`
+}
+
+func (s *system) spanEndEarlyReturn(sp *telemetry.Span) {
+	if !sp.Enabled() {
+		return
+	}
+	sp.End()
+}
+
+func (s *system) wrongReceiverSpan(sp *telemetry.Span) {
+	if s.tracer.Enabled() {
+		sp.End() // want `not dominated by an sp\.Enabled\(\) guard`
+	}
+}
+
+func (s *system) allowedColdSpan(sp *telemetry.Span) {
+	sp.End() //didt:allow telemetryguard -- shutdown path, runs once
 }

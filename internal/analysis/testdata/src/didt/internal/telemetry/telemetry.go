@@ -18,6 +18,28 @@ func (t *Tracer) Enabled() bool { return t != nil && t.on }
 // Stream opens a named stream.
 func (t *Tracer) Stream(name string) *Stream { return &Stream{} }
 
+// Attr is the stand-in span attribute.
+type Attr struct{ Key, Value string }
+
+// AttrStr builds a string attribute.
+func AttrStr(k, v string) Attr { return Attr{k, v} }
+
+// Start opens a request span (stand-in: the real method threads a
+// context.Context; the analyzer only matches receiver type and name).
+func (t *Tracer) Start(name string, attrs ...Attr) *Span { return &Span{} }
+
+// Span is the stand-in request span.
+type Span struct{ on bool }
+
+// Enabled reports whether the span is live and its tracer emitting.
+func (s *Span) Enabled() bool { return s != nil && s.on }
+
+// End closes the span.
+func (s *Span) End() {}
+
+// SetAttr adds an attribute (not part of the guarded surface).
+func (s *Span) SetAttr(k, v string) {}
+
 // Stream is the stand-in event stream.
 type Stream struct{ on bool }
 

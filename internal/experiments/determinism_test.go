@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"didt/internal/core"
@@ -24,6 +25,7 @@ func tinyConfig() Config {
 
 func resetAllCaches() {
 	ResetMemo()
+	ResetRunCache()
 	workload.ResetProgramCache()
 	pdn.ResetKernelCache()
 	core.ResetEnvelopeCache()
@@ -120,6 +122,65 @@ func TestParallelOutputIdenticalWithTelemetry(t *testing.T) {
 		}
 		t.Fatalf("trace lengths differ: serial %d bytes, parallel %d bytes",
 			len(serialTrace), len(parallelTrace))
+	}
+}
+
+// TestParallelOutputIdenticalWithSpans extends the determinism contract
+// to request tracing: with a span tracer in the request context — per-job
+// spans in sim.Map, cache-decision spans in memoized — rendered output
+// must be byte-identical to a run with spans off, at -parallel 1 and 4.
+// This is the acceptance proof that tracing observes and never perturbs.
+func TestParallelOutputIdenticalWithSpans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism comparison is slow")
+	}
+	ids := []string{"table2", "fig14", "stressmark-actuation"}
+	reg := Registry()
+
+	render := func(parallel int, spans bool) ([]byte, *telemetry.Tracer) {
+		resetAllCaches()
+		cfg := tinyConfig()
+		cfg.Parallel = parallel
+		tracer := telemetry.NewTracer(0)
+		tracer.SetEnabled(spans)
+		ctx := telemetry.ContextWithTracer(context.Background(), tracer)
+		ctx, root := tracer.Start(ctx, "sweep")
+		cfg.Ctx = ctx
+		var buf bytes.Buffer
+		for _, id := range ids {
+			if err := reg[id](cfg, &buf); err != nil {
+				t.Fatalf("parallel=%d spans=%v %s: %v", parallel, spans, id, err)
+			}
+		}
+		if root.Enabled() {
+			root.End()
+		}
+		return buf.Bytes(), tracer
+	}
+
+	baseline, _ := render(1, false)
+	for _, parallel := range []int{1, 4} {
+		got, tracer := render(parallel, true)
+		if !bytes.Equal(baseline, got) {
+			t.Fatalf("output with spans on at parallel=%d differs from spans-off baseline", parallel)
+		}
+		spans := tracer.Spans()
+		if len(spans) == 0 {
+			t.Fatalf("parallel=%d: tracer recorded no spans", parallel)
+		}
+		var jobs, memos int
+		for _, r := range spans {
+			switch r.Name {
+			case "sim.job":
+				jobs++
+			case "experiments.memo":
+				memos++
+			}
+		}
+		if jobs == 0 || memos == 0 {
+			t.Errorf("parallel=%d: expected sim.job and experiments.memo spans, got %d/%d",
+				parallel, jobs, memos)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"didt/internal/actuator"
 	"didt/internal/core"
@@ -324,9 +325,24 @@ func memoKey(name string, cfg Config) string {
 }
 
 func memoized[T any](name string, cfg Config, compute func() (T, error)) (T, error) {
+	// A request span around the cache decision: the hit/miss attribute is
+	// how a trace explains where a sweep's time went (a hit is microseconds,
+	// a miss is the whole study). Spans never influence the computation.
+	var span *telemetry.Span
+	if tr := telemetry.TracerFromContext(cfg.context()); tr.Enabled() {
+		_, span = tr.Start(cfg.context(), "experiments.memo", telemetry.AttrStr("study", name))
+	}
+	computed := false
 	v, err := memo.Get(memoKey(name, cfg), func() (interface{}, error) {
+		computed = true
 		return compute()
 	})
+	if span.Enabled() {
+		// computed stays false when singleflight handed us another caller's
+		// result, which is a hit from this request's perspective.
+		span.SetAttr("cache_hit", strconv.FormatBool(!computed))
+		span.End()
+	}
 	if err != nil {
 		var zero T
 		return zero, err

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"didt/internal/telemetry"
+)
+
+// Request observability: one middleware wraps the whole mux and gives
+// every request a trace id, an optional root span, an access-log record,
+// and a latency observation. Handlers annotate the in-flight request
+// through requestInfo (spec key, queue wait, outcome) and the unified
+// error envelope below carries the trace id back to the client, so a log
+// line, an error response and the span export all correlate on one id.
+
+// respWriter captures status and byte count, and forwards Flush so the
+// SSE path can stream through it.
+type respWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *respWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *respWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *respWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestInfo is the handler-to-middleware backchannel: the middleware
+// allocates it before serving, handlers fill in what they learn (the
+// request's spec key, how long admission queued it, how it ended), and
+// the access log reads it after the handler returns.
+type requestInfo struct {
+	specKey     string
+	queueWaitMS float64
+	hasQueue    bool
+	outcome     string
+}
+
+type ctxKeyReqInfo struct{}
+
+func reqInfoFrom(ctx context.Context) *requestInfo {
+	ri, _ := ctx.Value(ctxKeyReqInfo{}).(*requestInfo)
+	return ri
+}
+
+func setSpecKey(ctx context.Context, key string) {
+	if ri := reqInfoFrom(ctx); ri != nil {
+		ri.specKey = key
+	}
+}
+
+func setQueueWait(ctx context.Context, ms float64) {
+	if ri := reqInfoFrom(ctx); ri != nil {
+		ri.queueWaitMS = ms
+		ri.hasQueue = true
+	}
+}
+
+func setOutcome(ctx context.Context, outcome string) {
+	if ri := reqInfoFrom(ctx); ri != nil {
+		ri.outcome = outcome
+	}
+}
+
+// observe is the outermost handler: trace id, root span, latency metric,
+// access log. Its latency histogram is created on first observation — a
+// fresh server's metrics snapshot stays byte-identical to pre-tracing
+// builds until traffic arrives.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		ctx = telemetry.ContextWithTracer(ctx, s.cfg.Spans)
+		traceID := telemetry.NewTraceID()
+		ctx = telemetry.ContextWithTraceID(ctx, traceID)
+		ri := &requestInfo{}
+		ctx = context.WithValue(ctx, ctxKeyReqInfo{}, ri)
+
+		var span *telemetry.Span
+		if s.cfg.Spans.Enabled() {
+			ctx, span = s.cfg.Spans.Start(ctx, "http.request",
+				telemetry.AttrStr("method", r.Method),
+				telemetry.AttrStr("path", r.URL.Path))
+		}
+
+		rw := &respWriter{ResponseWriter: w}
+		timer := telemetry.StartTimer()
+		next.ServeHTTP(rw, r.WithContext(ctx))
+		durMS := timer.ElapsedMS()
+
+		if rw.status == 0 {
+			// Handler wrote nothing (e.g. client vanished while queued).
+			rw.status = http.StatusOK
+		}
+		if ri.outcome == "" {
+			if rw.status < 400 {
+				ri.outcome = "ok"
+			} else {
+				ri.outcome = "error"
+			}
+		}
+
+		if span.Enabled() {
+			span.SetAttr("status", strconv.Itoa(rw.status))
+			span.SetAttr("outcome", ri.outcome)
+			if ri.specKey != "" {
+				span.SetAttr("spec_key", ri.specKey)
+			}
+			span.End()
+		}
+
+		// Latency histogram: 0-60s linear in 120 buckets (500ms each); the
+		// final bucket absorbs pathological requests.
+		s.cfg.Registry.Histogram("didtd.request_duration_ms", 0, 60_000, 120).Observe(durMS)
+
+		if l := s.cfg.Logger; l != nil {
+			attrs := make([]slog.Attr, 0, 9)
+			attrs = append(attrs,
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rw.status),
+				slog.Int64("bytes", rw.bytes),
+				slog.Float64("duration_ms", durMS),
+				slog.String("trace_id", traceID),
+				slog.String("outcome", ri.outcome),
+			)
+			if ri.specKey != "" {
+				attrs = append(attrs, slog.String("spec_key", ri.specKey))
+			}
+			if ri.hasQueue {
+				attrs = append(attrs, slog.Float64("queue_wait_ms", ri.queueWaitMS))
+			}
+			// Work endpoints log at info; health checks, scrapes and pprof
+			// would drown them, so everything else logs at debug.
+			level := slog.LevelDebug
+			if strings.HasPrefix(r.URL.Path, "/v1/") {
+				level = slog.LevelInfo
+			}
+			l.LogAttrs(r.Context(), level, "request", attrs...)
+		}
+	})
+}
+
+// errorEnvelope is the one JSON error shape every non-2xx didtd response
+// uses: a human-readable message, a stable machine code, and the request's
+// trace id for correlation with logs and span exports.
+type errorEnvelope struct {
+	Error   string `json:"error"`
+	Code    string `json:"code"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// Error codes. Stable API surface — clients switch on these.
+const (
+	codeBadRequest      = "bad_request"
+	codePayloadTooLarge = "payload_too_large"
+	codeOverflow        = "overflow"
+	codeDraining        = "draining"
+	codeTimeout         = "timeout"
+	codeInternal        = "internal"
+)
+
+// writeError emits the unified envelope and records the outcome for the
+// access log.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, msg string) {
+	setOutcome(r.Context(), code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorEnvelope{
+		Error:   msg,
+		Code:    code,
+		TraceID: telemetry.TraceIDFromContext(r.Context()),
+	})
+}

@@ -25,8 +25,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -55,6 +57,13 @@ type Config struct {
 	// Registry receives the service metrics; nil selects the process-wide
 	// telemetry.Default() (which also carries the engine/cache metrics).
 	Registry *telemetry.Registry
+	// Logger receives the JSON access log and app-level records; nil
+	// disables logging entirely (tests, embedded use).
+	Logger *slog.Logger
+	// Spans receives request spans (root span per request, per-experiment
+	// and per-job children). nil — or a disabled tracer — means requests
+	// still carry trace ids for log correlation, but no spans are recorded.
+	Spans *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +137,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/spec/default", s.handleSpecDefault)
+	s.mux.HandleFunc("GET /v1/spans", s.handleSpans)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -138,8 +148,9 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux behind the
+// observe middleware (trace ids, root spans, access log, latency metric).
+func (s *Server) Handler() http.Handler { return s.observe(s.mux) }
 
 // BeginShutdown puts the server into draining mode: every subsequent (and
 // every queued) sweep/simulate request is rejected with 503 while already
@@ -190,19 +201,27 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	s.mRequests.Inc()
 	if s.draining() {
 		s.mUnavailable.Inc()
-		http.Error(w, "didtd: draining, not accepting new work", http.StatusServiceUnavailable)
+		s.logAdmission(r, "draining")
+		writeError(w, r, http.StatusServiceUnavailable, codeDraining,
+			"didtd: draining, not accepting new work")
 		return nil, false
 	}
 	select {
 	case s.admitted <- struct{}{}:
 	default:
 		s.mRejected.Inc()
-		http.Error(w, fmt.Sprintf("didtd: admission queue full (%d queued + %d running)",
-			s.cfg.QueueDepth, s.cfg.MaxConcurrent), http.StatusTooManyRequests)
+		s.logAdmission(r, "overflow")
+		writeError(w, r, http.StatusTooManyRequests, codeOverflow,
+			fmt.Sprintf("didtd: admission queue full (%d queued + %d running)",
+				s.cfg.QueueDepth, s.cfg.MaxConcurrent))
 		return nil, false
 	}
 	s.inflight.Add(1)
 	s.updateAdmissionGauges()
+	// Queue wait: time between entering the admitted set and winning a run
+	// slot. Feeds the latency histogram and the access log; the rate-style
+	// counterpart lives in sim.pool.queue_wait_ns_total.
+	queued := telemetry.StartTimer()
 	select {
 	case s.running <- struct{}{}:
 	case <-s.drain:
@@ -210,14 +229,22 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 		s.inflight.Done()
 		s.updateAdmissionGauges()
 		s.mUnavailable.Inc()
-		http.Error(w, "didtd: draining, not accepting new work", http.StatusServiceUnavailable)
+		s.logAdmission(r, "drained_while_queued")
+		writeError(w, r, http.StatusServiceUnavailable, codeDraining,
+			"didtd: draining, not accepting new work")
 		return nil, false
 	case <-r.Context().Done():
 		<-s.admitted
 		s.inflight.Done()
 		s.updateAdmissionGauges()
+		setOutcome(r.Context(), "client_gone")
 		return nil, false // client is gone; nothing to answer
 	}
+	waitMS := queued.ElapsedMS()
+	setQueueWait(r.Context(), waitMS)
+	// 0-30s linear in 120 buckets (250ms each); created on first admission
+	// so a fresh server's snapshot is unchanged.
+	s.cfg.Registry.Histogram("didtd.admission.queue_wait_ms", 0, 30_000, 120).Observe(waitMS)
 	s.updateAdmissionGauges()
 	if s.testRunStarted != nil {
 		s.testRunStarted <- struct{}{}
@@ -244,12 +271,19 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 	return context.WithTimeout(r.Context(), d)
 }
 
-// decodeJSON parses a bounded request body into v.
+// decodeJSON parses a bounded request body into v, answering malformed
+// bodies with the unified envelope (oversized ones as 413).
 func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, r, http.StatusRequestEntityTooLarge, codePayloadTooLarge,
+				"didtd: request body exceeds "+fmt.Sprint(tooLarge.Limit)+" bytes")
+			return false
+		}
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "didtd: bad request: "+err.Error())
 		return false
 	}
 	return true
@@ -257,15 +291,29 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 
 // writeRunError maps a failed run to a status code: deadline → 504,
 // client cancellation → nothing (the connection is gone), anything else
-// → 500.
+// → 500. All through the unified envelope.
 func writeRunError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		http.Error(w, "didtd: deadline exceeded: "+err.Error(), http.StatusGatewayTimeout)
+		writeError(w, r, http.StatusGatewayTimeout, codeTimeout, "didtd: deadline exceeded: "+err.Error())
 	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
 		// Client disconnected; no one is listening.
+		setOutcome(r.Context(), "client_gone")
 	default:
-		http.Error(w, "didtd: run failed: "+err.Error(), http.StatusInternalServerError)
+		writeError(w, r, http.StatusInternalServerError, codeInternal, "didtd: run failed: "+err.Error())
+	}
+}
+
+// logAdmission emits one app-level record for a rejected or drained
+// request; the access log then records the response itself.
+func (s *Server) logAdmission(r *http.Request, reason string) {
+	if l := s.cfg.Logger; l != nil {
+		l.LogAttrs(r.Context(), slog.LevelWarn, "admission rejected",
+			slog.String("reason", reason),
+			slog.String("path", r.URL.Path),
+			slog.String("trace_id", telemetry.TraceIDFromContext(r.Context())),
+			slog.Int("active", len(s.running)),
+			slog.Int("queued", len(s.admitted)-len(s.running)))
 	}
 }
 
@@ -296,6 +344,13 @@ type SweepRequest struct {
 
 	// TimeoutMS bounds the request (0 = server default deadline).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// Progress selects the response mode: "" (default) answers with the
+	// rendered bytes only; "sse" streams per-experiment progress as
+	// Server-Sent Events and delivers the identical rendered bytes in the
+	// final `result` event. The `progress=sse` query parameter is
+	// equivalent.
+	Progress string `json:"progress,omitempty"`
 }
 
 // config assembles the experiments configuration for the request.
@@ -352,14 +407,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ids, err := req.ids()
 	if err != nil {
-		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "didtd: bad request: "+err.Error())
 		return
 	}
 	cfg := req.config(s.cfg.Parallel)
 	if err := cfg.Validate(); err != nil {
-		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "didtd: bad request: "+err.Error())
 		return
 	}
+	sse := req.Progress == "sse" || r.URL.Query().Get("progress") == "sse"
+	if req.Progress != "" && req.Progress != "sse" {
+		writeError(w, r, http.StatusBadRequest, codeBadRequest,
+			"didtd: bad request: unknown progress mode "+fmt.Sprintf("%q", req.Progress)+" (use \"sse\")")
+		return
+	}
+	setSpecKey(r.Context(), cfg.Spec().Key())
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -368,18 +430,63 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	// The request context (trace id, tracer, current span) rides into the
+	// experiment runners and from there into sim.Map job dispatch.
 	cfg.Ctx = ctx
+
+	var stream *sseStream
+	if sse {
+		stream, err = newSSEStream(w)
+		if err != nil {
+			writeError(w, r, http.StatusInternalServerError, codeInternal, "didtd: "+err.Error())
+			return
+		}
+	}
 
 	// Render into a buffer first: the response body must be exactly the
 	// experiments' rendered bytes (the determinism contract), so nothing
-	// may be written until every runner has succeeded.
+	// may be written until every runner has succeeded. SSE delivers the
+	// same bytes inside the final `result` event.
 	reg := experiments.Registry()
 	var buf bytes.Buffer
-	for _, id := range ids {
-		if err := reg[id](cfg, &buf); err != nil {
+	for i, id := range ids {
+		stream.experimentEvent(id, "start", i, len(ids), 0)
+		var span *telemetry.Span
+		ectx := ctx
+		if s.cfg.Spans.Enabled() {
+			ectx, span = s.cfg.Spans.Start(ctx, "sweep.experiment",
+				telemetry.AttrStr("experiment", id))
+		}
+		ecfg := cfg
+		ecfg.Ctx = ectx
+		timer := telemetry.StartTimer()
+		err := reg[id](ecfg, &buf)
+		durMS := timer.ElapsedMS()
+		if span.Enabled() {
+			if err != nil {
+				span.SetAttr("error", "true")
+			}
+			span.End()
+		}
+		// Per-experiment duration histogram, one labeled series per id
+		// (0-5min linear, 5s buckets), created on first observation.
+		s.cfg.Registry.Histogram(
+			`didtd.sweep.experiment_duration_ms{experiment="`+id+`"}`,
+			0, 300_000, 60).Observe(durMS)
+		if err != nil {
+			if stream != nil {
+				stream.errorEvent(r, err)
+				setOutcome(r.Context(), "error")
+				return
+			}
 			writeRunError(w, r, err)
 			return
 		}
+		stream.experimentEvent(id, "done", i, len(ids), durMS)
+	}
+	if stream != nil {
+		stream.resultEvent(buf.Bytes(), ids)
+		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Header().Set("X-Didtd-Experiments", strings.Join(ids, ","))
@@ -453,19 +560,20 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	sp, err := req.spec()
 	if err != nil {
-		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "didtd: bad request: "+err.Error())
 		return
 	}
 	resolved, err := sp.Resolve()
 	if err != nil {
-		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "didtd: bad request: "+err.Error())
 		return
 	}
 	program, err := resolved.Program()
 	if err != nil {
-		http.Error(w, "didtd: bad request: "+err.Error(), http.StatusBadRequest)
+		writeError(w, r, http.StatusBadRequest, codeBadRequest, "didtd: bad request: "+err.Error())
 		return
 	}
+	setSpecKey(r.Context(), resolved.Key())
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -569,6 +677,33 @@ func (s *Server) handleSpecDefault(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, spec.Default())
 }
 
+// buildVersion resolves the module version and VCS revision once; "devel"
+// when built outside a module release (go test, local builds).
+var buildVersion = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+			return version + "+" + kv.Value[:12]
+		}
+	}
+	return version
+})
+
+// goVersion reports the toolchain that built the binary.
+var goVersion = sync.OnceValue(func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		return bi.GoVersion
+	}
+	return "unknown"
+})
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -580,18 +715,47 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]interface{}{
 		"status":          status,
+		"version":         buildVersion(),
+		"go_version":      goVersion(),
 		"active_requests": len(s.running),
 		"queued_requests": len(s.admitted) - len(s.running),
+		"max_concurrent":  s.cfg.MaxConcurrent,
+		"queue_depth":     s.cfg.QueueDepth,
 		"uptime_s":        int64(time.Since(s.started).Seconds()),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	snap := s.cfg.Registry.Snapshot()
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(snap)
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		snap := s.cfg.Registry.Snapshot()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		telemetry.WritePrometheus(w, s.cfg.Registry.Snapshot())
+	default:
+		writeError(w, r, http.StatusBadRequest, codeBadRequest,
+			"didtd: unknown metrics format "+fmt.Sprintf("%q", format)+" (use json or prometheus)")
+	}
+}
+
+// handleSpans exports the completed request spans: JSONL by default,
+// Chrome trace-event JSON with ?format=chrome (loadable in Perfetto).
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		telemetry.WriteSpansJSONL(w, s.cfg.Spans)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		telemetry.WriteSpanChromeTrace(w, s.cfg.Spans)
+	default:
+		writeError(w, r, http.StatusBadRequest, codeBadRequest,
+			"didtd: unknown spans format "+fmt.Sprintf("%q", format)+" (use jsonl or chrome)")
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {

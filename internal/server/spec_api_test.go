@@ -132,8 +132,19 @@ func TestSimulateBadRequests(t *testing.T) {
 			t.Errorf("%s: status %d, want 400: %s", tc.name, code, body)
 			continue
 		}
-		if !strings.Contains(body, tc.frag) {
-			t.Errorf("%s: response misses %q: %s", tc.name, tc.frag, body)
+		var env struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.Unmarshal([]byte(body), &env); err != nil {
+			t.Errorf("%s: 400 body is not an error envelope: %v\n%s", tc.name, err, body)
+			continue
+		}
+		if !strings.Contains(env.Error, tc.frag) {
+			t.Errorf("%s: envelope misses %q: %s", tc.name, tc.frag, env.Error)
+		}
+		if env.Code != "bad_request" {
+			t.Errorf("%s: code %q, want bad_request", tc.name, env.Code)
 		}
 	}
 }
@@ -153,8 +164,15 @@ func TestSweepDidYouMean(t *testing.T) {
 			t.Errorf("%s: status %d, want 400: %s", tc.name, code, body)
 			continue
 		}
-		if !strings.Contains(body, tc.frag) {
-			t.Errorf("%s: response misses %q: %s", tc.name, tc.frag, body)
+		var env struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &env); err != nil {
+			t.Errorf("%s: 400 body is not an error envelope: %v\n%s", tc.name, err, body)
+			continue
+		}
+		if !strings.Contains(env.Error, tc.frag) {
+			t.Errorf("%s: envelope misses %q: %s", tc.name, tc.frag, env.Error)
 		}
 	}
 }

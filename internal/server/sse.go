@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"didt/internal/telemetry"
+)
+
+// Server-Sent Events for POST /v1/sweep?progress=sse: the client sees
+// per-experiment `experiment` events while the sweep runs, then one
+// `result` event whose data carries the complete rendered output — the
+// exact bytes a non-streaming request returns, JSON-encoded so the framing
+// cannot disturb them. Errors mid-stream arrive as an `error` event
+// holding the standard envelope (the HTTP status is already 200 by then).
+//
+// The nil *sseStream is a valid no-op: non-streaming requests call the
+// same event methods and nothing happens, keeping handleSweep's loop free
+// of mode branches.
+
+type sseStream struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// newSSEStream switches the response to the event stream (the headers and
+// status go out immediately, so callers must have finished all error
+// checks that deserve a real status code).
+func newSSEStream(w http.ResponseWriter) (*sseStream, error) {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil, errors.New("response writer does not support streaming")
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseStream{w: w, f: f}, nil
+}
+
+// emit writes one named event with a JSON data payload; nil-safe no-op.
+func (s *sseStream) emit(event string, v interface{}) {
+	if s == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", event, data)
+	s.f.Flush()
+}
+
+// sseExperiment is the data payload of `experiment` events.
+type sseExperiment struct {
+	Experiment string  `json:"experiment"`
+	State      string  `json:"state"` // start | done
+	Index      int     `json:"index"`
+	Total      int     `json:"total"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
+}
+
+func (s *sseStream) experimentEvent(id, state string, index, total int, durMS float64) {
+	s.emit("experiment", sseExperiment{
+		Experiment: id, State: state, Index: index, Total: total, DurationMS: durMS,
+	})
+}
+
+// errorEvent delivers the standard envelope as an `error` event; the
+// stream ends here.
+func (s *sseStream) errorEvent(r *http.Request, err error) {
+	code := codeInternal
+	if errors.Is(err, context.DeadlineExceeded) {
+		code = codeTimeout
+	}
+	s.emit("error", errorEnvelope{
+		Error:   "didtd: run failed: " + err.Error(),
+		Code:    code,
+		TraceID: telemetry.TraceIDFromContext(r.Context()),
+	})
+}
+
+// sseResult is the data payload of the final `result` event. Body holds
+// the full rendered output verbatim; decoding the JSON string yields bytes
+// identical to the non-streaming response.
+type sseResult struct {
+	Experiments []string `json:"experiments"`
+	Body        string   `json:"body"`
+}
+
+func (s *sseStream) resultEvent(body []byte, ids []string) {
+	s.emit("result", sseResult{Experiments: ids, Body: string(body)})
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"didt/internal/telemetry"
+)
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// parseSSE splits a text/event-stream body into events.
+func parseSSE(t *testing.T, body string) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cur.name != "" || cur.data != "" {
+		events = append(events, cur)
+	}
+	return events
+}
+
+// TestSweepSSEByteIdentical is the streaming contract: the final result
+// event's body is byte-for-byte the non-streaming response for the same
+// request, and the experiment events narrate the sweep in order.
+func TestSweepSSEByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	resetAllCaches()
+	tracer := telemetry.NewTracer(0)
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2, Spans: tracer})
+
+	// Non-streaming reference.
+	code, plain := postJSON(t, ts.URL+"/v1/sweep", tinySweep(2))
+	if code != http.StatusOK {
+		t.Fatalf("plain sweep: status %d: %s", code, plain)
+	}
+
+	// Streaming request for the same sweep (cache reset so the streaming
+	// run actually computes).
+	resetAllCaches()
+	body := strings.TrimSuffix(tinySweep(2), "}") + `,"progress":"sse"}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sse sweep: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	var raw strings.Builder
+	if _, err := func() (int64, error) {
+		buf := make([]byte, 32<<10)
+		var n int64
+		for {
+			m, err := resp.Body.Read(buf)
+			raw.Write(buf[:m])
+			n += int64(m)
+			if err != nil {
+				if err.Error() == "EOF" {
+					return n, nil
+				}
+				return n, err
+			}
+		}
+	}(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := parseSSE(t, raw.String())
+	if len(events) == 0 {
+		t.Fatal("no SSE events")
+	}
+
+	// Experiment events: start/done pairs in order, indices consistent.
+	var starts, dones []string
+	for _, ev := range events[:len(events)-1] {
+		if ev.name != "experiment" {
+			t.Fatalf("unexpected mid-stream event %q: %s", ev.name, ev.data)
+		}
+		var e struct {
+			Experiment string  `json:"experiment"`
+			State      string  `json:"state"`
+			Index      int     `json:"index"`
+			Total      int     `json:"total"`
+			DurationMS float64 `json:"duration_ms"`
+		}
+		if err := json.Unmarshal([]byte(ev.data), &e); err != nil {
+			t.Fatalf("experiment event is not JSON: %v: %s", err, ev.data)
+		}
+		switch e.State {
+		case "start":
+			starts = append(starts, e.Experiment)
+		case "done":
+			dones = append(dones, e.Experiment)
+			if e.DurationMS < 0 {
+				t.Errorf("done event with negative duration: %s", ev.data)
+			}
+		default:
+			t.Errorf("unknown state %q", e.State)
+		}
+	}
+	if len(starts) == 0 || len(starts) != len(dones) {
+		t.Fatalf("unbalanced experiment events: %d starts, %d dones", len(starts), len(dones))
+	}
+	for i := range starts {
+		if starts[i] != dones[i] {
+			t.Errorf("event order: start[%d]=%s but done[%d]=%s", i, starts[i], i, dones[i])
+		}
+	}
+
+	// Final event reconstructs the non-streaming body exactly.
+	final := events[len(events)-1]
+	if final.name != "result" {
+		t.Fatalf("last event is %q, want result: %s", final.name, final.data)
+	}
+	var res struct {
+		Experiments []string `json:"experiments"`
+		Body        string   `json:"body"`
+	}
+	if err := json.Unmarshal([]byte(final.data), &res); err != nil {
+		t.Fatalf("result event is not JSON: %v", err)
+	}
+	if res.Body != plain {
+		t.Errorf("SSE result body differs from non-streaming response\nsse %d bytes, plain %d bytes", len(res.Body), len(plain))
+	}
+	if len(res.Experiments) != len(starts) {
+		t.Errorf("result lists %d experiments, events narrated %d", len(res.Experiments), len(starts))
+	}
+
+	// The tracer saw the sweep's experiment spans.
+	spans := tracer.Spans()
+	var expSpans int
+	for _, sp := range spans {
+		if sp.Name == "sweep.experiment" {
+			expSpans++
+		}
+	}
+	if expSpans == 0 {
+		t.Error("no sweep.experiment spans recorded during SSE sweep")
+	}
+}
+
+// TestSweepSSEQueryParam: ?progress=sse selects streaming without a body
+// field.
+func TestSweepSSEQueryParam(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	resetAllCaches()
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	resp, err := http.Post(ts.URL+"/v1/sweep?progress=sse", "application/json", strings.NewReader(tinySweep(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+}

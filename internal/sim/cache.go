@@ -1,10 +1,41 @@
 package sim
 
 import (
+	"log/slog"
 	"sync"
+	"sync/atomic"
 
 	"didt/internal/telemetry"
 )
+
+// cacheLogger receives app-level cache events (currently LRU evictions)
+// from every Cache in the process. nil (the default) disables logging
+// entirely; didtd installs its structured logger here at startup.
+var cacheLogger atomic.Pointer[slog.Logger]
+
+// SetCacheLogger installs the logger that receives cache eviction events;
+// nil disables them. Safe for concurrent use.
+func SetCacheLogger(l *slog.Logger) {
+	if l == nil {
+		cacheLogger.Store(nil)
+		return
+	}
+	cacheLogger.Store(l)
+}
+
+// logEviction emits one app-level record for a completed eviction pass.
+// Called outside the cache mutex: slog handlers may block on IO, and the
+// eviction has already happened — the log is observation, not mechanism.
+func logEviction(name string, evicted, remaining int) {
+	l := cacheLogger.Load()
+	if l == nil || evicted <= 0 {
+		return
+	}
+	if name == "" {
+		name = "cache"
+	}
+	l.Debug("cache eviction", "cache", name, "evicted", evicted, "entries", remaining)
+}
 
 // Cache memoizes a deterministic computation keyed by K with singleflight
 // semantics: when several goroutines ask for the same key at once, exactly
@@ -28,6 +59,9 @@ type Cache[K comparable, V any] struct {
 	head, tail *cacheEntry[K, V]
 	cap        int
 	stats      CacheStats
+	// name labels the cache in eviction logs; set by RegisterMetrics from
+	// the metric prefix, "" until then.
+	name string
 }
 
 // CacheStats is a point-in-time view of a cache's effectiveness. A Get
@@ -75,11 +109,12 @@ func NewCache[K comparable, V any](capacity int) *Cache[K, V] {
 func (c *Cache[K, V]) Get(k K, compute func() (V, error)) (V, error) {
 	c.mu.Lock()
 	e, ok := c.entries[k]
+	evicted := 0
 	if !ok {
 		c.stats.Misses++
 		e = &cacheEntry[K, V]{key: k}
 		c.entries[k] = e
-		c.evictLocked()
+		evicted = c.evictLocked()
 	} else {
 		c.stats.Hits++
 		if e.linked {
@@ -87,11 +122,14 @@ func (c *Cache[K, V]) Get(k K, compute func() (V, error)) (V, error) {
 			c.linkFrontLocked(e)
 		}
 	}
+	name, remaining := c.name, len(c.entries)
 	c.mu.Unlock()
+	logEviction(name, evicted, remaining)
 
 	e.once.Do(func() {
 		e.val, e.err = compute()
 		c.mu.Lock()
+		evicted := 0
 		// Only touch the map if this entry is still the resident one: a
 		// Reset may have dropped it while the computation ran.
 		if cur, ok := c.entries[k]; ok && cur == e {
@@ -102,27 +140,33 @@ func (c *Cache[K, V]) Get(k K, compute func() (V, error)) (V, error) {
 				// Completion unpins the entry: link it as most recent
 				// and let eviction see it from now on.
 				c.linkFrontLocked(e)
-				c.evictLocked()
+				evicted = c.evictLocked()
 			}
 		}
+		name, remaining := c.name, len(c.entries)
 		c.mu.Unlock()
+		logEviction(name, evicted, remaining)
 	})
 	return e.val, e.err
 }
 
 // evictLocked drops least-recently-used completed entries until the map
-// fits the capacity again. In-flight entries are unlinked and therefore
+// fits the capacity again, returning how many it dropped (callers log
+// after releasing the mutex). In-flight entries are unlinked and therefore
 // invisible here, so the map may exceed cap while computations run.
-func (c *Cache[K, V]) evictLocked() {
+func (c *Cache[K, V]) evictLocked() int {
 	if c.cap <= 0 {
-		return
+		return 0
 	}
+	n := 0
 	for len(c.entries) > c.cap && c.tail != nil {
 		e := c.tail
 		c.unlinkLocked(e)
 		delete(c.entries, e.key)
 		c.stats.Evictions++
+		n++
 	}
+	return n
 }
 
 func (c *Cache[K, V]) linkFrontLocked(e *cacheEntry[K, V]) {
@@ -182,15 +226,18 @@ func (c *Cache[K, V]) Lookup(k K) (V, bool) {
 // ownership.
 func (c *Cache[K, V]) Put(k K, v V) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.entries[k]; ok {
+		c.mu.Unlock()
 		return
 	}
 	e := &cacheEntry[K, V]{key: k, val: v}
 	e.once.Do(func() {}) // mark computed: a later Get must not re-run
 	c.entries[k] = e
 	c.linkFrontLocked(e)
-	c.evictLocked()
+	evicted := c.evictLocked()
+	name, remaining := c.name, len(c.entries)
+	c.mu.Unlock()
+	logEviction(name, evicted, remaining)
 }
 
 // Len reports the number of resident entries (completed plus in-flight).
@@ -205,12 +252,14 @@ func (c *Cache[K, V]) Len() int {
 // entries stay pinned.
 func (c *Cache[K, V]) SetCapacity(n int) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if n < 0 {
 		n = 0
 	}
 	c.cap = n
-	c.evictLocked()
+	evicted := c.evictLocked()
+	name, remaining := c.name, len(c.entries)
+	c.mu.Unlock()
+	logEviction(name, evicted, remaining)
 }
 
 // Reset empties the cache. Unlike capacity eviction it drops in-flight
@@ -238,8 +287,12 @@ func (c *Cache[K, V]) Stats() CacheStats {
 
 // RegisterMetrics publishes the cache's statistics into a telemetry
 // registry as callback gauges named <prefix>.hits, .misses, .evictions,
-// .entries and .hit_rate, evaluated at snapshot time.
+// .entries and .hit_rate, evaluated at snapshot time. The prefix also
+// becomes the cache's name in eviction log records.
 func (c *Cache[K, V]) RegisterMetrics(r *telemetry.Registry, prefix string) {
+	c.mu.Lock()
+	c.name = prefix
+	c.mu.Unlock()
 	r.RegisterGaugeFunc(prefix+".hits", func() float64 { return float64(c.Stats().Hits) })
 	r.RegisterGaugeFunc(prefix+".misses", func() float64 { return float64(c.Stats().Misses) })
 	r.RegisterGaugeFunc(prefix+".evictions", func() float64 { return float64(c.Stats().Evictions) })

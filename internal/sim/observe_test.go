@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"didt/internal/telemetry"
+)
+
+// TestPoolMonotonicCounters proves rates are derivable from two scrapes:
+// jobs_completed_total advances by exactly the number of completed jobs
+// for both the inline (workers==1) and pooled paths, and
+// queue_wait_ns_total never decreases.
+func TestPoolMonotonicCounters(t *testing.T) {
+	poolMetrics()
+	ctx := context.Background()
+	run := func(workers, n int) {
+		before := mJobsCompleted.Value()
+		waitBefore := mQueueWaitNs.Value()
+		_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mJobsCompleted.Value() - before; got != int64(n) {
+			t.Errorf("workers=%d: jobs_completed_total advanced by %d, want %d", workers, got, n)
+		}
+		if mQueueWaitNs.Value() < waitBefore {
+			t.Errorf("workers=%d: queue_wait_ns_total decreased", workers)
+		}
+	}
+	run(1, 7)  // inline path
+	run(4, 16) // pooled path: dispatch waits on the unbuffered channel
+	// The pooled run must have accumulated some queue wait: each handoff on
+	// the unbuffered jobs channel blocks until a worker receives.
+	if mQueueWaitNs.Value() == 0 {
+		t.Error("queue_wait_ns_total is zero after a pooled sweep")
+	}
+}
+
+// TestMapJobSpans checks per-job spans ride the context's tracer: one
+// sim.job span per job, parented under the caller's span, and none at all
+// when the tracer is disabled.
+func TestMapJobSpans(t *testing.T) {
+	tr := telemetry.NewTracer(0)
+	ctx := telemetry.ContextWithTracer(context.Background(), tr)
+	ctx, root := tr.Start(ctx, "sweep")
+	const n = 5
+	if _, err := Map(ctx, 2, n, func(ctx context.Context, i int) (int, error) {
+		if telemetry.SpanFromContext(ctx) == nil {
+			t.Error("job context carries no span")
+		}
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if root.Enabled() {
+		root.End()
+	}
+	var jobs int
+	for _, r := range tr.Spans() {
+		if r.Name != "sim.job" {
+			continue
+		}
+		jobs++
+		if r.TraceID != root.TraceID() {
+			t.Errorf("job span trace id %s != root %s", r.TraceID, root.TraceID())
+		}
+		if r.ParentID != root.SpanID() {
+			t.Errorf("job span parent %s != root span id %s", r.ParentID, root.SpanID())
+		}
+	}
+	if jobs != n {
+		t.Errorf("got %d sim.job spans, want %d", jobs, n)
+	}
+
+	// Disabled tracer: zero spans, zero overhead beyond the guard.
+	tr2 := telemetry.NewTracer(0)
+	tr2.SetEnabled(false)
+	ctx2 := telemetry.ContextWithTracer(context.Background(), tr2)
+	if _, err := Map(ctx2, 2, n, func(ctx context.Context, i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr2.Spans()); got != 0 {
+		t.Errorf("disabled tracer recorded %d spans", got)
+	}
+}
+
+// TestCacheEvictionLogging checks the app-level eviction log: records
+// carry the cache's registered name and the eviction count, and a nil
+// logger disables them.
+func TestCacheEvictionLogging(t *testing.T) {
+	var buf bytes.Buffer
+	SetCacheLogger(slog.New(slog.NewJSONHandler(&buf, &slog.HandlerOptions{Level: slog.LevelDebug})))
+	defer SetCacheLogger(nil)
+
+	c := NewCache[int, int](2)
+	c.RegisterMetrics(telemetry.NewRegistry(), "cache.test_evict")
+	for i := 0; i < 4; i++ {
+		if _, err := c.Get(i, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cache eviction") {
+		t.Fatalf("no eviction record logged:\n%s", out)
+	}
+	var rec struct {
+		Msg     string `json:"msg"`
+		Cache   string `json:"cache"`
+		Evicted int    `json:"evicted"`
+		Entries int    `json:"entries"`
+	}
+	line := strings.SplitN(out, "\n", 2)[0]
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("eviction record is not JSON: %v\n%s", err, line)
+	}
+	if rec.Cache != "cache.test_evict" || rec.Evicted < 1 || rec.Entries < 1 {
+		t.Errorf("unexpected eviction record: %+v", rec)
+	}
+
+	// Disabled logger: evictions proceed silently.
+	SetCacheLogger(nil)
+	buf.Reset()
+	for i := 10; i < 14; i++ {
+		c.Get(i, func() (int, error) { return i, nil })
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil logger still produced output: %s", buf.String())
+	}
+	if c.Stats().Evictions < 2 {
+		t.Errorf("evictions did not proceed with logging off: %+v", c.Stats())
+	}
+}

@@ -74,9 +74,14 @@ var (
 
 	poolMetricsOnce sync.Once
 	mJobs, mSweeps  *telemetry.Counter
-	gUndispatched   *telemetry.Gauge
-	gWorkers        *telemetry.Gauge
-	hUtilization    *telemetry.Histogram
+	// Monotonic rate sources: the point-in-time gauges below answer "what
+	// is happening now", but a scraper needs counters to derive rates from
+	// two samples, so completions and queue-wait accumulate forever.
+	mJobsCompleted *telemetry.Counter
+	mQueueWaitNs   *telemetry.Counter
+	gUndispatched  *telemetry.Gauge
+	gWorkers       *telemetry.Gauge
+	hUtilization   *telemetry.Histogram
 )
 
 // progressSession binds the cumulative done/total job counters to the
@@ -128,6 +133,8 @@ func poolMetrics() {
 	poolMetricsOnce.Do(func() {
 		r := telemetry.Default()
 		mJobs = r.Counter("sim.pool.jobs_total")
+		mJobsCompleted = r.Counter("sim.pool.jobs_completed_total")
+		mQueueWaitNs = r.Counter("sim.pool.queue_wait_ns_total")
 		mSweeps = r.Counter("sim.pool.sweeps_total")
 		// The dispatch channel is unbuffered, so the pool never queues
 		// jobs itself: this gauge counts jobs of the currently-dispatching
@@ -174,19 +181,38 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 			ps.addTotal(c - int64(n))
 		}
 	}()
+	// Per-job request spans ride the context's tracer (didtd installs it via
+	// telemetry.ContextWithTracer); job results never depend on them.
+	tr := telemetry.TracerFromContext(ctx)
+	runJob := func(ctx context.Context, i int) (T, error) {
+		jctx := ctx
+		var jspan *telemetry.Span
+		if tr.Enabled() {
+			jctx, jspan = tr.Start(ctx, "sim.job", telemetry.AttrInt("index", int64(i)))
+		}
+		v, err := fn(jctx, i)
+		if jspan.Enabled() {
+			if err != nil {
+				jspan.SetAttr("error", "true")
+			}
+			jspan.End()
+		}
+		return v, err
+	}
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(ctx, i)
+			v, err := runJob(ctx, i)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = v
 			completed.Add(1)
 			mJobs.Inc()
+			mJobsCompleted.Inc()
 			ps.addDone(1)
 		}
 		return out, nil
@@ -206,7 +232,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 			defer wg.Done()
 			for i := range jobs {
 				jobStart := time.Now() //didt:allow determinism -- per-job timing feeds only the utilization histogram
-				v, err := fn(ctx, i)
+				v, err := runJob(ctx, i)
 				busy[w] += time.Since(jobStart) //didt:allow determinism -- per-job timing feeds only the utilization histogram
 				if err != nil {
 					errc <- jobError{i, err}
@@ -216,6 +242,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				out[i] = v
 				completed.Add(1)
 				mJobs.Inc()
+				mJobsCompleted.Inc()
 				ps.addDone(1)
 			}
 		}(w)
@@ -223,8 +250,10 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 
 dispatch:
 	for i := 0; i < n; i++ {
+		waitStart := time.Now() //didt:allow determinism -- queue-wait feeds only the monotonic counter scrapers derive rates from
 		select {
 		case jobs <- i:
+			mQueueWaitNs.Add(time.Since(waitStart).Nanoseconds()) //didt:allow determinism -- queue-wait feeds only the monotonic counter scrapers derive rates from
 			gUndispatched.Set(float64(n - i - 1))
 		case <-ctx.Done():
 			break dispatch

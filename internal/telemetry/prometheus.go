@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled on the
+// standard library: the didtd /metrics endpoint serves a registry snapshot
+// in the form every Prometheus-compatible scraper ingests, alongside the
+// canonical-JSON snapshot that remains the default.
+//
+// Metric names translate mechanically: every character outside
+// [a-zA-Z0-9_:] becomes '_', so "didtd.requests_total" scrapes as
+// "didtd_requests_total". A registry name may carry a label suffix in
+// standard form — `family{key="value",...}` — which passes through to the
+// exposition verbatim (callers write labels in canonical sorted order;
+// the JSON snapshot treats the whole name as an opaque key, so both
+// serializations stay deterministic). Output is canonical: families
+// sorted by exposition name, one TYPE line per family, series sorted by
+// label suffix within a family.
+//
+// Registry histograms are linear-bucket with clamped ends, so the
+// exposition maps bucket i to upper bound lo+(i+1)*(hi-lo)/n and the last
+// bucket — which absorbs every observation above hi — to le="+Inf",
+// giving the cumulative form scrapers expect, plus _sum and _count.
+
+// promName sanitizes one name segment into the exposition alphabet.
+func promName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitLabels separates a registry name into its family part and an
+// optional `{...}` label suffix (passed through verbatim).
+func splitLabels(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// promFloat renders a sample value; Prometheus accepts Go's shortest
+// round-trip float form plus the special spellings below.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one sample line awaiting output.
+type promSeries struct {
+	labels string
+	value  string
+}
+
+// promFamily groups the series of one exposition family.
+type promFamily struct {
+	name   string
+	kind   string // counter | gauge | histogram
+	series []promSeries
+}
+
+// mergeLabels splices extra label pairs (already in `k="v"` form) into an
+// existing `{...}` suffix, or creates one.
+func mergeLabels(labels string, extra ...string) string {
+	inner := strings.Join(extra, ",")
+	if labels == "" {
+		if inner == "" {
+			return ""
+		}
+		return "{" + inner + "}"
+	}
+	body := labels[1 : len(labels)-1]
+	if inner == "" {
+		return labels
+	}
+	if body == "" {
+		return "{" + inner + "}"
+	}
+	return "{" + body + "," + inner + "}"
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format 0.0.4. The output is canonical for equal snapshots: families and
+// series are explicitly sorted, never panic on empty or partial
+// registries, and histograms always emit their full cumulative bucket
+// ladder even with zero observations.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	fams := map[string]*promFamily{}
+	family := func(name, kind string) (*promFamily, string) {
+		fam, labels := splitLabels(name)
+		fam = promName(fam)
+		f, ok := fams[fam]
+		if !ok {
+			f = &promFamily{name: fam, kind: kind}
+			fams[fam] = f
+		}
+		return f, labels
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		f, labels := family(name, "counter")
+		f.series = append(f.series, promSeries{labels, strconv.FormatInt(s.Counters[name], 10)})
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		f, labels := family(name, "gauge")
+		f.series = append(f.series, promSeries{labels, promFloat(s.Gauges[name])})
+	}
+	type histSeries struct {
+		labels string
+		h      HistogramSnapshot
+	}
+	hists := map[string][]histSeries{}
+	for _, name := range sortedKeys(s.Histograms) {
+		fam, labels := splitLabels(name)
+		fam = promName(fam)
+		hists[fam] = append(hists[fam], histSeries{labels, s.Histograms[name]})
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, fam := range sortedKeys(fams) {
+		f := fams[fam]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		bw.WriteString("# TYPE " + f.name + " " + f.kind + "\n")
+		for _, se := range f.series {
+			bw.WriteString(f.name + se.labels + " " + se.value + "\n")
+		}
+	}
+	for _, fam := range sortedKeys(hists) {
+		series := hists[fam]
+		sort.Slice(series, func(i, j int) bool { return series[i].labels < series[j].labels })
+		bw.WriteString("# TYPE " + fam + " histogram\n")
+		for _, se := range series {
+			h := se.h
+			cum := uint64(0)
+			n := len(h.Buckets)
+			for i, c := range h.Buckets {
+				cum += c
+				le := "+Inf"
+				if i < n-1 {
+					le = promFloat(h.Lo + float64(i+1)*(h.Hi-h.Lo)/float64(n))
+				}
+				labels := mergeLabels(se.labels, `le="`+le+`"`)
+				bw.WriteString(fam + "_bucket" + labels + " " + strconv.FormatUint(cum, 10) + "\n")
+			}
+			if n == 0 {
+				// A histogram with no buckets still needs the +Inf rung to
+				// be a well-formed exposition histogram.
+				bw.WriteString(fam + "_bucket" + mergeLabels(se.labels, `le="+Inf"`) + " " + strconv.FormatUint(h.Count, 10) + "\n")
+			}
+			sum := 0.0
+			if h.Count > 0 {
+				sum = h.Mean * float64(h.Count)
+			}
+			bw.WriteString(fam + "_sum" + se.labels + " " + promFloat(sum) + "\n")
+			bw.WriteString(fam + "_count" + se.labels + " " + strconv.FormatUint(h.Count, 10) + "\n")
+		}
+	}
+	return bw.Flush()
+}

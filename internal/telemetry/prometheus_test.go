@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updatePromGolden = flag.Bool("update", false, "rewrite the Prometheus exposition golden file")
+
+// promRegistry builds the fixture registry behind the golden file: every
+// metric kind, a labeled series, and names needing sanitization.
+func promRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("didtd.requests_total").Add(42)
+	r.Counter(`didtd.requests_total{code="429"}`).Add(3)
+	r.Counter("sim.pool.jobs_completed_total").Add(128)
+	r.Gauge("didtd.active_requests").Set(2)
+	r.Gauge("didtd.queue.depth-max").Set(64) // '-' sanitizes to '_'
+	r.RegisterGaugeFunc("cache.experiments_memo.len", func() float64 { return 17 })
+	h := r.Histogram("didtd.request_duration_ms", 0, 100, 4)
+	for _, v := range []float64{1, 26, 51, 99, 250} { // one per bucket + one overflow
+		h.Observe(v)
+	}
+	he := r.Histogram(`didtd.sweep.experiment_duration_ms{experiment="fig2"}`, 0, 10, 2)
+	he.Observe(4)
+	r.Histogram("didtd.admission.queue_wait_ms", 0, 50, 2) // zero observations
+	return r
+}
+
+// TestPrometheusGolden pins the full exposition output: family sorting,
+// TYPE lines, label pass-through, sanitization, and the cumulative
+// histogram ladder. Regenerate with `go test ./internal/telemetry -run
+// TestPrometheusGolden -update` after an intentional format change.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updatePromGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden (-update to regenerate):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusByteIdentical mirrors the JSON canonicalization test:
+// registries with equal state built in different insertion orders must
+// expose byte-identically, and repeated snapshots must agree.
+func TestPrometheusByteIdentical(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	populate(a, []string{"alpha", "bravo", "charlie", "delta", "echo"})
+	populate(b, []string{"echo", "charlie", "alpha", "delta", "bravo"})
+	var wa, wb, wa2 bytes.Buffer
+	if err := WritePrometheus(&wa, a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&wb, b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wa.Bytes(), wb.Bytes()) {
+		t.Errorf("expositions of equal state differ:\n%s\n%s", wa.String(), wb.String())
+	}
+	if err := WritePrometheus(&wa2, a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wa.Bytes(), wa2.Bytes()) {
+		t.Errorf("repeated expositions differ")
+	}
+}
+
+// TestPrometheusWellFormed parses the exposition line by line: every
+// sample line must match the text-format grammar, every family must have
+// exactly one TYPE line appearing before its samples, and histogram
+// bucket counts must be cumulative and end at le="+Inf" equal to _count.
+func TestPrometheusWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, promRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+	typeLine := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$`)
+	typed := map[string]string{}
+	lastBucket := map[string]uint64{} // series key -> previous cumulative count
+	counts := map[string]uint64{}
+	infs := map[string]uint64{}
+	for _, line := range strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n") {
+		if m := typeLine.FindStringSubmatch(line); m != nil {
+			if _, dup := typed[m[1]]; dup {
+				t.Errorf("duplicate TYPE line for %s", m[1])
+			}
+			typed[m[1]] = m[2]
+			continue
+		}
+		m := sample.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("line does not match exposition grammar: %q", line)
+			continue
+		}
+		name, labels, val := m[1], m[2], m[3]
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suf) && typed[strings.TrimSuffix(name, suf)] == "histogram" {
+				base = strings.TrimSuffix(name, suf)
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Errorf("sample %q has no preceding TYPE line", line)
+		}
+		if strings.HasSuffix(name, "_bucket") && typed[base] == "histogram" {
+			c, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				t.Errorf("bucket count %q is not an unsigned int", val)
+				continue
+			}
+			key := base + stripLe(labels)
+			if c < lastBucket[key] {
+				t.Errorf("bucket counts not cumulative at %q: %d < %d", line, c, lastBucket[key])
+			}
+			lastBucket[key] = c
+			if strings.Contains(labels, `le="+Inf"`) {
+				infs[key] = c
+			}
+		}
+		if strings.HasSuffix(name, "_count") && typed[base] == "histogram" {
+			c, _ := strconv.ParseUint(val, 10, 64)
+			counts[base+labels] = c
+		}
+	}
+	if len(infs) == 0 {
+		t.Fatal("no +Inf buckets found")
+	}
+	for key, inf := range infs {
+		if counts[key] != inf {
+			t.Errorf("series %s: +Inf bucket %d != _count %d", key, inf, counts[key])
+		}
+	}
+}
+
+// stripLe removes the le pair from a label suffix so bucket lines of one
+// series share a key.
+func stripLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	var kept []string
+	for _, p := range strings.Split(labels[1:len(labels)-1], ",") {
+		if !strings.HasPrefix(p, `le="`) {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// TestPrometheusNeverPanics drives the writer across empty, partial, and
+// adversarial registries — the fuzz-style safety net the handler relies on.
+func TestPrometheusNeverPanics(t *testing.T) {
+	cases := []func() Snapshot{
+		func() Snapshot { return Snapshot{} },
+		func() Snapshot { return NewRegistry().Snapshot() },
+		func() Snapshot {
+			r := NewRegistry()
+			r.Counter("") // empty name
+			return r.Snapshot()
+		},
+		func() Snapshot {
+			r := NewRegistry()
+			r.Counter("9starts.with-digit").Inc()
+			r.Gauge("unicode.metric.é").Set(1)
+			r.Gauge("nan").Set(math.NaN())
+			r.Gauge("inf").Set(math.Inf(-1))
+			return r.Snapshot()
+		},
+		func() Snapshot {
+			r := NewRegistry()
+			r.Counter("half{open").Inc()     // brace without close: treated as opaque
+			r.Counter(`odd{}`).Inc()         // empty label set
+			r.Counter(`x{a="1"}`).Inc()      // labeled
+			r.Histogram("h", 0, 0, 0)        // degenerate bounds, zero buckets requested
+			r.Histogram(`h{q="2"}`, 5, 5, 1) // hi == lo
+			r.Histogram("neg", -10, -5, 3).Observe(-7)
+			return r.Snapshot()
+		},
+	}
+	for i, mk := range cases {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Errorf("case %d panicked: %v", i, p)
+				}
+			}()
+			var buf bytes.Buffer
+			if err := WritePrometheus(&buf, mk()); err != nil {
+				t.Errorf("case %d: %v", i, err)
+			}
+		}()
+	}
+}
+
+// FuzzWritePrometheus feeds arbitrary metric names and values through the
+// writer; it must never panic regardless of name contents.
+func FuzzWritePrometheus(f *testing.F) {
+	f.Add("didtd.requests_total", `x{a="1"}`, 1.5)
+	f.Add("", "{", math.Inf(1))
+	f.Add("h", "9", math.NaN())
+	f.Fuzz(func(t *testing.T, a, b string, v float64) {
+		r := NewRegistry()
+		r.Counter(a).Inc()
+		r.Gauge(b).Set(v)
+		r.Histogram(a+b, v, v+1, 3).Observe(v)
+		var buf bytes.Buffer
+		if err := WritePrometheus(&buf, r.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() == 0 {
+			t.Fatal("empty exposition for non-empty registry")
+		}
+	})
+}

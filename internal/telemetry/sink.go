@@ -60,7 +60,8 @@ type chromeEvent struct {
 	Name  string                 `json:"name"`
 	Cat   string                 `json:"cat,omitempty"`
 	Phase string                 `json:"ph"`
-	TS    float64                `json:"ts"` // microseconds
+	TS    float64                `json:"ts"`            // microseconds
+	Dur   float64                `json:"dur,omitempty"` // microseconds, X events
 	PID   int                    `json:"pid"`
 	TID   int                    `json:"tid"`
 	Scope string                 `json:"s,omitempty"`
@@ -145,6 +146,76 @@ func WriteChromeTrace(w io.Writer, t *Tracer, clockHz float64) error {
 				tr.TraceEvents = append(tr.TraceEvents, instant("mark", "mark", ts, pid, tid, e.Value))
 			}
 		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// WriteSpansJSONL serializes the tracer's completed request spans as one
+// JSON object per line in completion order — the export the didtd
+// /v1/spans endpoint serves. Span records are operational data (wall-clock
+// timings, request correlation ids); they are not part of the byte-identical
+// result contract.
+func WriteSpansJSONL(w io.Writer, t *Tracer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range t.Spans() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpansJSONL parses a span JSONL export back into records, the
+// round-trip counterpart of WriteSpansJSONL (tests, external tools).
+func ReadSpansJSONL(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	dec := json.NewDecoder(r)
+	for dec.More() {
+		var sr SpanRecord
+		if err := dec.Decode(&sr); err != nil {
+			return nil, err
+		}
+		out = append(out, sr)
+	}
+	return out, nil
+}
+
+// WriteSpanChromeTrace serializes completed request spans as Chrome
+// trace-event "complete" (X) events, loadable in Perfetto next to the
+// cycle traces. Each distinct trace id gets its own thread row (assigned
+// in first-seen completion order) so concurrent requests render side by
+// side; thread_name metadata labels the row with the trace id.
+func WriteSpanChromeTrace(w io.Writer, t *Tracer) error {
+	tr := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	const pid = 1
+	tids := map[string]int{}
+	for _, r := range t.Spans() {
+		tid, ok := tids[r.TraceID]
+		if !ok {
+			tid = len(tids) + 1
+			tids[r.TraceID] = tid
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+				Args: map[string]interface{}{"name": "trace " + r.TraceID},
+			})
+		}
+		args := map[string]interface{}{
+			"trace_id": r.TraceID, "span_id": r.SpanID,
+		}
+		if r.ParentID != "" {
+			args["parent_id"] = r.ParentID
+		}
+		for _, a := range r.Attrs {
+			args[a.Key] = a.Value
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: r.Name, Cat: "span", Phase: "X",
+			TS:  float64(r.StartUnixNano) / 1e3,
+			Dur: float64(r.DurationNs) / 1e3,
+			PID: pid, TID: tid, Args: args,
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(tr)
