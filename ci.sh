@@ -9,13 +9,21 @@ set -eux
 # the analysistest runner parses them with the same toolchain).
 test -z "$(gofmt -l .)"
 
-# didtlint: the repo's own go/analysis-style suite (internal/analysis).
-# Proves the determinism, telemetry-guard, hot-path, and lock-discipline
-# invariants the tests below only sample. Runs before the test suite so a
-# contract violation fails fast with a file:line diagnostic.
+# didtlint: the repo's own go/analysis-style suite (internal/analysis) —
+# five intra-package analyzers (determinism, telemetryguard, hotpath,
+# locks, directives) plus the whole-program ones (purity, ctxflow,
+# goroleak, lockorder). Proves the determinism, telemetry-guard,
+# hot-path, lock-discipline, and cancellation invariants the tests below
+# only sample. Runs before the test suite so a contract violation fails
+# fast with a file:line diagnostic. The run also emits a SARIF 2.1.0
+# artifact (didtlint.sarif, uploadable to code-scanning UIs) and enforces
+# the committed suppression budget: any drift in //didt:allow counts —
+# up OR down — against didtlint.baseline.json fails the gate. After a
+# reviewed change to the suppressions, regenerate the budget with
+# `go run ./cmd/didtlint -baseline didtlint.baseline.json -write-baseline ./...`.
 # (didtlint is standalone because golang.org/x/tools is not vendored; if it
 # ever is, these analyzers can also be adapted behind `go vet -vettool`.)
-go run ./cmd/didtlint ./...
+go run ./cmd/didtlint -sarif didtlint.sarif -baseline didtlint.baseline.json ./...
 
 # Span-guard gate, called out explicitly: the packages where an unguarded
 # Tracer.Start/Span.End would tax every request and every sweep job. The

@@ -1,30 +1,46 @@
 // Command didtlint runs the repository's custom static-analysis suite
-// (internal/analysis) over the module: the determinism, telemetryguard,
-// hotpath, locks, and directives analyzers that prove the invariants the
-// paper reproduction depends on — byte-identical sweep output, a telemetry
-// layer that vanishes from the hot path when disabled, and a worker pool
-// that never holds a lock across a channel operation.
+// (internal/analysis) over the module: the intra-package determinism,
+// telemetryguard, hotpath, locks, and directives analyzers plus the
+// whole-program purity, ctxflow, goroleak, and lockorder analyzers that
+// prove the invariants the paper reproduction depends on — byte-identical
+// sweep output, a telemetry layer that vanishes from the hot path when
+// disabled, serving-path blocking operations that respect context
+// cancellation, goroutines with visible join points, and a deadlock-free
+// lock acquisition order.
 //
 // Usage:
 //
 //	go run ./cmd/didtlint ./...
 //	go run ./cmd/didtlint ./internal/core ./internal/sim
+//	go run ./cmd/didtlint -sarif didtlint.sarif -baseline didtlint.baseline.json ./...
 //
 // Patterns are interpreted relative to the module root: "./..." (or no
 // arguments) lints every package, "./dir/..." a subtree, "./dir" a single
 // package. Exit status is 0 when the tree is clean, 1 when any analyzer
-// reports a finding, and 2 on usage or load errors.
+// reports a finding or the suppression budget drifts, and 2 on usage or
+// load errors.
 //
 // Violations that are intentional carry an inline justification:
 //
-//	//didt:allow <analyzer> -- <reason>
+//	//didt:allow <analyzer>[,<analyzer>...] -- <reason>
 //
 // on the flagged line or the line above. Per-cycle functions opt into the
 // hot-path allocation/locking rules with //didt:hotpath in their doc
-// comment. The directives analyzer checks the annotations themselves.
+// comment. The directives analyzer checks the annotations themselves, and
+// the suite reports any allow directive that no longer suppresses a live
+// diagnostic as stale.
+//
+// Flags:
+//
+//	-sarif <file>      also write findings as a SARIF 2.1.0 log
+//	-baseline <file>   compare //didt:allow counts against the committed
+//	                   suppression budget; drift in either direction fails
+//	-write-baseline    rewrite the -baseline file from the current tree
+//	                   instead of checking it
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -41,12 +57,25 @@ func main() {
 }
 
 func run(args []string) int {
+	fs := flag.NewFlagSet("didtlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	sarifPath := fs.String("sarif", "", "write findings as a SARIF 2.1.0 log to this file")
+	baselinePath := fs.String("baseline", "", "suppression-budget file to check //didt:allow counts against")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the -baseline file from the current tree instead of checking it")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(os.Stderr, "didtlint: -write-baseline requires -baseline <file>")
+		return 2
+	}
+
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "didtlint:", err)
 		return 2
 	}
-	pkgs, err := resolvePatterns(root, args)
+	pkgs, err := resolvePatterns(root, fs.Args())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "didtlint:", err)
 		return 2
@@ -58,34 +87,58 @@ func run(args []string) int {
 
 	loader := analysis.NewLoader(analysis.Root{Prefix: modulePath, Dir: root})
 	suite := analysis.Suite()
-	var diags []analysis.Diagnostic
-	failed := false
-	for _, path := range pkgs {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "didtlint: loading %s: %v\n", path, err)
-			failed = true
-			continue
-		}
-		ds, err := analysis.Analyze(pkg, suite)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "didtlint: analyzing %s: %v\n", path, err)
-			failed = true
-			continue
-		}
-		diags = append(diags, ds...)
-	}
-	if failed {
+	res, err := analysis.RunSuite(loader, pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "didtlint:", err)
 		return 2
 	}
-	for _, d := range diags {
+
+	for _, d := range res.Diags {
 		fmt.Println(d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "didtlint: %d finding(s)\n", len(diags))
-		return 1
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "didtlint:", err)
+			return 2
+		}
+		werr := analysis.WriteSARIF(f, suite, res.Diags, root)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "didtlint: writing %s: %v\n", *sarifPath, werr)
+			return 2
+		}
 	}
-	return 0
+
+	exit := 0
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "didtlint: %d finding(s)\n", len(res.Diags))
+		exit = 1
+	}
+
+	switch {
+	case *writeBaseline:
+		if err := analysis.WriteBaseline(*baselinePath, res.AllowCounts); err != nil {
+			fmt.Fprintln(os.Stderr, "didtlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "didtlint: wrote suppression budget to %s\n", *baselinePath)
+	case *baselinePath != "":
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "didtlint:", err)
+			return 2
+		}
+		if drift := base.Diff(res.AllowCounts); len(drift) > 0 {
+			for _, msg := range drift {
+				fmt.Fprintln(os.Stderr, "didtlint: baseline drift:", msg)
+			}
+			exit = 1
+		}
+	}
+	return exit
 }
 
 // moduleRoot walks up from the working directory to the go.mod that
@@ -108,10 +161,16 @@ func moduleRoot() (string, error) {
 }
 
 // resolvePatterns expands command-line patterns into a sorted, deduplicated
-// list of module import paths. No arguments means "./...".
+// list of module import paths. No arguments means "./...". Subtree and
+// single-package patterns are resolved by filtering the full module walk,
+// so every invocation sees the same canonical package set.
 func resolvePatterns(root string, args []string) ([]string, error) {
 	if len(args) == 0 {
 		args = []string{"./..."}
+	}
+	all, err := analysis.WalkModulePackages(root, modulePath)
+	if err != nil {
+		return nil, err
 	}
 	seen := map[string]bool{}
 	var out []string
@@ -124,82 +183,47 @@ func resolvePatterns(root string, args []string) ([]string, error) {
 	for _, arg := range args {
 		switch {
 		case arg == "./..." || arg == "...":
-			pkgs, err := walkPackages(root, root)
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range pkgs {
+			for _, p := range all {
 				add(p)
 			}
 		case strings.HasSuffix(arg, "/..."):
-			sub := filepath.Join(root, filepath.FromSlash(strings.TrimSuffix(arg, "/...")))
-			pkgs, err := walkPackages(root, sub)
-			if err != nil {
-				return nil, err
+			prefix := importPath(strings.TrimSuffix(arg, "/..."))
+			matched := false
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+					matched = true
+				}
 			}
-			for _, p := range pkgs {
-				add(p)
-			}
-		default:
-			rel := strings.TrimPrefix(strings.TrimPrefix(arg, modulePath+"/"), "./")
-			rel = filepath.ToSlash(filepath.Clean(rel))
-			if rel == "." || rel == "" {
-				return nil, fmt.Errorf("pattern %q does not name a package", arg)
-			}
-			if !hasGoFiles(filepath.Join(root, filepath.FromSlash(rel))) {
+			if !matched {
 				return nil, fmt.Errorf("pattern %q matches no Go package", arg)
 			}
-			add(modulePath + "/" + rel)
+		default:
+			p := importPath(arg)
+			found := false
+			for _, q := range all {
+				if q == p {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("pattern %q matches no Go package", arg)
+			}
+			add(p)
 		}
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
-// walkPackages lists every package directory under start, skipping
-// testdata fixtures, vendored code, and hidden directories.
-func walkPackages(root, start string) ([]string, error) {
-	var pkgs []string
-	err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != start && (name == "testdata" || name == "vendor" ||
-			(strings.HasPrefix(name, ".") && name != ".")) {
-			return filepath.SkipDir
-		}
-		if !hasGoFiles(path) {
-			return nil
-		}
-		rel, err := filepath.Rel(root, path)
-		if err != nil {
-			return err
-		}
-		if rel == "." {
-			return nil // no Go files at the module root today; be safe anyway
-		}
-		pkgs = append(pkgs, modulePath+"/"+filepath.ToSlash(rel))
-		return nil
-	})
-	return pkgs, err
-}
-
-// hasGoFiles reports whether dir directly contains at least one non-test
-// Go source file.
-func hasGoFiles(dir string) bool {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return false
+// importPath normalizes a command-line package argument ("./internal/sim",
+// "internal/sim", "didt/internal/sim") to its module import path.
+func importPath(arg string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(arg, modulePath+"/"), "./")
+	rel = filepath.ToSlash(filepath.Clean(rel))
+	if rel == "." || rel == "" {
+		return modulePath
 	}
-	for _, e := range entries {
-		n := e.Name()
-		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
-			return true
-		}
-	}
-	return false
+	return modulePath + "/" + rel
 }

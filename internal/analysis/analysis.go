@@ -4,8 +4,10 @@
 // inside the ±5% band; this package plays the same role for the software —
 // the determinism contract (byte-identical sweep output at any -parallel
 // setting), the telemetry-guard contract (tracing can never panic or cost
-// when disabled), and the hot-path contract (the per-cycle kernels stay
-// allocation- and lock-free) are verified before the code ever runs.
+// when disabled), the hot-path contract (the per-cycle kernels stay
+// allocation- and lock-free), and the concurrency contracts (every
+// blocking point escapes through ctx.Done, every goroutine joins, lock
+// acquisition stays acyclic).
 //
 // The framework mirrors golang.org/x/tools/go/analysis — Analyzer, Pass,
 // Diagnostic, testdata/src fixtures with `// want` expectations — but is
@@ -14,17 +16,28 @@
 // code. If x/tools becomes available, each Analyzer.Run is shaped so it
 // can be lifted onto the real framework mechanically.
 //
+// Two kinds of analyzer exist. Per-package analyzers (Run) see one
+// type-checked package at a time; whole-program analyzers (RunProgram) see
+// every package a lint run loaded, plus a call graph, so they can prove
+// transitive properties — the purity analyzer walks everything reachable
+// from the simulation kernel, the lockorder analyzer chases lock
+// acquisitions across package boundaries.
+//
 // Two source annotations steer the suite:
 //
 //	//didt:hotpath
 //	    placed in a function's doc comment, subjects its body to the
 //	    hotpath analyzer (no fmt, no defer, no mutex acquisition, no
-//	    interface-converting allocations).
+//	    interface-converting or escaping allocations).
 //
-//	//didt:allow <analyzer> -- <reason>
+//	//didt:allow <analyzer>[,<analyzer>] -- <reason>
 //	    placed on (or immediately above) an offending line, suppresses
-//	    that analyzer's diagnostics there. The reason is mandatory: every
-//	    exception is an audited decision, never a blind spot.
+//	    the named analyzers' diagnostics there. The reason is mandatory:
+//	    every exception is an audited decision, never a blind spot. An
+//	    allow that no longer suppresses anything is itself reported
+//	    (stale suppression), and the per-analyzer suppression budget in
+//	    didtlint.baseline.json fails CI when new allows appear
+//	    unreviewed.
 package analysis
 
 import (
@@ -67,14 +80,54 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
-// Analyzer is one named check. AppliesTo, when non-nil, restricts the
-// analyzer to packages whose import path it accepts; Run inspects a single
-// package and reports findings through the pass.
+// ProgramPass carries a whole-program analyzer's view of a lint run: the
+// loader (so the analyzer can pull in packages beyond those requested —
+// the purity roots live in internal/core whatever subtree is being
+// linted), the requested package paths, and a lazily built call graph
+// over everything loaded.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Loader   *Loader
+	// Paths are the package paths this run was asked to lint. Rooted
+	// analyzers (purity) may report beyond them; unrooted scans
+	// (lockorder) restrict their reporting to these packages.
+	Paths []string
+
+	diags *[]Diagnostic
+	prog  *Program
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Loader.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Load pulls one more package into the run (memoized by the loader).
+func (p *ProgramPass) Load(path string) (*Package, error) { return p.Loader.Load(path) }
+
+// Program returns the call graph over every package the loader has seen,
+// built on first use. Analyzers that Load extra roots must do so before
+// the first Program call.
+func (p *ProgramPass) Program() *Program {
+	if p.prog == nil {
+		p.prog = buildProgram(p.Loader)
+	}
+	return p.prog
+}
+
+// Analyzer is one named check. Exactly one of Run (per-package) and
+// RunProgram (whole-program) is set. AppliesTo, when non-nil, restricts a
+// per-package analyzer to packages whose import path it accepts.
 type Analyzer struct {
-	Name      string
-	Doc       string
-	AppliesTo func(pkgPath string) bool
-	Run       func(*Pass) error
+	Name       string
+	Doc        string
+	AppliesTo  func(pkgPath string) bool
+	Run        func(*Pass) error
+	RunProgram func(*ProgramPass) error
 }
 
 // Suite returns every analyzer in the didtlint suite, in reporting order.
@@ -85,6 +138,10 @@ func Suite() []*Analyzer {
 		HotPath,
 		Locks,
 		Directives,
+		CtxFlow,
+		GoroLeak,
+		LockOrder,
+		Purity,
 	}
 }
 
@@ -98,15 +155,35 @@ func knownAnalyzers() map[string]bool {
 		"hotpath":        true,
 		"locks":          true,
 		"directives":     true,
+		"ctxflow":        true,
+		"goroleak":       true,
+		"lockorder":      true,
+		"purity":         true,
 	}
 }
 
-// Analyze runs the given analyzers over one loaded package, applies
-// //didt:allow suppressions, and returns the surviving diagnostics sorted
-// by position.
+// Analyze runs the given per-package analyzers over one loaded package,
+// applies //didt:allow suppressions, and returns the surviving diagnostics
+// sorted by position. Program analyzers in the list are skipped; use
+// RunSuite for a full run including them and stale-suppression detection.
 func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	if err := analyzePackage(pkg, analyzers, &diags); err != nil {
+		return nil, err
+	}
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	diags = filterAllowed(diags, dirs)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// analyzePackage applies every per-package analyzer to pkg, appending raw
+// (unfiltered) diagnostics.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, diags *[]Diagnostic) error {
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 			continue
 		}
@@ -116,14 +193,123 @@ func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
-			diags:    &diags,
+			diags:    diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			return fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	dirs := parseDirectives(pkg.Fset, pkg.Files)
-	diags = filterAllowed(diags, dirs)
+	return nil
+}
+
+// Result is the outcome of a RunSuite call: the surviving diagnostics and
+// the per-analyzer count of //didt:allow sites in the requested packages,
+// the input to the suppression budget.
+type Result struct {
+	Diags []Diagnostic
+	// AllowCounts counts well-formed //didt:allow sites per analyzer name
+	// across the requested packages (a multi-name allow counts once per
+	// name).
+	AllowCounts map[string]int
+}
+
+// RunSuite is the full lint run didtlint and TestSelfCheck share: load the
+// requested packages, apply per-package analyzers to each, run
+// whole-program analyzers once, filter //didt:allow suppressions wherever
+// a finding lands, and report stale suppressions — an allow in a requested
+// package that silenced nothing even though its analyzer ran.
+func RunSuite(l *Loader, pkgPaths []string, analyzers []*Analyzer) (*Result, error) {
+	var raw []Diagnostic
+	requested := make([]*Package, 0, len(pkgPaths))
+	for _, path := range pkgPaths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		requested = append(requested, pkg)
+		if err := analyzePackage(pkg, analyzers, &raw); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Analyzer: a, Loader: l, Paths: pkgPaths, diags: &raw}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	// Suppression filtering uses the directives of every loaded package,
+	// so a program analyzer's finding in a dependency can still be
+	// allowed at its site.
+	perPkg := map[*Package]*directives{}
+	var all []*directives
+	for _, pkg := range l.Packages() {
+		d := parseDirectives(l.Fset, pkg.Files)
+		perPkg[pkg] = d
+		all = append(all, d)
+	}
+	merged := mergeDirectives(all...)
+	kept := filterAllowed(raw, merged)
+
+	// Stale suppressions: restricted to the requested packages (an allow
+	// in a dependency may serve runs that lint that package directly) and
+	// to analyzers that actually ran, so fixture runs exercising one
+	// analyzer do not condemn the others' allows.
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	counts := map[string]int{}
+	type staleCheck struct {
+		d    *directives
+		site allowSite
+		name string
+	}
+	// Sites allowing "directives" are checked after everything else: an
+	// acknowledgment allow (suppressing another site's stale report) is
+	// only marked used while those reports are generated, and must not be
+	// condemned as stale before that happens.
+	var ordered []staleCheck
+	for _, pkg := range requested {
+		d := perPkg[pkg]
+		for _, site := range d.sites {
+			for _, name := range site.analyzers {
+				counts[name]++
+				if !ran[name] {
+					continue
+				}
+				ordered = append(ordered, staleCheck{d: d, site: site, name: name})
+			}
+		}
+	}
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].name != "directives" && ordered[j].name == "directives"
+	})
+	for _, sc := range ordered {
+		if sc.d.used[allowKey{sc.site.file, sc.site.line, sc.name}] {
+			continue
+		}
+		stale := Diagnostic{
+			Pos:      l.Fset.Position(sc.site.pos),
+			Analyzer: "directives",
+			Message: fmt.Sprintf("stale //didt:allow %s: no %s diagnostic on this line any more; delete the directive",
+				sc.name, sc.name),
+		}
+		// A stale warning is itself suppressible (allow directives --
+		// reason), keeping the vocabulary closed.
+		if !merged.allows("directives", stale.Pos.Filename, stale.Pos.Line) {
+			kept = append(kept, stale)
+		}
+	}
+	sortDiagnostics(kept)
+	return &Result{Diags: kept, AllowCounts: counts}, nil
+}
+
+// sortDiagnostics orders by file, line, column, then message.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -137,13 +323,12 @@ func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // filterAllowed drops diagnostics covered by a well-formed //didt:allow
 // directive on the same line or the line immediately above.
 func filterAllowed(diags []Diagnostic, dirs *directives) []Diagnostic {
-	out := diags[:0]
+	out := make([]Diagnostic, 0, len(diags))
 	for _, d := range diags {
 		if dirs.allows(d.Analyzer, d.Pos.Filename, d.Pos.Line) {
 			continue

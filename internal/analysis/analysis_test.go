@@ -39,6 +39,41 @@ func TestDirectivesFixtures(t *testing.T) {
 	analysistest.Run(t, testdata(t), []string{"didt/dirfix"}, analysis.Directives)
 }
 
+func TestCtxFlowFixtures(t *testing.T) {
+	analysistest.Run(t, testdata(t), []string{"didt/internal/sim/ctxfix"}, analysis.CtxFlow)
+}
+
+func TestGoroLeakFixtures(t *testing.T) {
+	analysistest.Run(t, testdata(t), []string{"didt/gorofix"}, analysis.GoroLeak)
+}
+
+func TestLockOrderFixtures(t *testing.T) {
+	analysistest.Run(t, testdata(t), []string{"didt/lockorderfix"}, analysis.LockOrder)
+}
+
+func TestPurityFixtures(t *testing.T) {
+	purity := analysis.NewPurity([]analysis.PurityRoot{
+		{Pkg: "didt/purefix", Name: "Run", Label: "purefix.Run"},
+	})
+	analysistest.Run(t, testdata(t), []string{"didt/purefix", "didt/purefix/dep"}, purity)
+}
+
+// TestDualFixtures pins the determinism/purity overlap: a line both flag
+// takes two wants, or one comma-separated allow.
+func TestDualFixtures(t *testing.T) {
+	purity := analysis.NewPurity([]analysis.PurityRoot{
+		{Pkg: "didt/internal/core/dualfix", Name: "Root", Label: "dualfix.Root"},
+	})
+	analysistest.Run(t, testdata(t), []string{"didt/internal/core/dualfix"}, analysis.Determinism, purity)
+}
+
+// TestStaleSuppression pins the three stale-allow outcomes: live allows
+// pass, dead allows report, allows for analyzers outside the run are left
+// undecided, and an acknowledged staleness is suppressible.
+func TestStaleSuppression(t *testing.T) {
+	analysistest.Run(t, testdata(t), []string{"didt/stalefix"}, analysis.HotPath, analysis.Directives)
+}
+
 // TestScopes pins each analyzer's package scope: the determinism contract
 // covers the simulation/report packages, the locks contract the worker
 // pool, and telemetryguard everything except the telemetry package's own
@@ -57,6 +92,10 @@ func TestScopes(t *testing.T) {
 		{analysis.TelemetryGuard, "didt/internal/core", true},
 		{analysis.Locks, "didt/internal/sim", true},
 		{analysis.Locks, "didt/internal/core", false},
+		{analysis.CtxFlow, "didt/internal/sim", true},
+		{analysis.CtxFlow, "didt/internal/server", true},
+		{analysis.CtxFlow, "didt/internal/core", false},
+		{analysis.CtxFlow, "didt/internal/pdn", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.AppliesTo(c.pkg); got != c.want {
@@ -65,38 +104,43 @@ func TestScopes(t *testing.T) {
 	}
 }
 
-// TestSelfCheck runs the full suite over the real simulation packages: the
-// tree this repository ships must lint clean, with every exception an
-// explicit //didt:allow. This is the in-process twin of the ci.sh
-// didtlint gate.
+// TestSelfCheck runs all nine analyzers over every package in the module
+// — auto-discovered, not hardcoded, so a new package cannot silently
+// escape the suite. The tree this repository ships must lint clean, with
+// every exception an explicit //didt:allow. This is the in-process twin
+// of the ci.sh didtlint gate.
 func TestSelfCheck(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the module from source; skipped in -short")
 	}
 	root := filepath.Clean(filepath.Join(testdata(t), "..", "..", ".."))
+	paths, err := analysis.WalkModulePackages(root, "didt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("package discovery looks broken: found only %v", paths)
+	}
 	l := analysis.NewLoader(analysis.Root{Prefix: "didt", Dir: root})
-	for _, path := range []string{
-		"didt/internal/core",
-		"didt/internal/sim",
-		"didt/internal/pdn",
-		"didt/internal/sensor",
-		"didt/internal/actuator",
-		"didt/internal/cpu",
-		"didt/internal/power",
-		"didt/internal/experiments",
-		"didt/internal/report",
-		"didt/internal/telemetry",
-	} {
-		pkg, err := l.Load(path)
-		if err != nil {
-			t.Fatalf("loading %s: %v", path, err)
-		}
-		diags, err := analysis.Analyze(pkg, analysis.Suite())
-		if err != nil {
-			t.Fatalf("analyzing %s: %v", path, err)
-		}
-		for _, d := range diags {
-			t.Errorf("%s: %s", path, d)
-		}
+	res, err := analysis.RunSuite(l, paths, analysis.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestDefaultPurityRoots pins that every default purity root resolves on
+// the real tree: a renamed kernel entry point must fail here, not
+// silently shrink the proven region.
+func TestDefaultPurityRoots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the module from source; skipped in -short")
+	}
+	root := filepath.Clean(filepath.Join(testdata(t), "..", "..", ".."))
+	l := analysis.NewLoader(analysis.Root{Prefix: "didt", Dir: root})
+	if err := analysis.CheckDefaultPurityRoots(l); err != nil {
+		t.Fatal(err)
 	}
 }

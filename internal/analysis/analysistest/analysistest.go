@@ -107,42 +107,48 @@ func splitPatterns(s string) ([]string, error) {
 	return out, nil
 }
 
-// Run loads each fixture package, applies the analyzers (with //didt:allow
-// suppression exactly as didtlint applies it), and reports mismatches
-// between diagnostics and want expectations.
+// Run loads the fixture packages, applies the analyzers through the same
+// RunSuite path didtlint uses (per-package and whole-program analyzers,
+// //didt:allow suppression, stale-suppression detection), and reports
+// mismatches between diagnostics and want expectations. All listed
+// packages form one run, so a whole-program analyzer sees them together
+// and a diagnostic may land in any of them; a diagnostic in an unlisted
+// package is always an error.
 func Run(t *testing.T, testdata string, pkgPaths []string, analyzers ...*analysis.Analyzer) {
 	t.Helper()
 	l := loaderFor(testdata)
+	res, err := analysis.RunSuite(l, pkgPaths, analyzers)
+	if err != nil {
+		t.Fatalf("analyzing fixtures %v: %v", pkgPaths, err)
+	}
+	var wants []*expectation
 	for _, path := range pkgPaths {
 		pkg, err := l.Load(path)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		diags, err := analysis.Analyze(pkg, analyzers)
-		if err != nil {
-			t.Fatalf("analyzing fixture %s: %v", path, err)
-		}
-		wants, err := parseWants(pkg)
+		ws, err := parseWants(pkg)
 		if err != nil {
 			t.Fatalf("fixture %s: %v", path, err)
 		}
-		for _, d := range diags {
-			rendered := d.Analyzer + ": " + d.Message
-			ok := false
-			for _, w := range wants {
-				if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(rendered) {
-					w.matched = true
-					ok = true
-				}
-			}
-			if !ok {
-				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+		wants = append(wants, ws...)
+	}
+	for _, d := range res.Diags {
+		rendered := d.Analyzer + ": " + d.Message
+		ok := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(rendered) {
+				w.matched = true
+				ok = true
 			}
 		}
-		for _, w := range wants {
-			if !w.matched {
-				t.Errorf("%s: %s:%d: no diagnostic matched want %q", path, w.file, w.line, w.raw)
-			}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.raw)
 		}
 	}
 }

@@ -1,0 +1,159 @@
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"didt/internal/analysis"
+)
+
+func TestSplitPatterns(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		want  []string
+		errIs string // substring of the expected error; "" means success
+	}{
+		{name: "single backquoted", in: "`foo.*bar`", want: []string{"foo.*bar"}},
+		{name: "single double-quoted", in: `"foo bar"`, want: []string{"foo bar"}},
+		{name: "multiple backquoted", in: "`first` `second` `third`", want: []string{"first", "second", "third"}},
+		{name: "mixed quoting", in: "`back` \"double\"", want: []string{"back", "double"}},
+		{name: "surrounding space", in: "   `padded`   ", want: []string{"padded"}},
+		{name: "regexp metacharacters survive", in: "`time\\.Now.*\\[in .*\\]`", want: []string{"time\\.Now.*\\[in .*\\]"}},
+		{name: "double quote inside backquotes", in: "`say \"hi\"`", want: []string{`say "hi"`}},
+		{name: "empty pattern is legal", in: "``", want: []string{""}},
+		{name: "empty clause", in: "", errIs: "empty want clause"},
+		{name: "only whitespace", in: "   ", errIs: "empty want clause"},
+		{name: "unquoted", in: "foo", errIs: "must be quoted"},
+		{name: "unterminated backquote", in: "`never closed", errIs: "unterminated"},
+		{name: "unterminated after valid", in: "`ok` `broken", errIs: "unterminated"},
+		{name: "junk between patterns", in: "`ok` and `more`", errIs: "must be quoted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := splitPatterns(tc.in)
+			if tc.errIs != "" {
+				if err == nil {
+					t.Fatalf("splitPatterns(%q) = %v, want error containing %q", tc.in, got, tc.errIs)
+				}
+				if !strings.Contains(err.Error(), tc.errIs) {
+					t.Fatalf("splitPatterns(%q) error = %v, want containing %q", tc.in, err, tc.errIs)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("splitPatterns(%q): %v", tc.in, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("splitPatterns(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("splitPatterns(%q)[%d] = %q, want %q", tc.in, i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// parsePkg builds the minimal analysis.Package parseWants needs (Fset and
+// Files) from inline source, so the want parser is testable without a
+// full fixture tree on disk.
+func parsePkg(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture source: %v", err)
+	}
+	return &analysis.Package{Path: "fixture", Fset: fset, Files: []*ast.File{f}}
+}
+
+func TestParseWants(t *testing.T) {
+	pkg := parsePkg(t, `package fixture
+
+import "time"
+
+func a() {
+	_ = time.Now() // want `+"`determinism: time\\.Now`"+`
+}
+
+func b() {
+	// Two patterns on one line: the line must produce two diagnostics.
+	_ = time.Now() // want `+"`first` `second`"+`
+}
+
+// An expectation embedded after a directive comment, the form the
+// directive fixtures use:
+func c() {
+	_ = time.Now() //didt:allow determinism -- reason // want `+"`stale`"+`
+}
+
+func d() {
+	_ = 1 // plain comment, no expectation
+}
+`)
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wants) != 4 {
+		for _, w := range wants {
+			t.Logf("want at line %d: %q", w.line, w.raw)
+		}
+		t.Fatalf("parseWants found %d expectations, want 4", len(wants))
+	}
+	byRaw := map[string]int{}
+	for _, w := range wants {
+		byRaw[w.raw] = w.line
+		if w.file != "fixture.go" {
+			t.Errorf("want %q attributed to file %q", w.raw, w.file)
+		}
+	}
+	if byRaw[`determinism: time\.Now`] != 6 {
+		t.Errorf("first want on line %d, want 6", byRaw[`determinism: time\.Now`])
+	}
+	if byRaw["first"] != byRaw["second"] || byRaw["first"] != 11 {
+		t.Errorf("paired wants on lines %d/%d, want both on 11", byRaw["first"], byRaw["second"])
+	}
+	if byRaw["stale"] != 17 {
+		t.Errorf("directive-embedded want on line %d, want 17", byRaw["stale"])
+	}
+	if !wants[0].re.MatchString("determinism: time.Now: wall-clock state must not influence sweep output") {
+		t.Error("compiled pattern does not match a representative diagnostic")
+	}
+}
+
+func TestParseWantsRejectsMalformed(t *testing.T) {
+	for _, tc := range []struct{ name, src, errIs string }{
+		{
+			name:  "unquoted pattern",
+			src:   "package fixture\n\nvar x = 1 // want naked\n",
+			errIs: "must be quoted",
+		},
+		{
+			name:  "bad regexp",
+			src:   "package fixture\n\nvar x = 1 // want `(`\n",
+			errIs: "bad want pattern",
+		},
+		{
+			name:  "unterminated",
+			src:   "package fixture\n\nvar x = 1 // want `open\n",
+			errIs: "unterminated",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseWants(parsePkg(t, tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.errIs) {
+				t.Fatalf("parseWants error = %v, want containing %q", err, tc.errIs)
+			}
+			// Malformed wants report the offending file:line.
+			if !strings.Contains(err.Error(), "fixture.go:3") {
+				t.Errorf("error %v does not cite fixture.go:3", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Suppression budget. The committed baseline records how many
+// //didt:allow directives per analyzer the tree is entitled to; CI fails
+// on drift in either direction. Over budget means a new suppression
+// slipped in without review; under budget means suppressions were deleted
+// and the budget should be ratcheted down (didtlint -write-baseline) so
+// the headroom cannot be silently reclaimed later.
+
+// Baseline is the persisted allow budget, keyed by analyzer name.
+type Baseline struct {
+	AllowBudget map[string]int `json:"allow_budget"`
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if b.AllowBudget == nil {
+		b.AllowBudget = map[string]int{}
+	}
+	return &b, nil
+}
+
+// Diff compares the live allow counts against the budget and returns one
+// human-readable drift message per analyzer that moved, sorted by
+// analyzer name. Equality is strict in both directions; an empty slice
+// means the tree matches its budget exactly.
+func (b *Baseline) Diff(counts map[string]int) []string {
+	names := map[string]bool{}
+	for n := range b.AllowBudget {
+		names[n] = true
+	}
+	for n := range counts {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	var drift []string
+	for _, n := range ordered {
+		have, want := counts[n], b.AllowBudget[n]
+		switch {
+		case have > want:
+			drift = append(drift, fmt.Sprintf("analyzer %s: %d //didt:allow directives in tree, budget is %d — remove the new suppression or re-baseline with -write-baseline after review", n, have, want))
+		case have < want:
+			drift = append(drift, fmt.Sprintf("analyzer %s: %d //didt:allow directives in tree, budget is %d — suppressions were removed, ratchet the budget down with -write-baseline", n, have, want))
+		}
+	}
+	return drift
+}
+
+// WriteBaseline persists counts as the new budget. Zero-count analyzers
+// are omitted so the file only lists analyzers that actually have
+// suppressions. Output is key-sorted (encoding/json sorts map keys) and
+// newline-terminated, so regeneration on an unchanged tree is a no-op
+// diff.
+func WriteBaseline(path string, counts map[string]int) error {
+	budget := map[string]int{}
+	for n, c := range counts {
+		if c > 0 {
+			budget[n] = c
+		}
+	}
+	data, err := json.MarshalIndent(&Baseline{AllowBudget: budget}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

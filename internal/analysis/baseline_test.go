@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBaselineDiff(t *testing.T) {
+	base := &Baseline{AllowBudget: map[string]int{"determinism": 3, "hotpath": 1}}
+
+	if drift := base.Diff(map[string]int{"determinism": 3, "hotpath": 1}); len(drift) != 0 {
+		t.Fatalf("exact match reported drift: %v", drift)
+	}
+
+	over := base.Diff(map[string]int{"determinism": 4, "hotpath": 1})
+	if len(over) != 1 || !strings.Contains(over[0], "determinism: 4") || !strings.Contains(over[0], "budget is 3") {
+		t.Fatalf("over-budget drift = %v", over)
+	}
+
+	under := base.Diff(map[string]int{"determinism": 3})
+	if len(under) != 1 || !strings.Contains(under[0], "hotpath: 0") || !strings.Contains(under[0], "ratchet") {
+		t.Fatalf("under-budget drift = %v", under)
+	}
+
+	// An analyzer absent from the budget but present in the tree drifts too.
+	novel := base.Diff(map[string]int{"determinism": 3, "hotpath": 1, "ctxflow": 2})
+	if len(novel) != 1 || !strings.Contains(novel[0], "ctxflow: 2") {
+		t.Fatalf("novel-analyzer drift = %v", novel)
+	}
+
+	// Drift messages come back sorted by analyzer name.
+	multi := base.Diff(map[string]int{"determinism": 9, "ctxflow": 1})
+	if len(multi) != 3 || !strings.Contains(multi[0], "ctxflow") ||
+		!strings.Contains(multi[1], "determinism") || !strings.Contains(multi[2], "hotpath") {
+		t.Fatalf("multi drift order = %v", multi)
+	}
+}
+
+func TestBaselineWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	counts := map[string]int{"determinism": 2, "purity": 5, "clean": 0}
+	if err := WriteBaseline(path, counts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero-count analyzers are dropped on write; the rest round-trip.
+	want := map[string]int{"determinism": 2, "purity": 5}
+	if len(got.AllowBudget) != len(want) {
+		t.Fatalf("AllowBudget = %v, want %v", got.AllowBudget, want)
+	}
+	for n, c := range want {
+		if got.AllowBudget[n] != c {
+			t.Fatalf("AllowBudget[%s] = %d, want %d", n, got.AllowBudget[n], c)
+		}
+	}
+	if drift := got.Diff(map[string]int{"determinism": 2, "purity": 5}); len(drift) != 0 {
+		t.Fatalf("round-tripped baseline drifted: %v", drift)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "/repo/internal/sim/sim.go", Line: 42, Column: 3},
+			Analyzer: "ctxflow",
+			Message:  "blocking channel receive without ctx.Done escape",
+		},
+		{
+			Pos:      token.Position{Filename: "/elsewhere/outside.go", Line: 7, Column: 1},
+			Analyzer: "purity",
+			Message:  "time.Now: wall-clock state must not influence sweep output",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, Suite(), diags, "/repo"); err != nil {
+		t.Fatal(err)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("version = %q, schema = %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "didtlint" {
+		t.Fatalf("driver = %q", run.Tool.Driver.Name)
+	}
+	// Every suite analyzer appears as a rule, clean or not.
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, a := range Suite() {
+		if !ruleIDs[a.Name] {
+			t.Fatalf("analyzer %s missing from SARIF rules", a.Name)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	first := run.Results[0]
+	if first.RuleID != "ctxflow" || first.Level != "error" {
+		t.Fatalf("result[0] = %+v", first)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	// Inside baseDir: relative, slash-separated URI.
+	if loc.ArtifactLocation.URI != "internal/sim/sim.go" {
+		t.Fatalf("uri = %q, want relative path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 3 {
+		t.Fatalf("region = %+v", loc.Region)
+	}
+	// Outside baseDir: the absolute path is kept rather than a ../ escape.
+	second := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI
+	if strings.HasPrefix(second, "..") {
+		t.Fatalf("uri escaped baseDir: %q", second)
+	}
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the static call graph whole-program analyzers walk.
+// The graph is deliberately simple and deliberately conservative in one
+// direction only: an edge exists for every *statically resolvable* callee
+// — direct calls, method calls on concrete receivers, and function values
+// referenced (passed, stored, returned), since a referenced function may
+// be called by whoever receives it. Dynamic dispatch through interface
+// methods is a dead end (the callee has no body here), which
+// under-approximates reachability; the purity analyzer compensates by
+// also rooting at the experiment registry, whose runners reach the graph
+// through value-reference edges. Function literals are attributed to
+// their enclosing declared function, so a goroutine body's calls count as
+// the launcher's. Package-scope `var f = func() {...}` initializers have
+// no enclosing FuncDecl and are invisible — a known limitation; none of
+// the audited invariants route through one.
+
+// CallEdge is one outgoing reference from a function body.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	// Call is true for a call expression, false for a bare function-value
+	// reference (the callee may run wherever the value flows).
+	Call bool
+}
+
+// FuncInfo is one declared function in a loaded package, with its
+// outgoing edges.
+type FuncInfo struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Edges []CallEdge
+}
+
+// Program is the call graph over every package a loader has pulled in.
+type Program struct {
+	Loader *Loader
+	Funcs  map[*types.Func]*FuncInfo
+}
+
+// buildProgram constructs the graph from the loader's current package set.
+func buildProgram(l *Loader) *Program {
+	prog := &Program{Loader: l, Funcs: map[*types.Func]*FuncInfo{}}
+	for _, pkg := range l.Packages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				info := &FuncInfo{Fn: fn, Decl: fd, Pkg: pkg}
+				info.Edges = collectEdges(pkg.Info, fd.Body)
+				prog.Funcs[fn] = info
+			}
+		}
+	}
+	return prog
+}
+
+// collectEdges walks a function body recording every statically resolved
+// function reference, distinguishing calls from value references.
+// Nested function literals are included: their calls belong to the
+// enclosing declaration.
+func collectEdges(info *types.Info, body *ast.BlockStmt) []CallEdge {
+	// First mark the identifiers that are the Fun operand of a call, so
+	// the reference walk can label them Call=true and everything else
+	// (arguments, assignments, returns) Call=false.
+	callIdents := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			callIdents[fun] = true
+		case *ast.SelectorExpr:
+			callIdents[fun.Sel] = true
+		}
+		return true
+	})
+	var edges []CallEdge
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok {
+			return true
+		}
+		edges = append(edges, CallEdge{Callee: origin(fn), Pos: id.Pos(), Call: callIdents[id]})
+		return true
+	})
+	return edges
+}
+
+// Lookup resolves a function by package path and name; recv selects a
+// method on the named type ("" for package-level functions). Returns nil
+// if anything along the way is missing — callers decide whether that is
+// an error (real-tree roots) or expected (fixture trees without the
+// package).
+func (p *Program) Lookup(pkgPath, recv, name string) *types.Func {
+	pkg, ok := p.Loader.pkgs[pkgPath]
+	if !ok {
+		return nil
+	}
+	scope := pkg.Types.Scope()
+	if recv == "" {
+		fn, _ := scope.Lookup(name).(*types.Func)
+		return fn
+	}
+	tn, ok := scope.Lookup(recv).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Reachable walks the graph breadth-first from roots, following both call
+// and reference edges, and returns every reached function that has a body
+// in the loaded packages, in deterministic (FullName) order.
+func (p *Program) Reachable(roots []*types.Func) []*FuncInfo {
+	seen := map[*types.Func]bool{}
+	var queue []*types.Func
+	push := func(fn *types.Func) {
+		if fn == nil {
+			return
+		}
+		fn = origin(fn)
+		if !seen[fn] {
+			seen[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	var out []*FuncInfo
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fi, ok := p.Funcs[fn]
+		if !ok {
+			continue // no body here: stdlib, interface method, or external
+		}
+		out = append(out, fi)
+		for _, e := range fi.Edges {
+			push(e.Callee)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Fn.FullName() < out[j].Fn.FullName()
+	})
+	return out
+}
+
+// origin maps a generic instantiation back to its declared function, the
+// identity the Funcs map is keyed by.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}

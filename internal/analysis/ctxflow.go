@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxflowScope: the packages whose goroutines serve requests and sweeps —
+// the places where an unguarded blocking operation turns a cancelled
+// request into a wedged worker. Library and kernel packages stay out of
+// scope: they run synchronously under the caller's deadline.
+var ctxflowScope = []string{
+	"didt/internal/sim",
+	"didt/internal/server",
+}
+
+// CtxFlow enforces the cancellation contract on the concurrent packages:
+// every potentially blocking channel operation or Wait must either sit in
+// a select with a ctx.Done() (or default) case, be a receive from
+// ctx.Done() itself — blocking there IS the cancellation point — or carry
+// an audited //didt:allow ctxflow reason (provably non-blocking sends on
+// buffered channels, drains of closed channels). Bodies of go-launched
+// function literals are exempt: whether a goroutine terminates is the
+// goroleak analyzer's question; ctxflow polices the paths a caller waits
+// on.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "blocking channel ops and Waits in internal/sim and internal/server " +
+		"must select on ctx.Done() or carry //didt:allow ctxflow",
+	AppliesTo: func(pkgPath string) bool {
+		for _, p := range ctxflowScope {
+			if pathWithin(pkgPath, p) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		comms := selectComms(f)
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if _, isLit := ast.Unparen(n.Call.Fun).(*ast.FuncLit); isLit {
+					return false // goroutine liveness is goroleak's domain
+				}
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			case *ast.SendStmt:
+				if !comms[n] {
+					pass.Reportf(n.Pos(), "blocking send outside select: wrap in select with ctx.Done() so a cancelled caller is never wedged")
+				}
+			case *ast.UnaryExpr:
+				if n.Op.String() == "<-" && !comms[n] && !isCtxDoneRecv(pass.Info, n.X) {
+					pass.Reportf(n.Pos(), "blocking receive outside select: wrap in select with ctx.Done() so a cancelled caller is never wedged")
+				}
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel blocks until the channel closes: drain in a select with ctx.Done() instead")
+					}
+				}
+			case *ast.CallExpr:
+				if name, ok := isSyncWait(calleeFunc(pass.Info, n)); ok {
+					pass.Reportf(n.Pos(), "%s blocks with no cancellation escape: join through a closed channel inside a select with ctx.Done()", name)
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// selectComms collects the send/receive operations that are the
+// communication clause of a select statement — the legal home for a
+// blocking op, judged at the select level instead.
+func selectComms(f *ast.File) map[ast.Node]bool {
+	comms := map[ast.Node]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			switch comm := cc.Comm.(type) {
+			case *ast.SendStmt:
+				comms[comm] = true
+			case *ast.ExprStmt:
+				if u, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok {
+					comms[u] = true
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range comm.Rhs {
+					if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok {
+						comms[u] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return comms
+}
+
+// checkSelect requires every select to be non-blocking (default clause)
+// or cancellable (a case receiving from a context's Done channel).
+func checkSelect(pass *Pass, sel *ast.SelectStmt) {
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return // default: the select cannot block
+		}
+		if commRecvExpr(cc.Comm) != nil && isCtxDoneRecv(pass.Info, commRecvExpr(cc.Comm).X) {
+			return
+		}
+	}
+	pass.Reportf(sel.Pos(), "select has no default and no ctx.Done() case: a cancelled caller stays blocked here")
+}
+
+// commRecvExpr extracts the receive operation from a comm clause
+// statement, or nil for sends.
+func commRecvExpr(comm ast.Stmt) *ast.UnaryExpr {
+	switch c := comm.(type) {
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			return u
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range c.Rhs {
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				return u
+			}
+		}
+	}
+	return nil
+}
+
+// isCtxDoneRecv reports whether e is a call of Done() on a
+// context.Context value — the receive that embodies cancellation.
+func isCtxDoneRecv(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkg, typ, name, ok := methodInfo(calleeFunc(info, call))
+	return ok && pkg == "context" && typ == "Context" && name == "Done"
+}
+
+// isSyncWait matches the Waits with no built-in cancellation:
+// sync.WaitGroup.Wait and sync.Cond.Wait.
+func isSyncWait(fn *types.Func) (string, bool) {
+	pkg, typ, name, ok := methodInfo(fn)
+	if !ok || pkg != "sync" || name != "Wait" {
+		return "", false
+	}
+	if typ == "WaitGroup" || typ == "Cond" {
+		return "sync." + typ + ".Wait", true
+	}
+	return "", false
+}

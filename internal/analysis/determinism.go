@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -46,43 +47,55 @@ var seededConstructors = map[string]bool{
 
 func runDeterminism(pass *Pass) error {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.CallExpr:
-				checkWallClockAndRand(pass, n)
-			case *ast.RangeStmt:
-				checkMapRangeOutput(pass, n, enclosingFuncBody(f, n))
-			}
-			return true
-		})
+		checkDeterminismIn(pass.Info, pass.Reportf, f)
 	}
 	return nil
 }
 
-func checkWallClockAndRand(pass *Pass, call *ast.CallExpr) {
-	fn := calleeFunc(pass.Info, call)
+// reporter abstracts Pass.Reportf / ProgramPass.Reportf so the
+// determinism checks run identically per-package (determinism) and over
+// call-graph-reachable functions (purity), which decorates the reports.
+type reporter = func(pos token.Pos, format string, args ...interface{})
+
+// checkDeterminismIn applies the wall-clock/rand and map-ordered-output
+// checks to every node under root (a file for the determinism analyzer, a
+// single function declaration for purity).
+func checkDeterminismIn(info *types.Info, report reporter, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkWallClockAndRand(info, report, n)
+		case *ast.RangeStmt:
+			checkMapRangeOutput(info, report, n, enclosingFuncBody(root, n))
+		}
+		return true
+	})
+}
+
+func checkWallClockAndRand(info *types.Info, report reporter, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
 	if fn == nil {
 		return
 	}
 	if isPkgFunc(fn, "time", "Now") || isPkgFunc(fn, "time", "Since") {
-		pass.Reportf(call.Pos(), "time.%s in a determinism-scoped package: wall-clock state must not influence sweep output", fn.Name())
+		report(call.Pos(), "time.%s: wall-clock state must not influence sweep output", fn.Name())
 		return
 	}
 	for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
 		if fn.Pkg() != nil && fn.Pkg().Path() == randPkg {
 			sig, ok := fn.Type().(*types.Signature)
 			if ok && sig.Recv() == nil && !seededConstructors[fn.Name()] {
-				pass.Reportf(call.Pos(), "global %s.%s uses the shared unseeded stream; use rand.New(rand.NewSource(seed)) as internal/sensor does", randPkg, fn.Name())
+				report(call.Pos(), "global %s.%s uses the shared unseeded stream; use rand.New(rand.NewSource(seed)) as internal/sensor does", randPkg, fn.Name())
 			}
 		}
 	}
 }
 
 // enclosingFuncBody returns the body of the innermost function containing
-// n, for the sorted-afterwards exemption.
-func enclosingFuncBody(f *ast.File, n ast.Node) *ast.BlockStmt {
+// n (searching under root), for the sorted-afterwards exemption.
+func enclosingFuncBody(root ast.Node, n ast.Node) *ast.BlockStmt {
 	var body *ast.BlockStmt
-	ast.Inspect(f, func(c ast.Node) bool {
+	ast.Inspect(root, func(c ast.Node) bool {
 		if c == nil || c.Pos() > n.Pos() || c.End() < n.End() {
 			return false
 		}
@@ -104,8 +117,8 @@ func enclosingFuncBody(f *ast.File, n ast.Node) *ast.BlockStmt {
 // slice is sorted afterwards — the collect-then-sort idiom), or emits a
 // telemetry event: all places where map iteration order would leak into
 // serialized output.
-func checkMapRangeOutput(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
-	t := pass.Info.TypeOf(rng.X)
+func checkMapRangeOutput(info *types.Info, report reporter, rng *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	t := info.TypeOf(rng.X)
 	if t == nil {
 		return
 	}
@@ -117,16 +130,16 @@ func checkMapRangeOutput(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt
 		if !ok {
 			return true
 		}
-		fn := calleeFunc(pass.Info, call)
+		fn := calleeFunc(info, call)
 		switch {
 		case isFprint(fn):
-			pass.Reportf(call.Pos(), "fmt.%s inside range over map: iteration order leaks into the writer; iterate sorted keys instead", fn.Name())
-		case isWriterMethod(pass.Info, call, fn):
-			pass.Reportf(call.Pos(), "%s on an io.Writer inside range over map: iteration order leaks into serialized output; iterate sorted keys instead", fn.Name())
+			report(call.Pos(), "fmt.%s inside range over map: iteration order leaks into the writer; iterate sorted keys instead", fn.Name())
+		case isWriterMethod(info, call, fn):
+			report(call.Pos(), "%s on an io.Writer inside range over map: iteration order leaks into serialized output; iterate sorted keys instead", fn.Name())
 		case isTelemetryEmit(fn):
-			pass.Reportf(call.Pos(), "telemetry %s inside range over map: event order would depend on map iteration; iterate sorted keys instead", fn.Name())
+			report(call.Pos(), "telemetry %s inside range over map: event order would depend on map iteration; iterate sorted keys instead", fn.Name())
 		default:
-			checkOutsideAppend(pass, rng, funcBody, call)
+			checkOutsideAppend(info, report, rng, funcBody, call)
 		}
 		return true
 	})
@@ -190,28 +203,28 @@ func isTelemetryEmit(fn *types.Func) bool {
 // checkOutsideAppend flags append() growing a slice declared outside the
 // range statement, unless that slice is later passed to a sort or slices
 // call in the same function (the canonical collect-keys-then-sort fix).
-func checkOutsideAppend(pass *Pass, rng *ast.RangeStmt, funcBody *ast.BlockStmt, call *ast.CallExpr) {
+func checkOutsideAppend(info *types.Info, report reporter, rng *ast.RangeStmt, funcBody *ast.BlockStmt, call *ast.CallExpr) {
 	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
 	if !ok || id.Name != "append" {
 		return
 	}
-	if b, _ := pass.Info.Uses[id].(*types.Builtin); b == nil {
+	if b, _ := info.Uses[id].(*types.Builtin); b == nil {
 		return
 	}
 	if len(call.Args) == 0 {
 		return
 	}
-	obj := baseObject(pass.Info, call.Args[0])
+	obj := baseObject(info, call.Args[0])
 	if obj == nil {
 		return
 	}
 	if obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End() {
 		return // loop-local accumulation; order cannot escape
 	}
-	if sortedAfter(pass.Info, funcBody, rng, obj) {
+	if sortedAfter(info, funcBody, rng, obj) {
 		return
 	}
-	pass.Reportf(call.Pos(), "append to %s inside range over map: element order depends on map iteration; collect then sort, or iterate sorted keys", obj.Name())
+	report(call.Pos(), "append to %s inside range over map: element order depends on map iteration; collect then sort, or iterate sorted keys", obj.Name())
 }
 
 // baseObject resolves the root identifier of an expression like x or

@@ -21,12 +21,30 @@ type directive struct {
 	rest string // text after the verb, want-comment suffix stripped
 }
 
+// allowSite is one well-formed //didt:allow directive, retained with its
+// position so stale-suppression detection and the budget can account for
+// every exception individually.
+type allowSite struct {
+	pos       token.Pos
+	file      string
+	line      int
+	analyzers []string
+	reason    string
+}
+
 // directives is every didt: annotation found in a package, plus the
-// bookkeeping needed to validate placement.
+// bookkeeping needed to validate placement and audit usage.
 type directives struct {
 	fset    *token.FileSet
 	all     []directive
+	sites   []allowSite
 	allowed map[allowKey]bool
+	// used records which allow keys actually suppressed a diagnostic in
+	// this run — the complement is the stale-suppression set.
+	used map[allowKey]bool
+	// markUsed, when set (merged views), fans a usage mark out to the
+	// child directive sets; nil means mark locally in used.
+	markUsed func(allowKey)
 	// hotpathDocs holds the comment groups serving as function doc
 	// comments, the only legal home for //didt:hotpath.
 	hotpathDocs map[*ast.CommentGroup]bool
@@ -47,6 +65,7 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
 	d := &directives{
 		fset:        fset,
 		allowed:     map[allowKey]bool{},
+		used:        map[allowKey]bool{},
 		hotpathDocs: map[*ast.CommentGroup]bool{},
 	}
 	for _, f := range files {
@@ -66,9 +85,15 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
 				dir := directive{pos: c.Pos(), verb: verb, rest: strings.TrimSpace(rest)}
 				d.all = append(d.all, dir)
 				if verb == "allow" {
-					if name, _, ok := parseAllow(dir.rest); ok {
+					if names, reason, ok := parseAllow(dir.rest); ok {
 						p := fset.Position(c.Pos())
-						d.allowed[allowKey{p.Filename, p.Line, name}] = true
+						d.sites = append(d.sites, allowSite{
+							pos: c.Pos(), file: p.Filename, line: p.Line,
+							analyzers: names, reason: reason,
+						})
+						for _, name := range names {
+							d.allowed[allowKey{p.Filename, p.Line, name}] = true
+						}
 					}
 				}
 			}
@@ -77,22 +102,72 @@ func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
 	return d
 }
 
-// parseAllow splits "analyzer -- reason", requiring both halves.
-func parseAllow(rest string) (analyzer, reason string, ok bool) {
-	name, reason, found := strings.Cut(rest, "--")
-	name = strings.TrimSpace(name)
-	reason = strings.TrimSpace(reason)
-	if !found || name == "" || reason == "" || strings.ContainsAny(name, " \t") {
-		return "", "", false
+// mergeDirectives combines the directive sets of several packages into one
+// view, so program-wide analyzers can have their diagnostics filtered no
+// matter which package a finding lands in. The merged set shares the
+// children's used maps: marking a key used through the merged view is
+// visible to stale detection on the per-package sets.
+func mergeDirectives(ds ...*directives) *directives {
+	m := &directives{
+		allowed:     map[allowKey]bool{},
+		used:        map[allowKey]bool{},
+		hotpathDocs: map[*ast.CommentGroup]bool{},
 	}
-	return name, reason, true
+	children := ds
+	for _, d := range children {
+		for k, v := range d.allowed {
+			m.allowed[k] = v
+		}
+		m.sites = append(m.sites, d.sites...)
+	}
+	// Forward usage marks to every child holding the key.
+	m.markUsed = func(k allowKey) {
+		m.used[k] = true
+		for _, d := range children {
+			if d.allowed[k] {
+				d.used[k] = true
+			}
+		}
+	}
+	return m
+}
+
+// parseAllow splits "analyzer[,analyzer...] -- reason", requiring both
+// halves. A comma-separated analyzer list suppresses several analyzers on
+// one line (a site flagged by both determinism and purity, say) with a
+// single audited reason.
+func parseAllow(rest string) (analyzers []string, reason string, ok bool) {
+	names, reason, found := strings.Cut(rest, "--")
+	names = strings.TrimSpace(names)
+	reason = strings.TrimSpace(reason)
+	if !found || names == "" || reason == "" || strings.ContainsAny(names, " \t") {
+		return nil, "", false
+	}
+	for _, n := range strings.Split(names, ",") {
+		if n == "" {
+			return nil, "", false
+		}
+		analyzers = append(analyzers, n)
+	}
+	return analyzers, reason, true
 }
 
 // allows reports whether analyzer diagnostics at file:line are suppressed
-// by a directive on that line or the line immediately above.
+// by a directive on that line or the line immediately above, marking the
+// matched directive as used for stale-suppression accounting.
 func (d *directives) allows(analyzer, file string, line int) bool {
-	return d.allowed[allowKey{file, line, analyzer}] ||
-		d.allowed[allowKey{file, line - 1, analyzer}]
+	for _, l := range []int{line, line - 1} {
+		k := allowKey{file, l, analyzer}
+		if d.allowed[k] {
+			if d.markUsed != nil {
+				d.markUsed(k)
+			} else {
+				d.used[k] = true
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // isHotpathDoc reports whether a comment group is a function doc comment
@@ -153,13 +228,15 @@ func runDirectives(pass *Pass) error {
 				pass.Reportf(dir.pos, "//didt:hotpath must be in a function's doc comment")
 			}
 		case "allow":
-			name, _, ok := parseAllow(dir.rest)
+			names, _, ok := parseAllow(dir.rest)
 			if !ok {
-				pass.Reportf(dir.pos, "malformed //didt:allow directive: need \"//didt:allow <analyzer> -- <reason>\"")
+				pass.Reportf(dir.pos, "malformed //didt:allow directive: need \"//didt:allow <analyzer>[,<analyzer>] -- <reason>\"")
 				continue
 			}
-			if !known[name] {
-				pass.Reportf(dir.pos, "//didt:allow names unknown analyzer %q", name)
+			for _, name := range names {
+				if !known[name] {
+					pass.Reportf(dir.pos, "//didt:allow names unknown analyzer %q", name)
+				}
 			}
 		default:
 			pass.Reportf(dir.pos, "unknown directive //didt:%s", dir.verb)

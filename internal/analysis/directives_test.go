@@ -9,26 +9,68 @@ import (
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
-		rest     string
-		analyzer string
-		reason   string
-		ok       bool
+		rest      string
+		analyzers []string
+		reason    string
+		ok        bool
 	}{
-		{"hotpath -- cold error path", "hotpath", "cold error path", true},
-		{"determinism --  padded  reason ", "determinism", "padded  reason", true},
-		{"hotpath --", "", "", false},              // empty reason
-		{"-- reason only", "", "", false},          // missing analyzer
-		{"hotpath cold error path", "", "", false}, // missing separator
-		{"", "", "", false},                        // empty
-		{"two names -- reason", "", "", false},     // analyzer must be one token
-		{"locks -- buffered -- nested", "locks", "buffered -- nested", true},
+		{"hotpath -- cold error path", []string{"hotpath"}, "cold error path", true},
+		{"determinism --  padded  reason ", []string{"determinism"}, "padded  reason", true},
+		{"hotpath --", nil, "", false},              // empty reason
+		{"-- reason only", nil, "", false},          // missing analyzer
+		{"hotpath cold error path", nil, "", false}, // missing separator
+		{"", nil, "", false},                        // empty
+		{"two names -- reason", nil, "", false},     // list must be one space-free token
+		{"locks -- buffered -- nested", []string{"locks"}, "buffered -- nested", true},
+		{"determinism,purity -- shared reason", []string{"determinism", "purity"}, "shared reason", true},
+		{"a,b,c -- three", []string{"a", "b", "c"}, "three", true},
+		{"determinism, purity -- space after comma", nil, "", false},
+		{"determinism,,purity -- empty element", nil, "", false},
+		{",determinism -- leading comma", nil, "", false},
 	}
 	for _, c := range cases {
-		analyzer, reason, ok := parseAllow(c.rest)
-		if ok != c.ok || analyzer != c.analyzer || reason != c.reason {
+		analyzers, reason, ok := parseAllow(c.rest)
+		if ok != c.ok || !slicesEqual(analyzers, c.analyzers) || reason != c.reason {
 			t.Errorf("parseAllow(%q) = (%q, %q, %v), want (%q, %q, %v)",
-				c.rest, analyzer, reason, ok, c.analyzer, c.reason, c.ok)
+				c.rest, analyzers, reason, ok, c.analyzers, c.reason, c.ok)
 		}
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeDirectivesUsageFanOut verifies that marking an allow used
+// through a merged view reaches the per-package set it came from — the
+// contract stale-suppression detection depends on.
+func TestMergeDirectivesUsageFanOut(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //didt:allow hotpath -- reason
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := parseDirectives(fset, []*ast.File{f})
+	merged := mergeDirectives(child)
+	if !merged.allows("hotpath", "p.go", 4) {
+		t.Fatal("merged view did not suppress")
+	}
+	if !child.used[allowKey{"p.go", 4, "hotpath"}] {
+		t.Error("usage mark did not fan out to the child directive set")
 	}
 }
 

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroLeak requires every `go` statement to carry visible evidence that
+// someone can observe the goroutine finishing: a WaitGroup.Done, a send
+// on (or close of) a channel, a drain of one, or a select on ctx.Done()
+// inside the launched body. A goroutine with none of those is
+// unjoinable — the server can never drain it, tests can never wait for
+// it, and under -race its writes surface as mystery reports long after
+// the test that launched it.
+//
+// The evidence must be lexically inside the launched function literal, so
+// launching a named function is flagged even if that function signals —
+// the join protocol belongs at the launch site, where the reader (and
+// this analyzer) can see both halves. Wrap the call:
+//
+//	go func() { defer wg.Done(); work() }()
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every go statement needs a reachable join/cancel: WaitGroup.Done, " +
+		"channel send/close, or ctx.Done select in the launched body",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				pass.Reportf(g.Pos(), "go with a named function hides the join protocol: wrap in a func literal that signals completion (wg.Done, channel send/close) at the launch site")
+				return true
+			}
+			if !signalsCompletion(pass.Info, lit.Body) {
+				pass.Reportf(g.Pos(), "goroutine has no observable join or cancel: add wg.Done, a channel send/close, or a ctx.Done select so it can be waited for")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// signalsCompletion reports whether a goroutine body contains any
+// mechanism an outsider can observe: WaitGroup.Done, a channel send,
+// close(), a channel receive/range (the goroutine is consuming a work or
+// signal channel someone else closes), or a ctx.Done select.
+func signalsCompletion(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if b, _ := info.Uses[id].(*types.Builtin); b != nil {
+					found = true
+				}
+			}
+			if pkg, typ, name, ok := methodInfo(calleeFunc(info, n)); ok &&
+				pkg == "sync" && typ == "WaitGroup" && name == "Done" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

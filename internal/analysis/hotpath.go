@@ -2,18 +2,27 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 )
 
 // HotPath proves the per-cycle cost contract: a function annotated
 // //didt:hotpath (the PDN convolver step, the sensor sample, the actuator
 // response — code executed once per simulated cycle, hundreds of millions
 // of times per sweep) must not format strings, defer, acquire mutexes, or
-// allocate by converting concrete values to interfaces.
+// allocate. The allocation half is conservative escape reasoning rather
+// than a real escape analysis: interface boxing, address-taken and
+// reference-typed composite literals, variable-capturing closures, and
+// append are each flagged as the line-level explanation behind a failed
+// 0-allocs -benchmem gate. A site the compiler provably keeps on the
+// stack earns a //didt:allow hotpath with that proof as its reason.
 var HotPath = &Analyzer{
 	Name: "hotpath",
-	Doc: "forbid fmt calls, defer, mutex acquisition and interface-" +
-		"converting allocations in functions annotated //didt:hotpath",
+	Doc: "forbid fmt calls, defer, mutex acquisition, interface boxing, " +
+		"escaping literals, capturing closures and append in functions " +
+		"annotated //didt:hotpath",
 	Run: runHotPath,
 }
 
@@ -43,6 +52,7 @@ func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 			if isMutexAcquire(callee) {
 				pass.Reportf(n.Pos(), "mutex acquisition in hot-path function %s: per-cycle code must be lock-free", name)
 			}
+			checkHotAppend(pass, n, name)
 			checkCallIfaceArgs(pass, n, name)
 		case *ast.AssignStmt:
 			checkAssignIface(pass, n, name)
@@ -50,9 +60,107 @@ func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 			checkReturnIface(pass, fn, n, name)
 		case *ast.ValueSpec:
 			checkValueSpecIface(pass, n, name)
+		case *ast.UnaryExpr:
+			checkAddrOfLiteral(pass, n, name)
+		case *ast.CompositeLit:
+			checkRefLiteral(pass, n, name)
+		case *ast.FuncLit:
+			checkClosureCapture(pass, n, name)
 		}
 		return true
 	})
+}
+
+// checkHotAppend flags append in hot-path functions: whether it grows
+// depends on runtime capacity, which no annotation can prove, so the
+// per-cycle kernels write into preallocated buffers by index instead.
+func checkHotAppend(pass *Pass, call *ast.CallExpr, fnName string) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if b, _ := pass.Info.Uses[id].(*types.Builtin); b == nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "append in hot-path function %s may grow the backing array mid-sweep: index into a preallocated buffer instead", fnName)
+}
+
+// checkAddrOfLiteral flags &T{...}: taking a composite literal's address
+// forces it to the heap unless the compiler can prove otherwise.
+func checkAddrOfLiteral(pass *Pass, u *ast.UnaryExpr, fnName string) {
+	if u.Op != token.AND {
+		return
+	}
+	if _, ok := ast.Unparen(u.X).(*ast.CompositeLit); ok {
+		pass.Reportf(u.Pos(), "address-of composite literal in hot-path function %s escapes to the heap on every per-cycle call", fnName)
+	}
+}
+
+// checkRefLiteral flags slice and map literals, which allocate their
+// backing store; struct and array values stay on the stack and pass.
+func checkRefLiteral(pass *Pass, lit *ast.CompositeLit, fnName string) {
+	t := pass.Info.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal in hot-path function %s allocates its backing array on every per-cycle call", fnName)
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal in hot-path function %s allocates on every per-cycle call", fnName)
+	}
+}
+
+// checkClosureCapture flags function literals that capture variables from
+// the enclosing scope: the captured environment allocates (and defeats
+// inlining) each time the literal is evaluated. Capture-free literals
+// compile to static functions and pass.
+func checkClosureCapture(pass *Pass, lit *ast.FuncLit, fnName string) {
+	captured := capturedVars(pass.Info, lit)
+	if len(captured) == 0 {
+		return
+	}
+	pass.Reportf(lit.Pos(), "closure capturing %s in hot-path function %s allocates its environment on every per-cycle call", strings.Join(captured, ", "), fnName)
+}
+
+// capturedVars lists the variables a function literal references but does
+// not declare — free variables excluding package-level objects, which
+// cost nothing to reference.
+func capturedVars(info *types.Info, lit *ast.FuncLit) []string {
+	declared := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				declared[obj] = true
+			}
+		}
+		return true
+	})
+	seen := map[types.Object]bool{}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || declared[v] || seen[v] {
+			return true
+		}
+		// Package-level variables are not captured; they live statically.
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		// A variable declared lexically inside the literal is not free.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		seen[v] = true
+		out = append(out, v.Name())
+		return true
+	})
+	sort.Strings(out)
+	return out
 }
 
 // isIfaceType reports whether t is an interface (but not a type

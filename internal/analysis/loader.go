@@ -9,7 +9,9 @@ import (
 	"go/token"
 	"go/types"
 	"os"
+	"path"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -117,6 +119,56 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		return p.Types, nil
 	}
 	return l.std.Import(path)
+}
+
+// Packages returns every package loaded so far through this loader's
+// roots (the standard library is resolved through the source importer and
+// never appears here), sorted by import path for deterministic iteration.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// WalkModulePackages returns the import paths of every package under root
+// (a directory containing go.mod for module modulePath), skipping
+// testdata, vendor, and hidden directories. Paths come back sorted, so
+// callers analyzing "./..." see a stable order.
+func WalkModulePackages(root, modulePath string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(p) {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, modulePath)
+		} else {
+			paths = append(paths, path.Join(modulePath, filepath.ToSlash(rel)))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
 }
 
 func (l *Loader) load(path, dir string) (*Package, error) {

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder extends the per-function locks analyzer into a whole-program
+// lock-acquisition graph. A node is a lock identity — the owning named
+// type plus field (didt/internal/sim.Cache.mu), or a package-level
+// variable — and an edge A→B means some function acquires B while holding
+// A, either directly in its body or through any function it calls
+// (transitively). A cycle in that graph is a potential deadlock: two
+// goroutines entering the cycle from different edges can each hold what
+// the other needs. A self-edge is a guaranteed one: sync.Mutex is not
+// reentrant, so acquiring a lock while holding it — directly or through a
+// call chain — blocks forever.
+//
+// Held-ness is tracked lexically, the same discipline locks.go uses:
+// between mu.Lock() and mu.Unlock() in straight-line statement order.
+// Function literals do not inherit the enclosing held set (a go-launched
+// body runs on another goroutine), but their own acquisitions still feed
+// the enclosing function's transitive acquire set — conservative in the
+// direction that finds cycles. Interface-dispatched calls are invisible
+// to the graph (no static callee), an accepted under-approximation.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "build the whole-program lock-acquisition graph and reject cycles " +
+		"(potential deadlocks) and recursive acquisition",
+	RunProgram: runLockOrder,
+}
+
+// lockEdge records that `to` is acquired while `from` is held, at pos.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+// funcLocks summarizes one function for the fixpoint: the locks its body
+// acquires directly, the statically-known callees, and the call sites
+// executed while locks are held.
+type funcLocks struct {
+	fi       *FuncInfo
+	acquires map[string]token.Pos // lock id -> first acquisition position
+	callees  []*types.Func
+	// heldCalls: call sites under held locks; edges from each held lock to
+	// everything the callee transitively acquires.
+	heldCalls []heldCall
+	edges     []lockEdge // direct body edges (lock acquired under lock)
+}
+
+type heldCall struct {
+	held   []string
+	callee *types.Func
+	pos    token.Pos
+}
+
+func runLockOrder(pass *ProgramPass) error {
+	prog := pass.Program()
+	requested := map[string]bool{}
+	for _, p := range pass.Paths {
+		requested[p] = true
+	}
+
+	// Summarize every loaded function; the graph needs out-of-scope
+	// callees' acquires even though edges are only reported in scope.
+	summaries := map[*types.Func]*funcLocks{}
+	for _, fi := range prog.Funcs {
+		summaries[fi.Fn] = summarizeLocks(fi)
+	}
+
+	// Fixpoint: propagate acquires through calls until stable.
+	trans := map[*types.Func]map[string]token.Pos{}
+	for fn, s := range summaries {
+		m := map[string]token.Pos{}
+		for id, pos := range s.acquires {
+			m[id] = pos
+		}
+		trans[fn] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn, s := range summaries {
+			m := trans[fn]
+			for _, callee := range s.callees {
+				cm, ok := trans[callee]
+				if !ok {
+					continue
+				}
+				for id, pos := range cm {
+					if _, have := m[id]; !have {
+						m[id] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Assemble edges: direct ones plus held-call closures. Only functions
+	// in the requested packages contribute reportable edges, so fixture
+	// runs sharing a loader never leak each other's graphs.
+	var edges []lockEdge
+	for _, s := range summaries {
+		if !requested[s.fi.Pkg.Path] {
+			continue
+		}
+		edges = append(edges, s.edges...)
+		for _, hc := range s.heldCalls {
+			cm, ok := trans[hc.callee]
+			if !ok {
+				continue
+			}
+			ids := make([]string, 0, len(cm))
+			for id := range cm {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, held := range hc.held {
+				for _, id := range ids {
+					edges = append(edges, lockEdge{from: held, to: id, pos: hc.pos})
+				}
+			}
+		}
+	}
+
+	// Dedup edges by (from, to), keeping the earliest position.
+	best := map[[2]string]lockEdge{}
+	for _, e := range edges {
+		k := [2]string{e.from, e.to}
+		if prev, ok := best[k]; !ok || e.pos < prev.pos {
+			best[k] = e
+		}
+	}
+	adj := map[string][]string{}
+	var uniq []lockEdge
+	for _, e := range best {
+		uniq = append(uniq, e)
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].pos != uniq[j].pos {
+			return uniq[i].pos < uniq[j].pos
+		}
+		return uniq[i].from+uniq[i].to < uniq[j].from+uniq[j].to
+	})
+
+	// Report every edge that participates in a cycle: self-edges
+	// (recursive acquisition) and edges whose target can reach the source.
+	for _, e := range uniq {
+		if e.from == e.to {
+			pass.Reportf(e.pos, "recursive acquisition of %s: sync mutexes are not reentrant, this deadlocks", e.from)
+			continue
+		}
+		if reaches(adj, e.to, e.from) {
+			pass.Reportf(e.pos, "lock-order cycle: %s acquired while holding %s, but elsewhere %s is acquired while %s is held", e.to, e.from, e.from, e.to)
+		}
+	}
+	return nil
+}
+
+// reaches reports whether target is reachable from start in the edge map.
+func reaches(adj map[string][]string, start, target string) bool {
+	seen := map[string]bool{}
+	stack := []string{start}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == target {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, adj[n]...)
+	}
+	return false
+}
+
+// summarizeLocks walks one function body computing its lock summary.
+func summarizeLocks(fi *FuncInfo) *funcLocks {
+	s := &funcLocks{fi: fi, acquires: map[string]token.Pos{}}
+	for _, e := range fi.Edges {
+		if e.Call {
+			s.callees = append(s.callees, e.Callee)
+		}
+	}
+	walkLockStmts(fi, fi.Decl.Body, nil, s)
+	return s
+}
+
+// walkLockStmts processes statements in order, tracking the held set
+// lexically. Nested blocks and control-flow bodies are walked with a copy
+// of the current held set (an Unlock inside an if is not assumed on the
+// fall-through path). Function literals start from an empty held set —
+// they may run on another goroutine — but feed the same summary.
+func walkLockStmts(fi *FuncInfo, block *ast.BlockStmt, held []string, s *funcLocks) {
+	if block == nil {
+		return
+	}
+	for _, stmt := range block.List {
+		held = lockStep(fi, stmt, held, s)
+	}
+}
+
+// lockStep handles one statement, returning the updated held set.
+func lockStep(fi *FuncInfo, stmt ast.Stmt, held []string, s *funcLocks) []string {
+	info := fi.Pkg.Info
+	switch st := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			fn := calleeFunc(info, call)
+			switch {
+			case isMutexAcquire(fn):
+				id := lockIdent(info, fi, call)
+				s.recordAcquire(id, call.Pos(), held)
+				return append(append([]string{}, held...), id)
+			case isMutexRelease(fn):
+				id := lockIdent(info, fi, call)
+				return removeLast(held, id)
+			}
+		}
+	case *ast.DeferStmt:
+		fn := calleeFunc(info, st.Call)
+		if isMutexRelease(fn) {
+			// Deferred unlock: held until return; leave the set alone.
+			return held
+		}
+	}
+	// Any other statement: scan for calls made while locks are held and
+	// recurse into nested blocks with a copied held set.
+	scanHeldCalls(fi, stmt, held, s)
+	return held
+}
+
+// recordAcquire notes a direct acquisition and the edges it creates from
+// every currently held lock.
+func (s *funcLocks) recordAcquire(id string, pos token.Pos, held []string) {
+	if _, ok := s.acquires[id]; !ok {
+		s.acquires[id] = pos
+	}
+	// An already-held id produces the self-edge that reports as
+	// recursive acquisition.
+	for _, h := range held {
+		s.edges = append(s.edges, lockEdge{from: h, to: id, pos: pos})
+	}
+}
+
+// scanHeldCalls walks a statement's subtree handling nested lock
+// operations, held-context call sites, and function literals.
+func scanHeldCalls(fi *FuncInfo, root ast.Node, held []string, s *funcLocks) {
+	info := fi.Pkg.Info
+	cur := append([]string{}, held...)
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Fresh held set: the literal may run on another goroutine.
+			walkLockStmts(fi, n.Body, nil, s)
+			return false
+		case *ast.BlockStmt:
+			walkLockStmts(fi, n, cur, s)
+			return false
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			switch {
+			case isMutexAcquire(fn):
+				id := lockIdent(info, fi, n)
+				s.recordAcquire(id, n.Pos(), cur)
+				cur = append(cur, id)
+			case isMutexRelease(fn):
+				cur = removeLast(cur, lockIdent(info, fi, n))
+			case fn != nil && len(cur) > 0:
+				s.heldCalls = append(s.heldCalls, heldCall{
+					held: append([]string{}, cur...), callee: origin(fn), pos: n.Pos(),
+				})
+			}
+		}
+		return true
+	})
+}
+
+// removeLast drops the last occurrence of id from held.
+func removeLast(held []string, id string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == id {
+			out := append([]string{}, held[:i]...)
+			return append(out, held[i+1:]...)
+		}
+	}
+	return held
+}
+
+// lockIdent names the lock a mu.Lock()/mu.Unlock() call operates on: the
+// owning named type plus field path for field mutexes, the package path
+// plus variable name for globals, a function-scoped name for locals.
+func lockIdent(info *types.Info, fi *FuncInfo, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "unknown"
+	}
+	recv := ast.Unparen(sel.X)
+	if fieldSel, ok := recv.(*ast.SelectorExpr); ok {
+		if named := namedOf(info.TypeOf(fieldSel.X)); named != nil {
+			return qualifiedTypeName(named) + "." + fieldSel.Sel.Name
+		}
+	}
+	if id, ok := recv.(*ast.Ident); ok {
+		if named := namedOf(info.TypeOf(id)); named != nil && !isSyncLockType(named) {
+			// Promoted embed: c.Lock() on a type embedding sync.Mutex.
+			return qualifiedTypeName(named) + ".(embedded)"
+		}
+		if obj := info.ObjectOf(id); obj != nil && obj.Pkg() != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + id.Name
+			}
+			return obj.Pkg().Path() + "." + fi.Fn.Name() + "." + id.Name
+		}
+	}
+	return types.ExprString(recv)
+}
+
+// namedOf unwraps pointers and returns the named type underneath, if any.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// qualifiedTypeName renders pkgpath.TypeName.
+func qualifiedTypeName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// isSyncLockType reports whether the named type is sync.Mutex/RWMutex
+// itself (as opposed to a type embedding one).
+func isSyncLockType(n *types.Named) bool {
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}

@@ -27,6 +27,26 @@ func unknownVerb() {
 	_ = u
 }
 
+func multiName() {
+	a := 7 //didt:allow determinism,purity -- one audited reason for both views
+	_ = a
+}
+
+func multiNameUnknown() {
+	b := 8 //didt:allow determinism,frobnicator -- second name is bogus // want `unknown analyzer "frobnicator"`
+	_ = b
+}
+
+func multiNameSpaced() {
+	c := 9 //didt:allow determinism, purity -- comma lists are space-free // want `malformed //didt:allow directive`
+	_ = c
+}
+
+func multiNameEmptyElement() {
+	d := 10 //didt:allow determinism,,purity -- empty element // want `malformed //didt:allow directive`
+	_ = d
+}
+
 //didt:hotpath
 func legallyAnnotated() {}
 

@@ -1,0 +1,64 @@
+// Package gorofix exercises the goroleak analyzer: every go statement
+// must launch a body with an observable join or cancel signal.
+package gorofix
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func namedLaunch() {
+	go work() // want `go with a named function hides the join protocol`
+}
+
+func silentLaunch() {
+	go func() { // want `goroutine has no observable join or cancel`
+		work()
+	}()
+}
+
+func joinedByWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func joinedByChannel() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	return done
+}
+
+func joinedBySend(results chan int) {
+	go func() {
+		results <- 1
+	}()
+}
+
+// consumer goroutines end when their input channel closes: the close is
+// the cancel signal, observed by the range.
+func consumer(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+// cancellable goroutines end when the context does.
+func cancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func allowedFireAndForget() {
+	go work() //didt:allow goroleak -- fixture: process-lifetime helper, exits with the program
+}

@@ -1,0 +1,62 @@
+package hotfix
+
+// Escape-reasoning half of the hotpath contract: appends, heap-bound
+// literals and capturing closures are the usual suspects behind a failed
+// 0-allocs -benchmem gate.
+
+type sample struct{ v, t float64 }
+
+//didt:hotpath
+func appended(buf []float64, v float64) []float64 {
+	return append(buf, v) // want `append in hot-path function appended may grow the backing array`
+}
+
+//didt:hotpath
+func addrTaken(v float64) *sample {
+	return &sample{v: v} // want `address-of composite literal in hot-path function addrTaken escapes`
+}
+
+//didt:hotpath
+func sliceLit(v float64) float64 {
+	s := []float64{v, v} // want `slice literal in hot-path function sliceLit allocates`
+	return s[0]
+}
+
+//didt:hotpath
+func mapLit(v float64) float64 {
+	m := map[string]float64{"v": v} // want `map literal in hot-path function mapLit allocates`
+	return m["v"]
+}
+
+//didt:hotpath
+func capturing(v float64) func() float64 {
+	return func() float64 { return v * 2 } // want `closure capturing v in hot-path function capturing`
+}
+
+// Value literals stay on the stack: no finding.
+//
+//didt:hotpath
+func valueLit(v float64) sample {
+	s := sample{v: v, t: v * 2}
+	return s
+}
+
+// A capture-free literal compiles to a static function: no finding.
+//
+//didt:hotpath
+func staticClosure() func(float64) float64 {
+	return func(x float64) float64 { return x * x }
+}
+
+// Indexed writes into a preallocated buffer are the blessed idiom.
+//
+//didt:hotpath
+func indexed(buf []float64, i int, v float64) {
+	buf[i] = v
+}
+
+//didt:hotpath
+func allowedWarmup(buf []float64) []float64 {
+	//didt:allow hotpath -- capacity reserved by the caller; append is provably in-place here
+	return append(buf, 0)
+}

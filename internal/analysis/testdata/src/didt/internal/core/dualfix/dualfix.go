@@ -1,0 +1,20 @@
+// Package dualfix exercises the overlap between the per-package
+// determinism analyzer and the interprocedural purity analyzer: a line
+// both object to needs either two wants or one comma-separated allow.
+package dualfix
+
+import "time"
+
+// Root is the fixture's purity root; the package path also sits inside
+// the determinism scope (didt/internal/core/...).
+func Root() int64 {
+	return impure() + allowed()
+}
+
+func impure() int64 {
+	return time.Now().Unix() // want `determinism: time\.Now` `purity: time\.Now.*reachable from dualfix\.Root`
+}
+
+func allowed() int64 {
+	return time.Now().Unix() //didt:allow determinism,purity -- fixture: one audited reason covers both analyzer views
+}

@@ -1,0 +1,87 @@
+// Package ctxfix exercises the ctxflow analyzer: blocking channel
+// operations and Waits in the concurrent packages must select on
+// ctx.Done(), be non-blocking, or carry an audited //didt:allow.
+package ctxfix
+
+import (
+	"context"
+	"sync"
+)
+
+func bareSend(ch chan int) {
+	ch <- 1 // want `blocking send outside select`
+}
+
+func bareRecv(ch chan int) int {
+	return <-ch // want `blocking receive outside select`
+}
+
+func rangeChan(ch chan int) (sum int) {
+	for v := range ch { // want `range over channel blocks until the channel closes`
+		sum += v
+	}
+	return sum
+}
+
+func bareWait(wg *sync.WaitGroup) {
+	wg.Wait() // want `sync\.WaitGroup\.Wait blocks with no cancellation escape`
+}
+
+func condWait(c *sync.Cond) {
+	c.Wait() // want `sync\.Cond\.Wait blocks with no cancellation escape`
+}
+
+func deafSelect(a, b chan int) int {
+	select { // want `select has no default and no ctx\.Done\(\) case`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// guardedSend is the canonical pattern: the send escapes on cancellation.
+func guardedSend(ctx context.Context, ch chan int) error {
+	select {
+	case ch <- 1:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// nonBlocking needs no Done case: default makes it unable to block.
+func nonBlocking(ch chan int) bool {
+	select {
+	case ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+// doneRecv blocks on cancellation itself — that IS the escape hatch.
+func doneRecv(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// launched bodies are goroleak's concern, not ctxflow's: the launcher
+// returns immediately, so nothing here wedges a caller.
+func launched(ch chan int, wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+}
+
+// allowedDrain documents the provably-non-blocking exception.
+func allowedDrain(errc chan error) error {
+	close(errc)
+	var first error
+	for e := range errc { //didt:allow ctxflow -- errc is closed above; the loop drains buffered values and terminates
+		if first == nil {
+			first = e
+		}
+	}
+	return first
+}

@@ -1,0 +1,107 @@
+// Package lockorderfix exercises the lockorder analyzer: the
+// whole-program lock-acquisition graph must stay acyclic, and no lock may
+// be acquired while already held.
+package lockorderfix
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// abPath and baPath acquire the same two locks in opposite orders — the
+// textbook deadlock pair. Each closing edge is reported where it forms.
+func abPath() {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle: didt/lockorderfix\.B\.mu acquired while holding didt/lockorderfix\.A\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baPath() {
+	b.mu.Lock()
+	a.mu.Lock() // want `lock-order cycle: didt/lockorderfix\.A\.mu acquired while holding didt/lockorderfix\.B\.mu`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+var c C
+
+// direct recursive acquisition: sync.Mutex self-deadlocks.
+func recursive() {
+	c.mu.Lock()
+	c.mu.Lock() // want `recursive acquisition of didt/lockorderfix\.C\.mu`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+type D struct{ mu sync.Mutex }
+
+var d D
+
+func lockD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+// indirect recursion through a call: the callee's acquisitions count
+// against the caller's held set.
+func recursiveViaCall() {
+	d.mu.Lock()
+	lockD() // want `recursive acquisition of didt/lockorderfix\.D\.mu`
+	d.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+var (
+	e E
+	f F
+)
+
+// Consistent ordering everywhere: E before F. Acyclic, no findings.
+func efOne() {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func efTwo() {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// Sequential (non-nested) acquisition creates no edge in either order.
+func sequential() {
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+type G struct{ mu sync.Mutex }
+
+var g G
+
+func lockG() {
+	g.mu.Lock()
+	g.mu.Unlock()
+}
+
+// The audited exception: a re-entrant call pattern proven unreachable in
+// production, carried with a reason.
+func allowedRecursion() {
+	g.mu.Lock()
+	lockG() //didt:allow lockorder -- fixture: lockG is never called with g held in production; audited
+	g.mu.Unlock()
+}

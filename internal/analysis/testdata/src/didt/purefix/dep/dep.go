@@ -1,0 +1,16 @@
+// Package dep is purefix's dependency: purity findings must cross the
+// package boundary, and //didt:allow must suppress them at the site.
+package dep
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Impure() float64 {
+	return float64(time.Now().UnixNano()) // want `time\.Now.*\[in didt/purefix/dep\.Impure, reachable from purefix\.Run\]`
+}
+
+func Allowed() float64 {
+	return rand.Float64() //didt:allow purity -- fixture: stream is reseeded per spec.Key upstream
+}

@@ -1,0 +1,37 @@
+// Package purefix exercises the purity analyzer: everything reachable
+// from the configured root must be free of wall-clock, global-rand, and
+// map-ordered output — across package boundaries, while unreachable code
+// is left alone.
+package purefix
+
+import (
+	"time"
+
+	"didt/purefix/dep"
+)
+
+// Run is the fixture's purity root.
+func Run() float64 {
+	fns := Table()
+	return helper() + dep.Impure() + dep.Allowed() + fns[0]()
+}
+
+func helper() float64 {
+	return float64(time.Now().Unix()) // want `time\.Now.*\[in didt/purefix\.helper, reachable from purefix\.Run\]`
+}
+
+// Table returns runner functions registry-style: viaTable enters the call
+// graph through the value-reference edge, not a direct call.
+func Table() []func() float64 {
+	return []func() float64{viaTable}
+}
+
+func viaTable() float64 {
+	return float64(time.Now().UnixNano()) // want `time\.Now.*reachable from purefix\.Run`
+}
+
+// unreachableImpure is never called from the root: impurity here is
+// someone else's problem (the determinism analyzer's, if in scope).
+func unreachableImpure() int64 {
+	return time.Now().Unix()
+}

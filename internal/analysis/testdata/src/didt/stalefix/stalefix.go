@@ -1,0 +1,28 @@
+// Package stalefix exercises stale-suppression detection: a //didt:allow
+// that no longer silences anything is itself a diagnostic — unless its
+// analyzer did not run, or the staleness has been explicitly acknowledged.
+package stalefix
+
+import "fmt"
+
+//didt:hotpath
+func hot(v int) string {
+	return fmt.Sprint(v) //didt:allow hotpath -- fixture: live suppression, keeps this allow non-stale
+}
+
+func cold(v int) string {
+	return fmt.Sprint(v) //didt:allow hotpath -- fixture: obsolete, nothing fires here // want `stale //didt:allow hotpath`
+}
+
+// notRun names an analyzer absent from this run: staleness is
+// undecidable, so nothing is reported.
+func notRun(v int) string {
+	return fmt.Sprint(v) //didt:allow ctxflow -- fixture: analyzer not in this run, never reported stale
+}
+
+// acknowledged shows the closed loop: the stale report is itself
+// suppressible through the directives analyzer name.
+func acknowledged(v int) string {
+	//didt:allow directives -- fixture: staleness acknowledged pending cleanup
+	return fmt.Sprint(v) //didt:allow hotpath -- fixture: stale but acknowledged above
+}

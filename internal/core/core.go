@@ -326,8 +326,8 @@ func (s *System) observe(act *cpu.Activity, current, v float64, done bool) Cycle
 		s.hist.Add(v)
 	}
 	if s.opts.RecordTraces {
-		s.curTr = append(s.curTr, current)
-		s.voltTr = append(s.voltTr, v)
+		s.curTr = append(s.curTr, current) //didt:allow hotpath -- trace recording is a debug mode; steady-state sweeps never enter this branch
+		s.voltTr = append(s.voltTr, v)     //didt:allow hotpath -- trace recording is a debug mode; steady-state sweeps never enter this branch
 	}
 
 	level := sensor.Normal

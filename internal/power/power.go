@@ -224,6 +224,7 @@ func (m *Model) Step(act *cpu.Activity, ph Phantom) CycleReport {
 			}
 		}
 	}
+	//didt:allow hotpath -- closure never escapes Step, so it stays on the stack; the -benchmem gate pins Step at 0 allocs/op
 	busy := func(cl isa.Class) float64 { return m.spread[cl][m.pos] }
 
 	var r CycleReport
@@ -232,6 +233,8 @@ func (m *Model) Step(act *cpu.Activity, ph Phantom) CycleReport {
 
 	// util computes a unit's power given its activity fraction and whether
 	// the actuator has hard-gated it.
+	//
+	//didt:allow hotpath -- closure never escapes Step, so it stays on the stack; the -benchmem gate pins Step at 0 allocs/op
 	util := func(u Unit, frac float64, hardGated, phantom bool) float64 {
 		peak := m.p.Peak[u]
 		switch {

@@ -225,7 +225,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	select {
 	case s.running <- struct{}{}:
 	case <-s.drain:
-		<-s.admitted
+		<-s.admitted //didt:allow ctxflow -- provably non-blocking: returns the token this request put into the buffered admitted channel
 		s.inflight.Done()
 		s.updateAdmissionGauges()
 		s.mUnavailable.Inc()
@@ -234,7 +234,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 			"didtd: draining, not accepting new work")
 		return nil, false
 	case <-r.Context().Done():
-		<-s.admitted
+		<-s.admitted //didt:allow ctxflow -- provably non-blocking: returns the token this request put into the buffered admitted channel
 		s.inflight.Done()
 		s.updateAdmissionGauges()
 		setOutcome(r.Context(), "client_gone")
@@ -246,18 +246,40 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	// so a fresh server's snapshot is unchanged.
 	s.cfg.Registry.Histogram("didtd.admission.queue_wait_ms", 0, 30_000, 120).Observe(waitMS)
 	s.updateAdmissionGauges()
-	if s.testRunStarted != nil {
-		s.testRunStarted <- struct{}{}
-	}
-	if s.testRunGate != nil {
-		<-s.testRunGate
-	}
-	return func() {
-		<-s.running
-		<-s.admitted
+	release = func() {
+		<-s.running  //didt:allow ctxflow -- provably non-blocking: returns the run slot this request won above
+		<-s.admitted //didt:allow ctxflow -- provably non-blocking: returns the token this request put into the buffered admitted channel
 		s.inflight.Done()
 		s.updateAdmissionGauges()
-	}, true
+	}
+	// Test hooks (nil in production). Both sit on the path every admitted
+	// sweep traverses — including SSE progress streams — so an unguarded
+	// send here once let a vanished client wedge a run slot forever: the
+	// hook channels are unbuffered, and nothing drained them after the
+	// test (or the client) gave up. Guard both with the request context,
+	// releasing the slot on abandonment. Deliberately NOT guarded with the
+	// drain signal: this request is already admitted, and draining lets
+	// admitted work finish — only new and still-queued requests are turned
+	// away.
+	if s.testRunStarted != nil {
+		select {
+		case s.testRunStarted <- struct{}{}:
+		case <-r.Context().Done():
+			release()
+			setOutcome(r.Context(), "client_gone")
+			return nil, false
+		}
+	}
+	if s.testRunGate != nil {
+		select {
+		case <-s.testRunGate:
+		case <-r.Context().Done():
+			release()
+			setOutcome(r.Context(), "client_gone")
+			return nil, false
+		}
+	}
+	return release, true
 }
 
 // requestContext derives the request's execution context: the client's

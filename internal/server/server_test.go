@@ -393,3 +393,50 @@ func TestServerMetricsAndHealth(t *testing.T) {
 		t.Fatalf("pprof index: %d", resp.StatusCode)
 	}
 }
+
+// TestServerClientGoneAtGateReleasesSlot: regression for the unguarded
+// test-hook channel operations in admit. The hook channels are unbuffered
+// and sit on the path of every admitted request — including SSE progress
+// streams — so a client that vanished while its request was parked on the
+// run-start hook or the gate once wedged the only run slot forever. An
+// abandoned request must release its slot so later requests still run.
+func TestServerClientGoneAtGateReleasesSlot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := New(Config{MaxConcurrent: 1, QueueDepth: 0, Registry: reg})
+	started := make(chan struct{}, 2)
+	gate := make(chan struct{})
+	s.testRunStarted = started
+	s.testRunGate = gate
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/simulate",
+		strings.NewReader(`{"workload":"stressmark","cycles":20000,"iterations":200}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errs := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errs <- err
+	}()
+	<-started // the request holds the only run slot, parked on the gate
+	cancel()  // the client walks away
+	if err := <-errs; err == nil {
+		t.Fatal("cancelled request unexpectedly completed")
+	}
+	// The abandoned request must give its slot back...
+	waitForGauge(t, reg, "didtd.active_requests", 0)
+	// ...so a fresh request is admitted and completes once the gate opens.
+	close(gate)
+	code, body := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stressmark","cycles":20000,"iterations":200}`)
+	if code != http.StatusOK {
+		t.Fatalf("request after abandoned predecessor: status %d, want 200: %s", code, body)
+	}
+}

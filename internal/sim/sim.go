@@ -218,10 +218,15 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 		return out, nil
 	}
 
+	// parent distinguishes external cancellation (abandon the join: the
+	// caller must not hang on a job function that ignores its context)
+	// from the internal cancel below (a job error: the join completes
+	// promptly and the real error is collected from errc).
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	start := time.Now() //didt:allow determinism -- wall-clock feeds only the utilization gauge, never sweep results
+	start := time.Now() //didt:allow determinism,purity -- wall-clock feeds only the utilization gauge, never sweep results
 	busy := make([]time.Duration, workers)
 	jobs := make(chan int)
 	errc := make(chan jobError, workers)
@@ -231,9 +236,9 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
-				jobStart := time.Now() //didt:allow determinism -- per-job timing feeds only the utilization histogram
+				jobStart := time.Now() //didt:allow determinism,purity -- per-job timing feeds only the utilization histogram
 				v, err := runJob(ctx, i)
-				busy[w] += time.Since(jobStart) //didt:allow determinism -- per-job timing feeds only the utilization histogram
+				busy[w] += time.Since(jobStart) //didt:allow determinism,purity -- per-job timing feeds only the utilization histogram
 				if err != nil {
 					errc <- jobError{i, err}
 					cancel()
@@ -250,28 +255,44 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 
 dispatch:
 	for i := 0; i < n; i++ {
-		waitStart := time.Now() //didt:allow determinism -- queue-wait feeds only the monotonic counter scrapers derive rates from
+		waitStart := time.Now() //didt:allow determinism,purity -- queue-wait feeds only the monotonic counter scrapers derive rates from
 		select {
 		case jobs <- i:
-			mQueueWaitNs.Add(time.Since(waitStart).Nanoseconds()) //didt:allow determinism -- queue-wait feeds only the monotonic counter scrapers derive rates from
+			mQueueWaitNs.Add(time.Since(waitStart).Nanoseconds()) //didt:allow determinism,purity -- queue-wait feeds only the monotonic counter scrapers derive rates from
 			gUndispatched.Set(float64(n - i - 1))
 		case <-ctx.Done():
 			break dispatch
 		}
 	}
 	close(jobs)
-	wg.Wait()
+	// Join through a closed channel so a job function that ignores its
+	// context can never wedge the caller: external cancellation abandons
+	// the join (the worker goroutines die with the cancelled ctx when the
+	// job function eventually returns). Internal cancellation — a job
+	// error — is NOT an abandon trigger: there the workers drain promptly
+	// and the caller must collect the real error from errc below rather
+	// than report a generic context error.
+	joined := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(joined)
+	}()
+	select {
+	case <-joined:
+	case <-parent.Done():
+		return nil, parent.Err()
+	}
 	close(errc)
 
 	// Per-worker utilization: busy fraction of the sweep's wall time.
-	if wall := time.Since(start); wall > 0 { //didt:allow determinism -- utilization metric only; sweep outputs are index-ordered and timing-free
+	if wall := time.Since(start); wall > 0 { //didt:allow determinism,purity -- utilization metric only; sweep outputs are index-ordered and timing-free
 		for _, b := range busy {
 			hUtilization.Observe(100 * float64(b) / float64(wall))
 		}
 	}
 
 	first := jobError{index: n}
-	for je := range errc {
+	for je := range errc { //didt:allow ctxflow -- errc is closed above after all workers exited; this drains at most `workers` buffered values and terminates
 		if je.index < first.index {
 			first = je
 		}

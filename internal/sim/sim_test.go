@@ -495,3 +495,66 @@ func TestPoolUndispatchedGauge(t *testing.T) {
 		t.Fatal("stale sim.pool.queue_depth gauge still registered")
 	}
 }
+
+// TestMapAbandonsJoinOnExternalCancel: regression for the unconditional
+// worker join that once wedged Map's caller forever when a job function
+// ignored its context. External cancellation must return promptly even
+// while every worker is stuck inside such a job; the abandoned workers
+// are left to die on their own once the job finally returns.
+func TestMapAbandonsJoinOnExternalCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	wedge := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 2, 4, func(context.Context, int) (int, error) {
+			entered <- struct{}{}
+			<-wedge // deliberately ignores ctx: the worst-behaved job possible
+			return 0, nil
+		})
+		done <- err
+	}()
+	<-entered
+	<-entered // both workers are now wedged in context-ignoring jobs
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got err %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map stayed wedged joining workers stuck in context-ignoring jobs")
+	}
+	close(wedge) // release the abandoned workers so they exit cleanly
+}
+
+// TestMapJobErrorSurvivesSlowJoin: the flip side of the abandon rule — an
+// internal cancellation (a job error) must NOT abandon the join, because
+// the caller needs the real error collected from the error channel, not a
+// generic context error. The failing job's error comes back even when
+// another worker is still finishing a slow job at join time.
+func TestMapJobErrorSurvivesSlowJoin(t *testing.T) {
+	boom := errors.New("job 0 failed")
+	release := make(chan struct{})
+	var failed atomic.Bool
+	out, err := Map(context.Background(), 2, 4, func(ctx context.Context, i int) (int, error) {
+		if i == 0 {
+			failed.Store(true)
+			close(release)
+			return 0, boom
+		}
+		// The slow job holds the join open past the internal cancel.
+		<-release
+		time.Sleep(20 * time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got err %v, want the job error", err)
+	}
+	if out != nil {
+		t.Fatal("failed Map returned results")
+	}
+	if !failed.Load() {
+		t.Fatal("failing job never ran")
+	}
+}

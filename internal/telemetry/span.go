@@ -218,7 +218,7 @@ func (t *Tracer) Start(ctx context.Context, name string, attrs ...Attr) (context
 	s := &Span{
 		t:     t,
 		name:  name,
-		start: time.Now(), //didt:allow determinism -- spans exist to measure wall-clock request latency; they feed logs and span exports, never result bytes
+		start: time.Now(), //didt:allow determinism,purity -- spans exist to measure wall-clock request latency; they feed logs and span exports, never result bytes
 		attrs: attrs,
 	}
 	if parent := SpanFromContext(ctx); parent != nil {
@@ -273,7 +273,7 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	s.dur = time.Since(s.start) //didt:allow determinism -- span durations are the observability payload; they never reach result bytes
+	s.dur = time.Since(s.start) //didt:allow determinism,purity -- span durations are the observability payload; they never reach result bytes
 	s.t.recordSpan(SpanRecord{
 		TraceID:       s.traceID,
 		SpanID:        s.spanID,

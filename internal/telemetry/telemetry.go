@@ -214,7 +214,7 @@ func (s *Stream) Emit(cycle uint64, k Kind, arg int32, value float64) {
 	e := Event{Cycle: cycle, Kind: k, Arg: arg, Value: value}
 	switch {
 	case len(s.buf) < cap(s.buf):
-		s.buf = append(s.buf, e)
+		s.buf = append(s.buf, e) //didt:allow hotpath -- len<cap is checked the line above: this append is provably in-place
 	case cap(s.buf) < s.t.ringCap:
 		grown := cap(s.buf) * 2
 		if grown > s.t.ringCap {
@@ -222,7 +222,7 @@ func (s *Stream) Emit(cycle uint64, k Kind, arg int32, value float64) {
 		}
 		nb := make([]Event, len(s.buf), grown)
 		copy(nb, s.buf)
-		s.buf = append(nb, e)
+		s.buf = append(nb, e) //didt:allow hotpath -- nb was just sized with spare capacity; amortized ring growth capped at ringCap
 	default:
 		s.buf[s.head] = e
 		s.head++
