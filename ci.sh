@@ -66,6 +66,15 @@ go test -race -count=1 \
 # at parallel 1 and 4 whether tracing is enabled or not.
 go test -race -count=1 -run TestParallelOutputIdenticalWithSpans ./internal/experiments
 
+# Result-store smoke test under the race detector: concurrent identical
+# requests cost exactly one engine run (wire singleflight), a restarted
+# server serves the stored bytes with the same ETag and answers
+# If-None-Match with 304, /v1/batch deduplicates through the same store,
+# and the store itself survives kill-restart, truncation and bit flips.
+go test -race -count=1 \
+    -run 'TestServerStore|TestServerSweepStoreRoundTrip|TestServerBatch|TestStore|TestEntry' \
+    ./internal/server ./internal/store
+
 # Allocation gate: the per-cycle simulation kernels (streaming PDN step,
 # batched SoA step, FFT block convolution) must stay allocation-free —
 # one allocation per cycle is the difference between the profiled ~50

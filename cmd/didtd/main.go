@@ -12,6 +12,8 @@
 //	                    parameters, byte-identical at any -parallel setting
 //	POST /v1/simulate   run one closed-loop simulation, JSON summary out;
 //	                    accepts either flat fields or a full run spec
+//	POST /v1/batch      run many simulate specs under one admission slot,
+//	                    one NDJSON record per entry in completion order
 //	GET  /v1/spec/default  the fully resolved default run spec
 //	GET  /v1/spans      recent spans as JSONL (?format=chrome for a Chrome
 //	                    trace viewer file)
@@ -27,6 +29,12 @@
 // and queue-depth more are waiting, further work is rejected with 429. On
 // SIGINT/SIGTERM the server stops accepting work (503), drains in-flight
 // requests for up to -shutdown-grace, then exits.
+//
+// With -store-dir set, every sweep/simulate/batch response is persisted in
+// a disk-backed content-addressed store and repeat requests — including
+// after a restart — are served from disk with a strong ETag and no
+// admission cost (If-None-Match answers 304). -store-cap and -store-ttl
+// bound the store; its janitor evicts oldest entries beyond either limit.
 package main
 
 import (
@@ -46,6 +54,7 @@ import (
 	"didt/internal/server"
 	"didt/internal/sim"
 	"didt/internal/spec"
+	"didt/internal/store"
 	"didt/internal/telemetry"
 )
 
@@ -91,6 +100,9 @@ func main() {
 		logFormat = flag.String("log-format", "json", "log output format: json or text")
 		spans     = flag.Bool("spans", true, "record request/experiment spans (export at GET /v1/spans)")
 		spanRing  = flag.Int("span-ring", telemetry.DefaultSpanRingCap, "completed spans kept in memory for export")
+		storeDir  = flag.String("store-dir", "", "directory for the durable result store (empty = results are not persisted)")
+		storeCap  = flag.Int("store-cap", 4096, "max entries the result store keeps (0 = unbounded)")
+		storeTTL  = flag.Duration("store-ttl", 0, "max age of a stored result (0 = never expires)")
 	)
 	flag.Func("cache-cap", "override a shared cache capacity as name=entries (repeatable; 0 = unbounded; see -list-cache-caps)", func(v string) error {
 		name, val, ok := strings.Cut(v, "=")
@@ -143,11 +155,27 @@ func main() {
 	if *parallel > 0 {
 		sim.SetDefaultWorkers(*parallel)
 	}
+	var resultStore *store.Store
+	if *storeDir != "" {
+		resultStore, err = store.Open(*storeDir, store.Options{
+			Capacity: *storeCap,
+			TTL:      *storeTTL,
+			Registry: telemetry.Default(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "didtd:", err)
+			os.Exit(1)
+		}
+		logger.Info("result store open", "dir", *storeDir,
+			"entries", resultStore.Len(), "bytes", resultStore.Bytes(),
+			"cap", *storeCap, "ttl", storeTTL.String())
+	}
 	srv := server.New(server.Config{
 		MaxConcurrent:  *maxConc,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
 		Parallel:       *parallel,
+		Store:          resultStore,
 		Logger:         logger,
 		Spans:          tracer,
 	})

@@ -7,11 +7,13 @@ import (
 
 // ctxflowScope: the packages whose goroutines serve requests and sweeps —
 // the places where an unguarded blocking operation turns a cancelled
-// request into a wedged worker. Library and kernel packages stay out of
-// scope: they run synchronously under the caller's deadline.
+// request into a wedged worker. internal/store sits on every request's
+// cache path, so it is held to the same bar. Library and kernel packages
+// stay out of scope: they run synchronously under the caller's deadline.
 var ctxflowScope = []string{
 	"didt/internal/sim",
 	"didt/internal/server",
+	"didt/internal/store",
 }
 
 // CtxFlow enforces the cancellation contract on the concurrent packages:

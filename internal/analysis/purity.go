@@ -17,14 +17,18 @@ type PurityRoot struct {
 
 // defaultPurityRoots are the contract's entry points on the real tree:
 // the per-cycle kernel, the batched kernel, the PDN convolver, the memo
-// key, and the experiment table (whose runner functions enter the graph
-// through value-reference edges).
+// key, the experiment table (whose runner functions enter the graph
+// through value-reference edges), and the result-store entry codec — a
+// stored entry must be a pure function of (key, body) or byte-identical
+// restart recovery is fiction.
 var defaultPurityRoots = []PurityRoot{
 	{Pkg: "didt/internal/core", Recv: "System", Name: "StepCycle", Label: "core.StepCycle"},
 	{Pkg: "didt/internal/core", Recv: "", Name: "RunBatch", Label: "core.RunBatch"},
 	{Pkg: "didt/internal/pdn", Recv: "Network", Name: "ConvolveVoltages", Label: "pdn.ConvolveVoltages"},
 	{Pkg: "didt/internal/spec", Recv: "RunSpec", Name: "Key", Label: "spec.Key"},
 	{Pkg: "didt/internal/experiments", Recv: "", Name: "Registry", Label: "experiments.Registry"},
+	{Pkg: "didt/internal/store", Recv: "", Name: "EncodeEntry", Label: "store.EncodeEntry"},
+	{Pkg: "didt/internal/store", Recv: "", Name: "DecodeEntry", Label: "store.DecodeEntry"},
 }
 
 // Purity is the interprocedural determinism analyzer: where the

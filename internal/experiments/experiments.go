@@ -324,6 +324,34 @@ func memoKey(name string, cfg Config) string {
 	})
 }
 
+// sweepIdentity is everything that affects a rendered sweep response: the
+// resolved experiment list in execution order plus the same sweep-shape
+// fields memoIdentity keys on. Parallel and Ctx are excluded for the same
+// reason they are excluded there — the determinism contract promises the
+// bytes do not depend on them.
+type sweepIdentity struct {
+	IDs        []string     `json:"ids"`
+	Base       spec.RunSpec `json:"base"`
+	Iterations int          `json:"iterations"`
+	StressIter int          `json:"stress_iter"`
+	Benchmarks []string     `json:"benchmarks"`
+}
+
+// ResultKey is the content hash of the rendered output for running ids
+// under this configuration — the identity didtd's result store files a
+// sweep response under. Defaults are applied first so sparse and explicit
+// spellings of the same sweep share one entry.
+func (c Config) ResultKey(ids []string) string {
+	d := c.withDefaults()
+	return sim.Fingerprint(sweepIdentity{
+		IDs:        ids,
+		Base:       d.baseSpec(0),
+		Iterations: d.Iterations,
+		StressIter: d.StressIter,
+		Benchmarks: d.Benchmarks,
+	})
+}
+
 func memoized[T any](name string, cfg Config, compute func() (T, error)) (T, error) {
 	// A request span around the cache decision: the hit/miss attribute is
 	// how a trace explains where a sweep's time went (a hit is microseconds,

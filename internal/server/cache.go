@@ -1,0 +1,192 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"strings"
+
+	"didt/internal/sim"
+	"didt/internal/store"
+)
+
+// Wire-level result caching: every cacheable work request (non-SSE sweep,
+// simulate, batch entry) resolves through one path — the durable
+// content-addressed store first, then a per-key singleflight, then the
+// engine. The determinism contract makes the three sources
+// indistinguishable byte-for-byte, so the only observable differences are
+// cost (a store hit never admits a run slot, a coalesced request never
+// runs the engine) and the X-Didtd-Result-Source header.
+//
+// Responses carry a strong ETag derived from the request key and the
+// result digest; If-None-Match answers 304 without touching the engine —
+// on a warm store, without even reading the run from disk into the
+// response.
+
+// wireResult is one cached response body with its entity tag.
+type wireResult struct {
+	body []byte
+	etag string
+}
+
+// errAdmissionHandled reports that a flight leader failed admission: the
+// admission path has already answered the request (429, 503, or nothing
+// for a vanished client), so the handler must write nothing more.
+var errAdmissionHandled = errors.New("didtd: admission answered the request")
+
+// storeGet probes the durable store; nil-store servers always miss.
+func (s *Server) storeGet(key string) (wireResult, bool) {
+	if s.cfg.Store == nil {
+		return wireResult{}, false
+	}
+	body, digest, ok := s.cfg.Store.Get(key)
+	if !ok {
+		return wireResult{}, false
+	}
+	return wireResult{body: body, etag: store.ETag(key, digest)}, true
+}
+
+// storePut persists a freshly computed body (best effort — a store write
+// failure degrades durability, not the response) and derives the ETag.
+func (s *Server) storePut(key string, body []byte) wireResult {
+	digest := store.Digest(body)
+	if s.cfg.Store != nil {
+		if _, err := s.cfg.Store.Put(key, body); err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.LogAttrs(context.Background(), slog.LevelWarn, "store put failed",
+				slog.String("key", key), slog.String("err", err.Error()))
+		}
+	}
+	return wireResult{body: body, etag: store.ETag(key, digest)}
+}
+
+// fetch resolves the keyed result: store hit, coalesced onto another
+// request's in-progress flight, or computed by running the engine as the
+// flight leader. ctx bounds only this caller's waiting; the leader's own
+// computation runs under whatever context run chooses. admit, when
+// non-nil, is invoked once if this call becomes the leader — it is the
+// hook through which exactly one of N concurrent identical requests pays
+// run-slot admission; returning ok=false aborts the flight with
+// errAdmissionHandled. source reports where the bytes came from
+// ("store", "coalesced", "run").
+func (s *Server) fetch(ctx context.Context, key string, admit func() (release func(), ok bool), run func() ([]byte, error)) (res wireResult, source string, err error) {
+	if res, ok := s.storeGet(key); ok {
+		return res, "store", nil
+	}
+	for {
+		f, leader := s.flights.Join(key)
+		if !leader {
+			res, err := f.Wait(ctx)
+			if errors.Is(err, sim.ErrFlightAborted) {
+				// The leader produced nothing (lost admission, client
+				// vanished) — but it may have landed a store entry before
+				// aborting. Re-probe, then contend for leadership.
+				if res, ok := s.storeGet(key); ok {
+					return res, "store", nil
+				}
+				continue
+			}
+			if err != nil {
+				return wireResult{}, "", err
+			}
+			s.mCoalesced.Inc()
+			return res, "coalesced", nil
+		}
+		// Leader. Double-check the store: between this request's probe and
+		// winning leadership, a previous flight may have completed and
+		// persisted — recomputing would break "N identical requests, one
+		// simulation".
+		if res, ok := s.storeGet(key); ok {
+			s.flights.Abort(key, f)
+			return res, "store", nil
+		}
+		if admit != nil {
+			release, ok := admit()
+			if !ok {
+				s.flights.Abort(key, f)
+				return wireResult{}, "", errAdmissionHandled
+			}
+			defer release()
+		}
+		s.mEngineRuns.Inc()
+		body, err := run()
+		if err != nil {
+			if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+				// Leader-specific abandonment: the result never existed, so
+				// waiters retry instead of inheriting a cancellation that
+				// was never theirs.
+				s.flights.Abort(key, f)
+			} else {
+				s.flights.Finish(key, f, wireResult{}, err)
+			}
+			return wireResult{}, "", err
+		}
+		res := s.storePut(key, body)
+		s.flights.Finish(key, f, res, nil)
+		return res, "run", nil
+	}
+}
+
+// serveCached is the HTTP face of fetch: it answers w from the store, a
+// coalesced flight, or a fresh engine run, attaching the strong ETag and
+// honouring If-None-Match with 304.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, timeoutMS int64, contentType string, extra func(http.Header), run func(ctx context.Context) ([]byte, error)) {
+	res, source, err := s.fetch(r.Context(), key,
+		func() (func(), bool) { return s.admit(w, r) },
+		func() ([]byte, error) {
+			ctx, cancel := s.requestContext(r, timeoutMS)
+			defer cancel()
+			return run(ctx)
+		})
+	switch {
+	case errors.Is(err, errAdmissionHandled):
+		return // admit wrote the rejection (or the client is gone)
+	case err != nil && r.Context().Err() != nil:
+		setOutcome(r.Context(), "client_gone")
+		return
+	case err != nil:
+		writeRunError(w, r, err)
+		return
+	}
+	s.writeResult(w, r, res, contentType, extra, source)
+}
+
+// writeResult emits a cached/computed result body with its caching
+// headers, short-circuiting to 304 when the client already holds these
+// exact bytes.
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, res wireResult, contentType string, extra func(http.Header), source string) {
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Set("ETag", res.etag)
+	h.Set("X-Didtd-Result-Source", source)
+	if extra != nil {
+		extra(h)
+	}
+	if etagMatch(r.Header.Get("If-None-Match"), res.etag) {
+		s.mNotModified.Inc()
+		setOutcome(r.Context(), "not_modified")
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Write(res.body)
+}
+
+// etagMatch implements the If-None-Match comparison (RFC 9110 §13.1.2):
+// a comma-separated list of entity tags, compared weakly (a W/ prefix on
+// either side is ignored), with "*" matching any current representation.
+func etagMatch(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	opaque := strings.TrimPrefix(etag, "W/")
+	for _, candidate := range strings.Split(ifNoneMatch, ",") {
+		candidate = strings.TrimSpace(candidate)
+		if candidate == "*" {
+			return true
+		}
+		if strings.TrimPrefix(candidate, "W/") == opaque {
+			return true
+		}
+	}
+	return false
+}

@@ -45,15 +45,16 @@ func TestErrorEnvelope(t *testing.T) {
 	ovSrv.testRunGate = gate
 	ovTS := httptest.NewServer(ovSrv.Handler())
 	t.Cleanup(ovTS.Close)
+	// Three distinct bodies: identical ones would coalesce onto one flight
+	// instead of filling the admission queue.
 	done := make(chan struct{}, 2)
-	simBody := `{"workload":"stressmark","cycles":20000,"iterations":200}`
 	go func() {
-		postJSON(t, ovTS.URL+"/v1/simulate", simBody)
+		postJSON(t, ovTS.URL+"/v1/simulate", `{"workload":"stressmark","cycles":20000,"iterations":200}`)
 		done <- struct{}{}
 	}()
 	<-started
 	go func() {
-		postJSON(t, ovTS.URL+"/v1/simulate", simBody)
+		postJSON(t, ovTS.URL+"/v1/simulate", `{"workload":"stressmark","cycles":20000,"iterations":201}`)
 		done <- struct{}{}
 	}()
 	waitForGauge(t, ovSrv.cfg.Registry, "didtd.admission.queue_depth", 1)
@@ -70,7 +71,10 @@ func TestErrorEnvelope(t *testing.T) {
 		{"unknown experiment", ts.URL + "/v1/sweep", `{"run":"fig999"}`, http.StatusBadRequest, "bad_request"},
 		{"oversized body", ts.URL + "/v1/sweep", `{"benchmarks":["` + strings.Repeat("x", 1<<20) + `"]}`, http.StatusRequestEntityTooLarge, "payload_too_large"},
 		{"bad progress mode", ts.URL + "/v1/sweep", `{"run":"table2","progress":"websocket"}`, http.StatusBadRequest, "bad_request"},
-		{"overflow", ovTS.URL + "/v1/simulate", simBody, http.StatusTooManyRequests, "overflow"},
+		{"trailing json document", ts.URL + "/v1/sweep", `{"run":"table2"}{"run":"fig2"}`, http.StatusBadRequest, "bad_request"},
+		{"trailing garbage", ts.URL + "/v1/simulate", `{"workload":"stressmark"} extra`, http.StatusBadRequest, "bad_request"},
+		{"trailing garbage on batch", ts.URL + "/v1/batch", `{"specs":[]}]`, http.StatusBadRequest, "bad_request"},
+		{"overflow", ovTS.URL + "/v1/simulate", `{"workload":"stressmark","cycles":20000,"iterations":202}`, http.StatusTooManyRequests, "overflow"},
 		{"draining", drainTS.URL + "/v1/sweep", `{"run":"table2"}`, http.StatusServiceUnavailable, "draining"},
 		{"bad metrics format", "", "", http.StatusBadRequest, "bad_request"},
 	}
@@ -144,6 +148,28 @@ func TestHealthzFields(t *testing.T) {
 	}
 	if h.Active == nil || h.Queued == nil || h.UptimeS == nil {
 		t.Errorf("missing gauge fields: %s", body)
+	}
+	// queued_requests is clamped at zero: the two channel reads behind it
+	// can transiently disagree, and the JSON must never report a negative
+	// queue to a dashboard.
+	if h.Queued != nil && *h.Queued < 0 {
+		t.Errorf("queued_requests = %d, want >= 0", *h.Queued)
+	}
+	// Pin the exact JSON shape: a renamed or dropped field is an API break
+	// for health checkers, not a refactor.
+	var shape map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &shape); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"status", "version", "go_version", "active_requests",
+		"queued_requests", "max_concurrent", "queue_depth", "uptime_s"}
+	if len(shape) != len(want) {
+		t.Errorf("healthz has %d fields, want %d: %s", len(shape), len(want), body)
+	}
+	for _, k := range want {
+		if _, ok := shape[k]; !ok {
+			t.Errorf("healthz misses field %q: %s", k, body)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@
 //
 //	POST /v1/sweep      run experiment sweeps (table2, fig10, fig14..18, ...)
 //	POST /v1/simulate   run one closed-loop simulation
+//	POST /v1/batch      run many simulate specs, streamed as NDJSON records
 //	GET  /healthz       liveness + drain state
 //	GET  /metrics       telemetry registry snapshot (canonical JSON)
 //	GET  /debug/pprof/  pprof profiling endpoints
@@ -17,6 +18,13 @@
 // bounded queue in front of the sweep engine (429 when full, 503 while
 // draining), request contexts thread into sim.Map, and graceful shutdown
 // drains running sweeps before the process exits.
+//
+// Determinism is also what makes results cacheable at the wire: every
+// sweep/simulate response is filed in the optional disk store under its
+// content key and served from disk on repeat requests (strong ETag,
+// If-None-Match → 304), and concurrent identical requests coalesce onto
+// one engine run through a per-key singleflight — N clients asking the
+// same question cost one run-slot admission and one simulation.
 package server
 
 import (
@@ -25,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -35,8 +44,10 @@ import (
 
 	"didt/internal/core"
 	"didt/internal/experiments"
+	"didt/internal/isa"
 	"didt/internal/sim"
 	"didt/internal/spec"
+	"didt/internal/store"
 	"didt/internal/telemetry"
 )
 
@@ -54,6 +65,11 @@ type Config struct {
 	// Parallel is the per-request sweep worker count used when a request
 	// does not specify one; <= 0 selects sim.DefaultWorkers.
 	Parallel int
+	// Store, when non-nil, is the durable result store: sweep/simulate/
+	// batch responses are persisted under their content key and repeat
+	// requests are served from disk — across process restarts — without
+	// admitting a run. nil disables persistence; coalescing still works.
+	Store *store.Store
 	// Registry receives the service metrics; nil selects the process-wide
 	// telemetry.Default() (which also carries the engine/cache metrics).
 	Registry *telemetry.Registry
@@ -103,11 +119,21 @@ type Server struct {
 	drain     chan struct{}
 	inflight  sync.WaitGroup
 
-	mRequests    *telemetry.Counter
-	mRejected    *telemetry.Counter
-	mUnavailable *telemetry.Counter
-	gQueueDepth  *telemetry.Gauge
-	gActive      *telemetry.Gauge
+	// flights coalesces concurrent identical work requests at the wire:
+	// per result key, one leader runs the engine while every other
+	// request waits for the leader's bytes (see cache.go).
+	flights sim.FlightGroup[string, wireResult]
+
+	mRequests     *telemetry.Counter
+	mRejected     *telemetry.Counter
+	mUnavailable  *telemetry.Counter
+	mEngineRuns   *telemetry.Counter
+	mCoalesced    *telemetry.Counter
+	mNotModified  *telemetry.Counter
+	mBatchEntries *telemetry.Counter
+	mBatchDeduped *telemetry.Counter
+	gQueueDepth   *telemetry.Gauge
+	gActive       *telemetry.Gauge
 
 	// Test hooks, nil in production: testRunStarted receives one value
 	// when a request passes admission and starts running; testRunGate,
@@ -128,14 +154,20 @@ func New(cfg Config) *Server {
 		running:  make(chan struct{}, cfg.MaxConcurrent),
 		drain:    make(chan struct{}),
 
-		mRequests:    cfg.Registry.Counter("didtd.requests_total"),
-		mRejected:    cfg.Registry.Counter("didtd.rejected_total"),
-		mUnavailable: cfg.Registry.Counter("didtd.unavailable_total"),
-		gQueueDepth:  cfg.Registry.Gauge("didtd.admission.queue_depth"),
-		gActive:      cfg.Registry.Gauge("didtd.active_requests"),
+		mRequests:     cfg.Registry.Counter("didtd.requests_total"),
+		mRejected:     cfg.Registry.Counter("didtd.rejected_total"),
+		mUnavailable:  cfg.Registry.Counter("didtd.unavailable_total"),
+		mEngineRuns:   cfg.Registry.Counter("didtd.engine_runs_total"),
+		mCoalesced:    cfg.Registry.Counter("didtd.coalesced_total"),
+		mNotModified:  cfg.Registry.Counter("didtd.not_modified_total"),
+		mBatchEntries: cfg.Registry.Counter("didtd.batch.entries_total"),
+		mBatchDeduped: cfg.Registry.Counter("didtd.batch.deduped_total"),
+		gQueueDepth:   cfg.Registry.Gauge("didtd.admission.queue_depth"),
+		gActive:       cfg.Registry.Gauge("didtd.active_requests"),
 	}
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/spec/default", s.handleSpecDefault)
 	s.mux.HandleFunc("GET /v1/spans", s.handleSpans)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -185,6 +217,18 @@ func (s *Server) draining() bool {
 	}
 }
 
+// queuedLen reports how many admitted requests are waiting for a run
+// slot, clamped at zero: the two channel length reads are not atomic
+// against concurrent admission transitions, so the raw difference can
+// transiently read negative (a request released admitted between the two
+// reads). Every reporting surface goes through this clamp.
+func (s *Server) queuedLen() int {
+	if q := len(s.admitted) - len(s.running); q > 0 {
+		return q
+	}
+	return 0
+}
+
 func (s *Server) updateAdmissionGauges() {
 	active := len(s.running)
 	s.gActive.Set(float64(active))
@@ -193,19 +237,30 @@ func (s *Server) updateAdmissionGauges() {
 	}
 }
 
-// admit reserves a run slot for a work request, answering the request
-// itself when it cannot run (queue overflow → 429, draining → 503,
-// abandoned while queued → client is gone, nothing to write). The
-// returned release function must be called exactly once when ok.
-func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+// acceptWork is the front gate every work request passes before touching
+// the store, a flight, or admission: it counts the request and turns all
+// new work away while draining. Store hits and coalesced followers pass
+// through here — they are real requests — but never proceed to admit;
+// only flight leaders that must actually run the engine do.
+func (s *Server) acceptWork(w http.ResponseWriter, r *http.Request) bool {
 	s.mRequests.Inc()
 	if s.draining() {
 		s.mUnavailable.Inc()
 		s.logAdmission(r, "draining")
 		writeError(w, r, http.StatusServiceUnavailable, codeDraining,
 			"didtd: draining, not accepting new work")
-		return nil, false
+		return false
 	}
+	return true
+}
+
+// admit reserves a run slot for a work request, answering the request
+// itself when it cannot run (queue overflow → 429, drained while queued →
+// 503, abandoned while queued → client is gone, nothing to write). The
+// returned release function must be called exactly once when ok. Callers
+// must have passed acceptWork first; admit itself no longer rechecks the
+// drain flag on entry because draining lets already-accepted work finish.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	select {
 	case s.admitted <- struct{}{}:
 	default:
@@ -296,7 +351,17 @@ func (s *Server) requestContext(r *http.Request, timeoutMS int64) (context.Conte
 // decodeJSON parses a bounded request body into v, answering malformed
 // bodies with the unified envelope (oversized ones as 413).
 func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	return decodeJSONLimit(w, r, v, 1<<20)
+}
+
+// decodeJSONLimit is decodeJSON with an explicit size bound (batch bodies
+// carry thousands of specs and get a larger one). The body must be
+// exactly one JSON document: trailing data after the first document is a
+// 400, not silently ignored — a client that concatenated two requests
+// into one body would otherwise have its second request dropped and the
+// first answered as if it were the whole story.
+func decodeJSONLimit(w http.ResponseWriter, r *http.Request, v interface{}, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
@@ -306,6 +371,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 			return false
 		}
 		writeError(w, r, http.StatusBadRequest, codeBadRequest, "didtd: bad request: "+err.Error())
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); !errors.Is(err, io.EOF) {
+		writeError(w, r, http.StatusBadRequest, codeBadRequest,
+			"didtd: bad request: unexpected data after JSON body")
 		return false
 	}
 	return true
@@ -335,7 +405,7 @@ func (s *Server) logAdmission(r *http.Request, reason string) {
 			slog.String("path", r.URL.Path),
 			slog.String("trace_id", telemetry.TraceIDFromContext(r.Context())),
 			slog.Int("active", len(s.running)),
-			slog.Int("queued", len(s.admitted)-len(s.running)))
+			slog.Int("queued", s.queuedLen()))
 	}
 }
 
@@ -444,31 +514,55 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setSpecKey(r.Context(), cfg.Spec().Key())
+	if !s.acceptWork(w, r) {
+		return
+	}
+	if sse {
+		s.handleSweepSSE(w, r, cfg, ids, req.TimeoutMS)
+		return
+	}
+	// The plain (non-SSE) response is a pure function of its key, so it
+	// rides the full caching path: store, singleflight, then the engine.
+	key := "didtd|sweep|" + cfg.ResultKey(ids)
+	s.serveCached(w, r, key, req.TimeoutMS, "text/plain; charset=utf-8",
+		func(h http.Header) { h.Set("X-Didtd-Experiments", strings.Join(ids, ",")) },
+		func(ctx context.Context) ([]byte, error) { return s.runSweep(ctx, cfg, ids, nil) })
+}
+
+// handleSweepSSE is the live-progress variant. SSE deliberately bypasses
+// the store and the singleflight: progress events only exist while the
+// engine actually runs, so an SSE request always admits and executes —
+// its final `result` event still carries the canonical bytes.
+func (s *Server) handleSweepSSE(w http.ResponseWriter, r *http.Request, cfg experiments.Config, ids []string, timeoutMS int64) {
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
 	defer release()
-
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	ctx, cancel := s.requestContext(r, timeoutMS)
 	defer cancel()
+	stream, err := newSSEStream(w)
+	if err != nil {
+		writeError(w, r, http.StatusInternalServerError, codeInternal, "didtd: "+err.Error())
+		return
+	}
+	body, err := s.runSweep(ctx, cfg, ids, stream)
+	if err != nil {
+		stream.errorEvent(r, err)
+		setOutcome(r.Context(), "error")
+		return
+	}
+	stream.resultEvent(body, ids)
+}
+
+// runSweep renders the requested experiments in order into one buffer —
+// the exact bytes the wire (and the store) carries. Nothing is written
+// until every runner has succeeded, preserving the determinism contract;
+// stream, when non-nil, receives per-experiment progress events.
+func (s *Server) runSweep(ctx context.Context, cfg experiments.Config, ids []string, stream *sseStream) ([]byte, error) {
 	// The request context (trace id, tracer, current span) rides into the
 	// experiment runners and from there into sim.Map job dispatch.
 	cfg.Ctx = ctx
-
-	var stream *sseStream
-	if sse {
-		stream, err = newSSEStream(w)
-		if err != nil {
-			writeError(w, r, http.StatusInternalServerError, codeInternal, "didtd: "+err.Error())
-			return
-		}
-	}
-
-	// Render into a buffer first: the response body must be exactly the
-	// experiments' rendered bytes (the determinism contract), so nothing
-	// may be written until every runner has succeeded. SSE delivers the
-	// same bytes inside the final `result` event.
 	reg := experiments.Registry()
 	var buf bytes.Buffer
 	for i, id := range ids {
@@ -496,23 +590,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			`didtd.sweep.experiment_duration_ms{experiment="`+id+`"}`,
 			0, 300_000, 60).Observe(durMS)
 		if err != nil {
-			if stream != nil {
-				stream.errorEvent(r, err)
-				setOutcome(r.Context(), "error")
-				return
-			}
-			writeRunError(w, r, err)
-			return
+			return nil, err
 		}
 		stream.experimentEvent(id, "done", i, len(ids), durMS)
 	}
-	if stream != nil {
-		stream.resultEvent(buf.Bytes(), ids)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Didtd-Experiments", strings.Join(ids, ","))
-	w.Write(buf.Bytes())
+	return buf.Bytes(), nil
 }
 
 // SimulateRequest configures one closed-loop run, mirroring cmd/didtsim.
@@ -535,8 +617,13 @@ type SimulateRequest struct {
 	Cycles       uint64  `json:"cycles,omitempty"`     // 0 = 400000
 	Warmup       uint64  `json:"warmup,omitempty"`     // 0 = core default
 	Iterations   int     `json:"iterations,omitempty"` // 0 = 3000
-	Seed         int64   `json:"seed,omitempty"`
-	TimeoutMS    int64   `json:"timeout_ms,omitempty"`
+	// Seed is applied only when present, mirroring the CLI's "flag was
+	// explicitly set" semantics: an absent seed leaves the spec's seed
+	// unset (resolved by WithDefaults), while an explicit 0 is a valid
+	// seed. A bare int64 cannot express that difference — `"seed":0`
+	// and no seed at all would both decode to 0 yet mean different runs.
+	Seed      *int64 `json:"seed,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 }
 
 // SimulateResponse is the JSON form of a run's summary statistics.
@@ -596,15 +683,33 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setSpecKey(r.Context(), resolved.Key())
-	release, ok := s.admit(w, r)
-	if !ok {
+	if !s.acceptWork(w, r) {
 		return
 	}
-	defer release()
+	s.serveCached(w, r, simulateStoreKey(resolved.Key(), req.Spec != nil), req.TimeoutMS,
+		"application/json", nil,
+		func(ctx context.Context) ([]byte, error) {
+			return s.simulateBody(ctx, resolved, program, req.Spec != nil)
+		})
+}
 
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
-	defer cancel()
+// simulateStoreKey files a simulate response under the resolved spec's
+// content hash. The request form is part of the identity because the two
+// forms render different bodies for the same spec: only the spec form
+// carries the spec_key field, so sharing one entry would leak it into
+// legacy responses (or strip it from spec-form ones).
+func simulateStoreKey(specKey string, specForm bool) string {
+	form := "flat"
+	if specForm {
+		form = "spec"
+	}
+	return "didtd|simulate|" + form + "|" + specKey
+}
 
+// simulateBody runs one simulation and renders the JSON summary — the
+// exact bytes the wire carries, so the store and coalesced followers
+// serve responses byte-identical to a fresh run.
+func (s *Server) simulateBody(ctx context.Context, resolved spec.RunSpec, program isa.Program, specForm bool) ([]byte, error) {
 	opts := core.Options{Spec: resolved}
 	// Run through the sweep engine so the request context is honoured at
 	// the job boundary (a single simulation is a one-job sweep).
@@ -617,8 +722,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return sys.Run()
 	})
 	if err != nil {
-		writeRunError(w, r, err)
-		return
+		return nil, err
 	}
 	res := results[0]
 	resp := SimulateResponse{
@@ -636,7 +740,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		EnergyJ:       res.Energy,
 		AvgPowerW:     res.AvgPower,
 	}
-	if req.Spec != nil {
+	if specForm {
 		resp.SpecKey = resolved.Key()
 	}
 	if resolved.Control.Enabled {
@@ -653,7 +757,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			Phantom:      res.HighEvents,
 		}
 	}
-	writeJSON(w, resp)
+	return renderJSON(resp)
 }
 
 // spec assembles the run spec a simulate request describes: the embedded
@@ -665,7 +769,7 @@ func (req *SimulateRequest) spec() (spec.RunSpec, error) {
 		if req.Workload != "" || req.ImpedancePct != 0 || req.Control ||
 			req.Mechanism != "" || req.Delay != 0 || req.NoiseMV != 0 ||
 			req.Cycles != 0 || req.Warmup != 0 || req.Iterations != 0 ||
-			req.Seed != 0 {
+			req.Seed != nil {
 			return spec.RunSpec{}, errors.New("spec cannot be combined with flat simulate fields")
 		}
 		return *req.Spec, nil
@@ -688,7 +792,9 @@ func (req *SimulateRequest) spec() (spec.RunSpec, error) {
 		sp.Budget.MaxCycles = 400_000
 	}
 	sp.Budget.WarmupCycles = req.Warmup
-	sp.Seed = spec.NewSeed(req.Seed)
+	if req.Seed != nil {
+		sp.Seed = spec.NewSeed(*req.Seed)
+	}
 	return sp, nil
 }
 
@@ -740,7 +846,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"version":         buildVersion(),
 		"go_version":      goVersion(),
 		"active_requests": len(s.running),
-		"queued_requests": len(s.admitted) - len(s.running),
+		"queued_requests": s.queuedLen(),
 		"max_concurrent":  s.cfg.MaxConcurrent,
 		"queue_depth":     s.cfg.QueueDepth,
 		"uptime_s":        int64(time.Since(s.started).Seconds()),
@@ -785,4 +891,17 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(v)
+}
+
+// renderJSON renders v exactly as writeJSON serializes it — two-space
+// indent plus trailing newline — so stored bodies match live responses
+// byte for byte.
+func renderJSON(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

@@ -204,6 +204,8 @@ func TestServerAdmissionOverflow(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	// Distinct bodies: identical requests would coalesce onto one flight
+	// and never contend for admission — this test is about the queue.
 	done := make(chan struct{}, 2)
 	go func() {
 		postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stressmark","cycles":20000,"iterations":200}`)
@@ -212,13 +214,13 @@ func TestServerAdmissionOverflow(t *testing.T) {
 	<-started // first request occupies the run slot
 
 	go func() {
-		postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stressmark","cycles":20000,"iterations":200}`)
+		postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stressmark","cycles":20000,"iterations":201}`)
 		done <- struct{}{}
 	}()
 	// Wait for the second request to be admitted into the queue.
 	waitForGauge(t, reg, "didtd.admission.queue_depth", 1)
 
-	code, body := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stressmark","cycles":20000,"iterations":200}`)
+	code, body := postJSON(t, ts.URL+"/v1/simulate", `{"workload":"stressmark","cycles":20000,"iterations":202}`)
 	if code != http.StatusTooManyRequests {
 		t.Fatalf("third request: status %d, want 429: %s", code, body)
 	}
@@ -287,10 +289,11 @@ func TestServerConcurrentMemoSingleflight(t *testing.T) {
 			}(seed, rep)
 		}
 	}
-	// Hold every admitted request at the gate, then release them together
-	// so all six memo lookups race: the duplicates must join the three
-	// in-flight computations, not recompute evicted entries.
-	for i := 0; i < 6; i++ {
+	// Hold every admitted leader at the gate, then release them together so
+	// the memo lookups race: wire-level coalescing admits one leader per
+	// distinct seed (the duplicate of each pair rides its leader's flight),
+	// so exactly 3 requests reach the run-start hook.
+	for i := 0; i < 3; i++ {
 		<-started
 	}
 	close(gate)

@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"didt/internal/spec"
+	"didt/internal/store"
+	"didt/internal/telemetry"
+)
+
+// postJSONFull posts a JSON body with optional extra headers and returns
+// the full response plus its body (the header-level assertions — ETag,
+// X-Didtd-Result-Source, 304 — need more than postJSON exposes).
+func postJSONFull(t *testing.T, url, body string, hdr map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+func counterVal(reg *telemetry.Registry, name string) int64 {
+	return reg.Snapshot().Counters[name]
+}
+
+func waitForCounter(t *testing.T, reg *telemetry.Registry, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if counterVal(reg, name) >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("counter %s never reached %d: %v", name, want, reg.Snapshot().Counters)
+}
+
+// storeServer builds a store-backed test server whose store shares the
+// server's registry, so one snapshot answers both families of metrics.
+func storeServer(t *testing.T, dir string, cfg Config) (*Server, string, *telemetry.Registry) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	st, err := store.Open(dir, store.Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Registry = reg
+	cfg.Store = st
+	s, ts := newTestServer(t, cfg)
+	return s, ts.URL, reg
+}
+
+// TestServerStoreColdCoalescing is the tentpole's concurrency acceptance
+// check: 6 concurrent identical spec-form requests against a cold store
+// cost exactly one run-slot admission and one simulation — one leader
+// runs the engine while everyone else coalesces onto its flight (or, if
+// they arrive after it lands, reads the store). All six answers are
+// byte-identical and carry the same strong ETag.
+func TestServerStoreColdCoalescing(t *testing.T) {
+	srv, tsURL, reg2 := storeServer(t, t.TempDir(), Config{MaxConcurrent: 2, QueueDepth: 8})
+	started := make(chan struct{}, 6)
+	gate := make(chan struct{})
+	srv.testRunStarted = started
+	srv.testRunGate = gate
+
+	body := specBody(t, tinySpec())
+	const n = 6
+	type reply struct {
+		code   int
+		body   string
+		etag   string
+		source string
+	}
+	var wg sync.WaitGroup
+	replies := make([]reply, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, b := postJSONFull(t, tsURL+"/v1/simulate", body, nil)
+			replies[i] = reply{resp.StatusCode, b, resp.Header.Get("ETag"), resp.Header.Get("X-Didtd-Result-Source")}
+		}(i)
+	}
+	// Exactly one request reaches the run-start hook; hold it there until
+	// every request has been counted in, so the rest are provably
+	// concurrent with the (single) engine run.
+	<-started
+	waitForCounter(t, reg2, "didtd.requests_total", n)
+	close(gate)
+	wg.Wait()
+
+	select {
+	case <-started:
+		t.Error("a second request reached the run-start hook: admission was not coalesced")
+	default:
+	}
+	if runs := counterVal(reg2, "didtd.engine_runs_total"); runs != 1 {
+		t.Errorf("engine_runs_total = %d, want 1", runs)
+	}
+	if puts := counterVal(reg2, "store.results.puts"); puts != 1 {
+		t.Errorf("store puts = %d, want 1", puts)
+	}
+	followers := counterVal(reg2, "didtd.coalesced_total") + counterVal(reg2, "store.results.hits")
+	if followers != n-1 {
+		t.Errorf("coalesced+store hits = %d, want %d", followers, n-1)
+	}
+	for i, r := range replies {
+		if r.code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, r.code, r.body)
+		}
+		if r.body != replies[0].body || r.etag == "" || r.etag != replies[0].etag {
+			t.Errorf("request %d diverges (etag %q vs %q)", i, r.etag, replies[0].etag)
+		}
+		switch r.source {
+		case "run", "coalesced", "store":
+		default:
+			t.Errorf("request %d: unknown result source %q", i, r.source)
+		}
+	}
+}
+
+// TestServerStoreRestartWarmHit is the durability acceptance check: a
+// result computed before a process death is served byte-identical (same
+// ETag) by a fresh server over the same store directory, without running
+// the engine or admitting a run — and If-None-Match turns even the body
+// transfer into a 304.
+func TestServerStoreRestartWarmHit(t *testing.T) {
+	dir := t.TempDir()
+	body := specBody(t, tinySpec())
+
+	_, url1, _ := storeServer(t, dir, Config{MaxConcurrent: 2})
+	resp1, b1 := postJSONFull(t, url1+"/v1/simulate", body, nil)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold request: status %d: %s", resp1.StatusCode, b1)
+	}
+	if src := resp1.Header.Get("X-Didtd-Result-Source"); src != "run" {
+		t.Errorf("cold request source %q, want run", src)
+	}
+	etag := resp1.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("cold response carries no ETag")
+	}
+
+	// "Restart": a brand-new server and registry over the same directory
+	// (the store fsyncs on Put, so no shutdown handshake is needed).
+	_, url2, reg2 := storeServer(t, dir, Config{MaxConcurrent: 2})
+	resp2, b2 := postJSONFull(t, url2+"/v1/simulate", body, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("warm request: status %d: %s", resp2.StatusCode, b2)
+	}
+	if b2 != b1 {
+		t.Errorf("restarted response diverges:\n%s\nvs\n%s", b2, b1)
+	}
+	if got := resp2.Header.Get("ETag"); got != etag {
+		t.Errorf("restarted ETag %q, want %q", got, etag)
+	}
+	if src := resp2.Header.Get("X-Didtd-Result-Source"); src != "store" {
+		t.Errorf("warm request source %q, want store", src)
+	}
+	if runs := counterVal(reg2, "didtd.engine_runs_total"); runs != 0 {
+		t.Errorf("engine_runs_total = %d after warm hit, want 0", runs)
+	}
+
+	// Conditional request: the client already holds the bytes.
+	resp3, b3 := postJSONFull(t, url2+"/v1/simulate", body, map[string]string{"If-None-Match": etag})
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional request: status %d, want 304: %s", resp3.StatusCode, b3)
+	}
+	if b3 != "" {
+		t.Errorf("304 carried a body: %q", b3)
+	}
+	if nm := counterVal(reg2, "didtd.not_modified_total"); nm != 1 {
+		t.Errorf("not_modified_total = %d, want 1", nm)
+	}
+	if runs := counterVal(reg2, "didtd.engine_runs_total"); runs != 0 {
+		t.Errorf("engine_runs_total = %d after 304, want 0 (no run admitted)", runs)
+	}
+}
+
+// TestServerSweepStoreRoundTrip: sweep responses ride the same store —
+// the repeat request is served from disk byte-identical, with the
+// experiments header intact, and honours If-None-Match.
+func TestServerSweepStoreRoundTrip(t *testing.T) {
+	_, url, reg := storeServer(t, t.TempDir(), Config{MaxConcurrent: 2})
+	body := `{"run":"fig2","cycles":20000,"warmup":10000,"iterations":200,"stress_iterations":250,"benchmarks":["swim","gcc"],"parallel":2}`
+
+	resetAllCaches()
+	resp1, b1 := postJSONFull(t, url+"/v1/sweep", body, nil)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold sweep: status %d: %s", resp1.StatusCode, b1)
+	}
+	if src := resp1.Header.Get("X-Didtd-Result-Source"); src != "run" {
+		t.Errorf("cold sweep source %q, want run", src)
+	}
+	etag := resp1.Header.Get("ETag")
+
+	// Cold caches again: the repeat must come from the result store, not
+	// from the in-process memo.
+	resetAllCaches()
+	resp2, b2 := postJSONFull(t, url+"/v1/sweep", body, nil)
+	if resp2.StatusCode != http.StatusOK || b2 != b1 {
+		t.Fatalf("warm sweep: status %d, identical=%v", resp2.StatusCode, b2 == b1)
+	}
+	if src := resp2.Header.Get("X-Didtd-Result-Source"); src != "store" {
+		t.Errorf("warm sweep source %q, want store", src)
+	}
+	if h := resp2.Header.Get("X-Didtd-Experiments"); h != "fig2" {
+		t.Errorf("warm sweep X-Didtd-Experiments = %q, want fig2", h)
+	}
+	if runs := counterVal(reg, "didtd.engine_runs_total"); runs != 1 {
+		t.Errorf("engine_runs_total = %d, want 1", runs)
+	}
+
+	resp3, _ := postJSONFull(t, url+"/v1/sweep", body, map[string]string{"If-None-Match": etag})
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Errorf("conditional sweep: status %d, want 304", resp3.StatusCode)
+	}
+}
+
+// TestServerBatch: /v1/batch answers one NDJSON record per entry —
+// invalid entries as immediate errors, duplicates deduplicated into one
+// simulation — and warms the shared store for later single requests.
+func TestServerBatch(t *testing.T) {
+	_, url, reg := storeServer(t, t.TempDir(), Config{MaxConcurrent: 2})
+
+	okSpec := tinySpec()
+	variant := tinySpec()
+	variant.Workload.Iterations = 151
+	var bad spec.RunSpec
+	bad.Sensor.DelayCycles = -1
+
+	req, err := json.Marshal(BatchRequest{Specs: []spec.RunSpec{okSpec, okSpec, variant, bad}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSONFull(t, url+"/v1/batch", string(req), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+
+	records := map[int]BatchRecord{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec BatchRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("record is not JSON: %v\n%s", err, sc.Text())
+		}
+		records[rec.Index] = rec
+	}
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want 4:\n%s", len(records), body)
+	}
+
+	if rec := records[3]; rec.Status != "error" || !strings.Contains(rec.Error, "delay_cycles") {
+		t.Errorf("invalid entry record = %+v, want bad-spec error", rec)
+	}
+	resolvedOK, err := okSpec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{0, 1} {
+		rec := records[idx]
+		if rec.Status != "ok" || rec.SpecKey != resolvedOK.Key() {
+			t.Fatalf("record %d = %+v, want ok with key %s", idx, rec, resolvedOK.Key())
+		}
+		var sim SimulateResponse
+		if err := json.Unmarshal(rec.Body, &sim); err != nil {
+			t.Fatalf("record %d body is not a simulate response: %v", idx, err)
+		}
+		if sim.SpecKey != resolvedOK.Key() {
+			t.Errorf("record %d body spec_key %q, want %q", idx, sim.SpecKey, resolvedOK.Key())
+		}
+	}
+	if string(records[0].Body) != string(records[1].Body) {
+		t.Error("deduplicated entries answered different bodies")
+	}
+	if records[2].Status != "ok" || records[2].SpecKey == resolvedOK.Key() {
+		t.Errorf("variant record = %+v, want ok under its own key", records[2])
+	}
+
+	if n := counterVal(reg, "didtd.batch.entries_total"); n != 4 {
+		t.Errorf("batch entries_total = %d, want 4", n)
+	}
+	if n := counterVal(reg, "didtd.batch.deduped_total"); n != 1 {
+		t.Errorf("batch deduped_total = %d, want 1", n)
+	}
+	if runs := counterVal(reg, "didtd.engine_runs_total"); runs != 2 {
+		t.Errorf("engine_runs_total = %d, want 2 (dup collapsed, invalid never ran)", runs)
+	}
+
+	// The batch warmed the store: the same spec through /v1/simulate is a
+	// disk hit whose bytes compact to exactly the batch record's body.
+	single, sb := postJSONFull(t, url+"/v1/simulate", specBody(t, okSpec), nil)
+	if single.StatusCode != http.StatusOK {
+		t.Fatalf("post-batch simulate: status %d: %s", single.StatusCode, sb)
+	}
+	if src := single.Header.Get("X-Didtd-Result-Source"); src != "store" {
+		t.Errorf("post-batch simulate source %q, want store", src)
+	}
+	var tmp any
+	if err := json.Unmarshal([]byte(sb), &tmp); err != nil {
+		t.Fatal(err)
+	}
+	recompact, err := json.Marshal(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchBody any
+	if err := json.Unmarshal(records[0].Body, &batchBody); err != nil {
+		t.Fatal(err)
+	}
+	batchRecompact, err := json.Marshal(batchBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(recompact) != string(batchRecompact) {
+		t.Errorf("batch record body diverges from /v1/simulate body:\n%s\nvs\n%s", batchRecompact, recompact)
+	}
+}
+
+// TestServerBatchValidation: the batch-specific 400 paths.
+func TestServerBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	big := `{"specs":[` + strings.Repeat(`{},`, maxBatchEntries) + `{}]}`
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"no specs", `{"specs":[]}`},
+		{"missing field", `{}`},
+		{"too many entries", big},
+	} {
+		code, body := postJSON(t, ts.URL+"/v1/batch", tc.body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", tc.name, code, body)
+		}
+	}
+}
+
+// TestSimulateSeedOnlyAppliedWhenSet is the regression test for the seed
+// satellite: an absent seed must leave the spec's seed unset (resolved to
+// the same default the CLI uses when -seed is not passed), while an
+// explicit "seed":0 is a real seed — and the two must resolve to the same
+// run, matching the CLI's flag semantics end to end.
+func TestSimulateSeedOnlyAppliedWhenSet(t *testing.T) {
+	// Unit level: the request → spec mapping.
+	noSeed := &SimulateRequest{Workload: "stressmark"}
+	spNo, err := noSeed.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spNo.Seed.Explicit {
+		t.Error("absent seed produced an explicit spec seed")
+	}
+	zero := int64(0)
+	withZero := &SimulateRequest{Workload: "stressmark", Seed: &zero}
+	spZero, err := withZero.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spZero.Seed.Explicit || spZero.Seed.Value != 0 {
+		t.Errorf("explicit zero seed mapped to %+v", spZero.Seed)
+	}
+	// CLI equivalence: the CLI leaves the seed unset when -seed is absent
+	// and WithDefaults pins unset to 0, so both requests name one run.
+	rNo, err := spNo.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rZero, err := spZero.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rNo.Key() != rZero.Key() {
+		t.Errorf("absent seed and explicit 0 resolve to different runs: %s vs %s", rNo.Key(), rZero.Key())
+	}
+	seven := int64(7)
+	spSeven, _ := (&SimulateRequest{Workload: "stressmark", Seed: &seven}).spec()
+	rSeven, err := spSeven.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSeven.Key() == rZero.Key() {
+		t.Error("seed 7 resolves to the same run as seed 0")
+	}
+
+	// Wire level: both spellings return byte-identical simulations, and a
+	// spec-form request mixing in a seed is rejected.
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2})
+	flatNo := `{"workload":"stressmark","cycles":20000,"iterations":150}`
+	flatZero := `{"workload":"stressmark","cycles":20000,"iterations":150,"seed":0}`
+	code1, b1 := postJSON(t, ts.URL+"/v1/simulate", flatNo)
+	code2, b2 := postJSON(t, ts.URL+"/v1/simulate", flatZero)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("status %d/%d: %s %s", code1, code2, b1, b2)
+	}
+	if b1 != b2 {
+		t.Errorf("absent seed and explicit 0 answered different bodies:\n%s\nvs\n%s", b1, b2)
+	}
+	mixed := specBody(t, tinySpec())
+	mixed = strings.TrimSuffix(mixed, "}") + `,"seed":0}`
+	if code, body := postJSON(t, ts.URL+"/v1/simulate", mixed); code != http.StatusBadRequest {
+		t.Errorf("spec+seed: status %d, want 400: %s", code, body)
+	}
+}

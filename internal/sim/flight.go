@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrFlightAborted reports that a flight's leader finished without
+// publishing a result: it lost admission, its client vanished, or it
+// discovered the answer somewhere cheaper (a warm store entry). Waiters
+// receiving it should retry — re-probe their caches and, if the key is
+// still unresolved, lead a fresh flight themselves.
+var ErrFlightAborted = errors.New("sim: flight aborted by leader")
+
+// Flight is one in-progress computation shared by every concurrent
+// requester of the same key. Exactly one goroutine — the leader returned
+// by FlightGroup.Join — owns it and must end it with Finish or Abort;
+// everyone else blocks in Wait until then.
+type Flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Wait blocks until the flight ends or ctx is cancelled. It returns the
+// published value, the leader's error, ErrFlightAborted when the leader
+// produced nothing, or ctx.Err() when the waiter gave up first.
+func (f *Flight[V]) Wait(ctx context.Context) (V, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err()
+	}
+}
+
+// FlightGroup coalesces concurrent computations of the same key: the
+// first Join for a key creates its flight and elects the caller leader;
+// every later Join returns the same flight to wait on. Unlike Cache it
+// retains nothing once a flight ends — persistence is the caller's
+// concern (didtd layers it over the content-addressed result store) —
+// which is exactly what generalizes in-process singleflight to the wire:
+// N concurrent identical requests collapse onto one leader, and repeat
+// requests hit whatever durable layer the leader populated.
+//
+// The zero value is ready to use.
+type FlightGroup[K comparable, V any] struct {
+	mu      sync.Mutex
+	flights map[K]*Flight[V]
+}
+
+// Join returns the live flight for k, creating one when absent. leader
+// reports whether this caller created it and therefore owns its
+// completion: a leader must call exactly one of Finish or Abort, on every
+// path, or waiters block until their contexts expire.
+func (g *FlightGroup[K, V]) Join(k K) (f *Flight[V], leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.flights == nil {
+		g.flights = map[K]*Flight[V]{}
+	}
+	if f, ok := g.flights[k]; ok {
+		return f, false
+	}
+	f = &Flight[V]{done: make(chan struct{})}
+	g.flights[k] = f
+	return f, true
+}
+
+// Finish publishes the leader's result (value or error), removes the
+// flight, and releases every waiter. The value is visible to waiters via
+// the happens-before edge of the channel close.
+func (g *FlightGroup[K, V]) Finish(k K, f *Flight[V], v V, err error) {
+	f.val, f.err = v, err
+	g.remove(k, f)
+	close(f.done)
+}
+
+// Abort ends the flight without a result; waiters receive
+// ErrFlightAborted and are expected to retry. Leaders use it when they
+// were denied admission, their client vanished, or a store double-check
+// made the computation unnecessary.
+func (g *FlightGroup[K, V]) Abort(k K, f *Flight[V]) {
+	f.err = ErrFlightAborted
+	g.remove(k, f)
+	close(f.done)
+}
+
+// remove detaches f from the group if it is still the resident flight
+// for k (a retrying waiter may already have led a replacement).
+func (g *FlightGroup[K, V]) remove(k K, f *Flight[V]) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if cur, ok := g.flights[k]; ok && cur == f {
+		delete(g.flights, k)
+	}
+}
+
+// Len reports the number of in-progress flights.
+func (g *FlightGroup[K, V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

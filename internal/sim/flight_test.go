@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestFlightCoalesces: N concurrent joiners of one key elect exactly one
+// leader, and every waiter sees the leader's published value.
+func TestFlightCoalesces(t *testing.T) {
+	var g FlightGroup[string, int]
+	var leaders atomic.Int32
+	var wg sync.WaitGroup
+	results := make([]int, 16)
+	lead := make(chan *Flight[int], 1)
+	joined := make(chan struct{}, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, leader := g.Join("k")
+			joined <- struct{}{}
+			if leader {
+				leaders.Add(1)
+				lead <- f
+				// Wait for the main goroutine to publish; our own Wait
+				// would deadlock (leaders must not wait on themselves).
+				v, err := f.Wait(context.Background())
+				if err != nil {
+					t.Errorf("leader wait: %v", err)
+				}
+				results[i] = v
+				return
+			}
+			v, err := f.Wait(context.Background())
+			if err != nil {
+				t.Errorf("waiter: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Every goroutine must be on the flight before it finishes: a Finish
+	// racing a late Join would leave that joiner leading a second flight
+	// nobody completes.
+	for i := 0; i < 16; i++ {
+		<-joined
+	}
+	f := <-lead
+	g.Finish("k", f, 42, nil)
+	wg.Wait()
+	if n := leaders.Load(); n != 1 {
+		t.Errorf("leaders = %d, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("joiner %d saw %d, want 42", i, v)
+		}
+	}
+	if g.Len() != 0 {
+		t.Errorf("Len = %d after Finish, want 0", g.Len())
+	}
+}
+
+// TestFlightAbort: an aborted flight hands every waiter ErrFlightAborted,
+// and the key is immediately leadable again.
+func TestFlightAbort(t *testing.T) {
+	var g FlightGroup[string, int]
+	f, leader := g.Join("k")
+	if !leader {
+		t.Fatal("first Join must lead")
+	}
+	waited := make(chan error, 1)
+	joined := make(chan struct{})
+	go func() {
+		f2, lead2 := g.Join("k")
+		close(joined)
+		if lead2 {
+			waited <- errors.New("second Join led while flight live")
+			return
+		}
+		_, err := f2.Wait(context.Background())
+		waited <- err
+	}()
+	<-joined // the waiter is on the flight before the leader aborts
+	g.Abort("k", f)
+	if err := <-waited; !errors.Is(err, ErrFlightAborted) {
+		t.Errorf("waiter error = %v, want ErrFlightAborted", err)
+	}
+	if _, leader := g.Join("k"); !leader {
+		t.Error("key not leadable after Abort")
+	}
+}
+
+// TestFlightWaitHonoursContext: a waiter whose context dies is released
+// with ctx.Err() while the flight stays live for others.
+func TestFlightWaitHonoursContext(t *testing.T) {
+	var g FlightGroup[string, int]
+	f, _ := g.Join("k")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("Wait under dead ctx = %v, want context.Canceled", err)
+	}
+	g.Finish("k", f, 7, nil)
+	if v, err := f.Wait(context.Background()); err != nil || v != 7 {
+		t.Errorf("Wait after Finish = (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+// TestFlightFinishError: leader errors propagate to waiters verbatim.
+func TestFlightFinishError(t *testing.T) {
+	var g FlightGroup[string, int]
+	f, _ := g.Join("k")
+	boom := errors.New("boom")
+	done := make(chan error, 1)
+	joined := make(chan struct{})
+	go func() {
+		f2, _ := g.Join("k")
+		close(joined)
+		_, err := f2.Wait(context.Background())
+		done <- err
+	}()
+	<-joined // the waiter is on the flight before the leader finishes
+	g.Finish("k", f, 0, boom)
+	if err := <-done; !errors.Is(err, boom) {
+		t.Errorf("waiter error = %v, want boom", err)
+	}
+}

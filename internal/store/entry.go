@@ -1,0 +1,127 @@
+// Package store is didtd's disk-backed, content-addressed result store.
+// Every entry is keyed by a request's canonical content hash (spec_key for
+// simulations, the sweep identity hash for sweeps) and carries the exact
+// response body bytes together with a SHA-256 digest of those bytes. The
+// determinism contract — a response body is a pure function of its key,
+// byte-identical at any parallelism — is what makes a body served from
+// disk indistinguishable from a fresh run, so a warm store turns a million
+// identical requests into one simulation plus a million file reads.
+//
+// Durability discipline: entries are written to a temp file, fsync'd,
+// renamed into place, and the directory fsync'd — a crash leaves either
+// the old entry or the new one, never a torn file. Reads verify the body
+// digest before trusting an entry; a corrupt or truncated entry is
+// quarantined (moved aside for forensics) and reported as a miss, so bit
+// rot degrades into recomputation, never into wrong bytes.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+)
+
+// entryMagic is the versioned first line of every entry file. Bumping the
+// format means a new magic; old entries then decode as corrupt and are
+// recomputed, which is always safe (the store is a cache, not a ledger).
+const entryMagic = "didt-store-v1"
+
+// Digest returns the hex SHA-256 of a result body — the content half of
+// an entry's identity. The store key addresses an entry; the digest
+// proves its body survived the disk intact.
+func Digest(body []byte) string {
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// ETag derives the strong HTTP entity tag didtd serves for a cached
+// result: a hash over both the request key and the result digest. Keying
+// the tag on the pair means a tag validates one specific body for one
+// specific request — If-None-Match can answer 304 from the store header
+// alone, and a corrupt body can never masquerade as fresh because its
+// digest (and therefore its tag) no longer matches.
+func ETag(key, digest string) string {
+	sum := sha256.Sum256([]byte(key + "\x00" + digest))
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// EncodeEntry serializes one store entry: a versioned text header
+// carrying the key, the body digest and the body length, then the raw
+// body bytes. The encoding is a pure function of (key, body) — equal
+// inputs produce equal files, so entries are themselves content-addressed
+// artifacts.
+func EncodeEntry(key string, body []byte) []byte {
+	var buf bytes.Buffer
+	buf.Grow(len(entryMagic) + len(key) + len(body) + 128)
+	buf.WriteString(entryMagic)
+	buf.WriteByte('\n')
+	buf.WriteString("key ")
+	buf.WriteString(key)
+	buf.WriteByte('\n')
+	buf.WriteString("digest ")
+	buf.WriteString(Digest(body))
+	buf.WriteByte('\n')
+	buf.WriteString("len ")
+	buf.WriteString(strconv.Itoa(len(body)))
+	buf.WriteString("\n\n")
+	buf.Write(body)
+	return buf.Bytes()
+}
+
+// DecodeEntry parses and verifies an entry file. It returns the stored
+// key, body and digest only when every check passes: magic and header
+// shape, declared length matching the remaining bytes exactly (truncation
+// and trailing garbage both fail), and the body hashing back to the
+// declared digest (bit flips fail). Any violation returns an error; the
+// caller treats the entry as a miss and quarantines the file.
+func DecodeEntry(b []byte) (key string, body []byte, digest string, err error) {
+	rest := b
+	line := func() (string, bool) {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			return "", false
+		}
+		l := string(rest[:i])
+		rest = rest[i+1:]
+		return l, true
+	}
+	magic, ok := line()
+	if !ok || magic != entryMagic {
+		return "", nil, "", fmt.Errorf("store: bad entry magic %q", magic)
+	}
+	keyLine, ok := line()
+	if !ok || !bytes.HasPrefix([]byte(keyLine), []byte("key ")) {
+		return "", nil, "", fmt.Errorf("store: bad key header")
+	}
+	key = keyLine[len("key "):]
+	if key == "" {
+		return "", nil, "", fmt.Errorf("store: empty key")
+	}
+	digestLine, ok := line()
+	if !ok || !bytes.HasPrefix([]byte(digestLine), []byte("digest ")) {
+		return "", nil, "", fmt.Errorf("store: bad digest header")
+	}
+	digest = digestLine[len("digest "):]
+	lenLine, ok := line()
+	if !ok || !bytes.HasPrefix([]byte(lenLine), []byte("len ")) {
+		return "", nil, "", fmt.Errorf("store: bad length header")
+	}
+	n, aerr := strconv.Atoi(lenLine[len("len "):])
+	if aerr != nil || n < 0 {
+		return "", nil, "", fmt.Errorf("store: bad length %q", lenLine)
+	}
+	blank, ok := line()
+	if !ok || blank != "" {
+		return "", nil, "", fmt.Errorf("store: missing header terminator")
+	}
+	if len(rest) != n {
+		return "", nil, "", fmt.Errorf("store: body is %d bytes, header declares %d (truncated or padded entry)", len(rest), n)
+	}
+	body = rest
+	if got := Digest(body); got != digest {
+		return "", nil, "", fmt.Errorf("store: body digest %s does not match declared %s (corrupt entry)", got, digest)
+	}
+	return key, body, digest, nil
+}

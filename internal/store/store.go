@@ -1,0 +1,328 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"didt/internal/telemetry"
+)
+
+// Options sizes a store.
+type Options struct {
+	// Capacity bounds the number of resident entries; <= 0 is unbounded.
+	// The janitor evicts oldest-written entries first once the cap is
+	// exceeded.
+	Capacity int
+	// TTL bounds entry age (time since write); <= 0 disables expiry.
+	// Expired entries are dropped lazily on Get and in janitor passes.
+	TTL time.Duration
+	// Registry receives the store's hit/miss/eviction/corruption metrics
+	// as store.<name>.* counters and gauges; nil disables metrics.
+	Registry *telemetry.Registry
+	// MetricsPrefix names the metric family; "" selects "store.results".
+	MetricsPrefix string
+}
+
+// entryMeta is the in-memory index record for one on-disk entry.
+type entryMeta struct {
+	size  int64
+	mtime time.Time
+}
+
+// Store is a disk-backed, content-addressed result store. Safe for
+// concurrent use; create with Open.
+type Store struct {
+	dir string
+	cap int
+	ttl time.Duration
+
+	mu    sync.Mutex
+	index map[string]entryMeta // file name (hex key hash) -> meta
+	bytes int64
+
+	mHits      *telemetry.Counter
+	mMisses    *telemetry.Counter
+	mPuts      *telemetry.Counter
+	mPutErrors *telemetry.Counter
+	mEvicted   *telemetry.Counter // capacity evictions
+	mExpired   *telemetry.Counter // TTL evictions
+	mCorrupt   *telemetry.Counter // quarantined entries
+}
+
+// Open creates (or reopens) a store rooted at dir, scanning any entries a
+// previous process left behind into the index — restart recovery is just
+// Open on the same directory. The layout is entries/<h2>/<hash> for
+// resident entries, tmp/ for in-progress writes (cleared at open; they
+// are torn by definition), and quarantine/ for entries that failed
+// verification.
+func Open(dir string, o Options) (*Store, error) {
+	for _, sub := range []string{"entries", "tmp", "quarantine"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	s := &Store{
+		dir:   dir,
+		cap:   o.Capacity,
+		ttl:   o.TTL,
+		index: map[string]entryMeta{},
+	}
+	if o.Registry != nil {
+		prefix := o.MetricsPrefix
+		if prefix == "" {
+			prefix = "store.results"
+		}
+		s.mHits = o.Registry.Counter(prefix + ".hits")
+		s.mMisses = o.Registry.Counter(prefix + ".misses")
+		s.mPuts = o.Registry.Counter(prefix + ".puts")
+		s.mPutErrors = o.Registry.Counter(prefix + ".put_errors")
+		s.mEvicted = o.Registry.Counter(prefix + ".evictions_capacity")
+		s.mExpired = o.Registry.Counter(prefix + ".evictions_ttl")
+		s.mCorrupt = o.Registry.Counter(prefix + ".corruptions")
+		o.Registry.RegisterGaugeFunc(prefix+".entries", func() float64 { return float64(s.Len()) })
+		o.Registry.RegisterGaugeFunc(prefix+".bytes", func() float64 { return float64(s.Bytes()) })
+	}
+	// Abandon torn writes from a previous process.
+	if tmps, err := os.ReadDir(filepath.Join(dir, "tmp")); err == nil {
+		for _, e := range tmps {
+			os.Remove(filepath.Join(dir, "tmp", e.Name()))
+		}
+	}
+	err := filepath.WalkDir(filepath.Join(dir, "entries"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent delete; skip
+		}
+		s.index[d.Name()] = entryMeta{size: info.Size(), mtime: info.ModTime()}
+		s.bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scan: %w", err)
+	}
+	s.mu.Lock()
+	s.janitorLocked(time.Now())
+	s.mu.Unlock()
+	return s, nil
+}
+
+// entryName maps a store key to its file name: the hex SHA-256 of the key,
+// so arbitrary key strings become uniform, filesystem-safe names.
+func entryName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+func (s *Store) entryPath(name string) string {
+	return filepath.Join(s.dir, "entries", name[:2], name)
+}
+
+// Get returns the stored body and digest for key. A missing, expired or
+// corrupt entry reports ok=false; corrupt entries are additionally moved
+// to quarantine/ so the bad bytes survive for inspection and the next Put
+// starts clean.
+func (s *Store) Get(key string) (body []byte, digest string, ok bool) {
+	name := entryName(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	meta, resident := s.index[name]
+	if !resident {
+		s.mMisses.Inc()
+		return nil, "", false
+	}
+	if s.ttl > 0 && time.Since(meta.mtime) > s.ttl {
+		s.dropLocked(name, meta)
+		s.mExpired.Inc()
+		s.mMisses.Inc()
+		return nil, "", false
+	}
+	raw, err := os.ReadFile(s.entryPath(name))
+	if err != nil {
+		// The file vanished under the index (external cleanup): a miss.
+		s.forgetLocked(name, meta)
+		s.mMisses.Inc()
+		return nil, "", false
+	}
+	storedKey, b, d, derr := DecodeEntry(raw)
+	if derr != nil || storedKey != key {
+		s.quarantineLocked(name, meta)
+		s.mCorrupt.Inc()
+		s.mMisses.Inc()
+		return nil, "", false
+	}
+	s.mHits.Inc()
+	return b, d, true
+}
+
+// Put durably stores body under key, returning the body digest. The write
+// is crash-safe: temp file, fsync, rename, directory fsync. A Put that
+// fails leaves the previous entry (if any) intact. Keys must be non-empty
+// single-line strings — every caller derives them from content hashes.
+func (s *Store) Put(key string, body []byte) (string, error) {
+	if key == "" || strings.ContainsAny(key, "\n\r") {
+		s.mPutErrors.Inc()
+		return "", fmt.Errorf("store: invalid key %q", key)
+	}
+	enc := EncodeEntry(key, body)
+	digest := Digest(body)
+	name := entryName(key)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.writeLocked(name, enc); err != nil {
+		s.mPutErrors.Inc()
+		return "", err
+	}
+	if old, ok := s.index[name]; ok {
+		s.bytes -= old.size
+	}
+	s.index[name] = entryMeta{size: int64(len(enc)), mtime: time.Now()}
+	s.bytes += int64(len(enc))
+	s.mPuts.Inc()
+	s.janitorLocked(time.Now())
+	return digest, nil
+}
+
+// writeLocked performs the atomic write-temp-then-rename for one entry.
+func (s *Store) writeLocked(name string, enc []byte) error {
+	final := s.entryPath(name)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := filepath.Join(s.dir, "tmp", name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(enc); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(filepath.Dir(final))
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best effort: some filesystems reject directory fsync; the rename itself
+// is still atomic there.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// dropLocked removes an entry file and forgets it.
+func (s *Store) dropLocked(name string, meta entryMeta) {
+	os.Remove(s.entryPath(name))
+	s.forgetLocked(name, meta)
+}
+
+// forgetLocked removes an entry from the index only.
+func (s *Store) forgetLocked(name string, meta entryMeta) {
+	delete(s.index, name)
+	s.bytes -= meta.size
+}
+
+// quarantineLocked moves a bad entry aside (overwriting any previous
+// quarantine of the same name) and forgets it, so the next Put recreates
+// the entry from scratch while the corrupt bytes remain inspectable.
+func (s *Store) quarantineLocked(name string, meta entryMeta) {
+	dst := filepath.Join(s.dir, "quarantine", name)
+	os.Remove(dst)
+	if err := os.Rename(s.entryPath(name), dst); err != nil {
+		os.Remove(s.entryPath(name))
+	}
+	s.forgetLocked(name, meta)
+}
+
+// janitorLocked enforces TTL then capacity: expired entries go first,
+// then oldest-written entries until the count fits the cap. Ordering ties
+// break on name so eviction order is reproducible.
+func (s *Store) janitorLocked(now time.Time) {
+	if s.ttl > 0 {
+		for name, meta := range s.index {
+			if now.Sub(meta.mtime) > s.ttl {
+				s.dropLocked(name, meta)
+				s.mExpired.Inc()
+			}
+		}
+	}
+	if s.cap <= 0 || len(s.index) <= s.cap {
+		return
+	}
+	type aged struct {
+		name string
+		meta entryMeta
+	}
+	entries := make([]aged, 0, len(s.index))
+	for name, meta := range s.index {
+		entries = append(entries, aged{name, meta})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].meta.mtime.Equal(entries[j].meta.mtime) {
+			return entries[i].meta.mtime.Before(entries[j].meta.mtime)
+		}
+		return entries[i].name < entries[j].name
+	})
+	for _, e := range entries[:len(entries)-s.cap] {
+		s.dropLocked(e.name, e.meta)
+		s.mEvicted.Inc()
+	}
+}
+
+// Sweep runs one janitor pass (TTL + capacity) immediately. Puts and
+// opens janitor automatically; Sweep exists for tests and for operators
+// that want expiry without traffic.
+func (s *Store) Sweep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.janitorLocked(time.Now())
+}
+
+// Len reports the number of resident entries.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Bytes reports the total on-disk size of resident entries.
+func (s *Store) Bytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
