@@ -66,6 +66,13 @@ go test -race -count=1 \
 # at parallel 1 and 4 whether tracing is enabled or not.
 go test -race -count=1 -run TestParallelOutputIdenticalWithSpans ./internal/experiments
 
+# Multi-rail smoke test under the race detector: the rail-graph family's
+# rendered bytes identical at parallel 1 and 8, and the multi-rail core
+# (sequential RunBatch fallback, per-rail sensing, DVS composition) clean
+# under race.
+go test -race -count=1 -run 'TestRailsFamilyParallelDeterminism|TestMultiRail' \
+    ./internal/experiments ./internal/core
+
 # Result-store smoke test under the race detector: concurrent identical
 # requests cost exactly one engine run (wire singleflight), a restarted
 # server serves the stored bytes with the same ETag and answers
@@ -80,7 +87,7 @@ go test -race -count=1 \
 # one allocation per cycle is the difference between the profiled ~50
 # ns/cycle and multiples of it. The benchmarks run under -benchmem and
 # any "N allocs/op" with N > 0 fails.
-go test -run NONE -bench 'BenchmarkStep$|BenchmarkBatchStep$|BenchmarkConvolve$' \
+go test -run NONE -bench 'BenchmarkStep$|BenchmarkBatchStep$|BenchmarkConvolve$|BenchmarkGraphStep$' \
     -benchtime 100x -benchmem ./internal/pdn ./internal/fft | tee /tmp/didt_allocgate.txt
 ! grep -E ' [1-9][0-9]* allocs/op' /tmp/didt_allocgate.txt
 

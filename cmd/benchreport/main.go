@@ -53,13 +53,23 @@ import (
 
 var sweepIDs = []string{"table2", "fig14", "stressmark-actuation", "ablation-window"}
 
+// railsSweepIDs is the multi-rail cold sweep: per-rail emergency counts
+// across the benchmark set plus the per-rail threshold solve. It exercises
+// the rail-graph step path (sequential, never the lockstep batch), so its
+// timing tracks the multi-rail family's cost independently of the
+// single-rail sweeps above. Reported, not gated: the family is new and its
+// cost has no baseline contract yet.
+var railsSweepIDs = []string{"rails-emergencies", "rails-thresholds"}
+
 // Report is the schema of BENCH_sweep.json.
 type Report struct {
 	GOMAXPROCS      int      `json:"gomaxprocs"`
 	NumCPU          int      `json:"num_cpu"`
 	Experiments     []string `json:"experiments"`
 	Repeat          int      `json:"repeat"`
+	RailsExps       []string `json:"rails_experiments"`
 	SerialColdNs    int64    `json:"serial_cold_ns_per_op"`
+	MultiRailColdNs int64    `json:"multirail_cold_ns_per_op"`
 	ParallelNs      int64    `json:"parallel_cold_ns_per_op"`
 	SerialWarmNs    int64    `json:"serial_warm_ns_per_op"`
 	TelemetryOffNs  int64    `json:"telemetry_off_ns_per_op"`
@@ -101,13 +111,28 @@ func cacheStats() map[string]sim.CacheStats {
 }
 
 func runSet(cfg experiments.Config) error {
+	return runIDs(cfg, sweepIDs)
+}
+
+func runIDs(cfg experiments.Config, ids []string) error {
 	reg := experiments.Registry()
-	for _, id := range sweepIDs {
+	for _, id := range ids {
 		if err := reg[id](cfg, io.Discard); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
 	return nil
+}
+
+// timeRailsOnce runs the multi-rail sweep set cold and returns its wall
+// time.
+func timeRailsOnce(cfg experiments.Config) (time.Duration, error) {
+	resetCaches()
+	start := time.Now()
+	if err := runIDs(cfg, railsSweepIDs); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
 }
 
 // timeOnce runs the sweep set once and returns its wall time, flushing
@@ -290,7 +315,7 @@ func main() {
 	// reverse order on odd rounds, because under sustained load the host
 	// slows down within a round (turbo decay) and a fixed order would
 	// systematically tax whichever block runs last.
-	var serialColds, serialWarms, parallelColds, telemOffs, spansOffsT []time.Duration
+	var serialColds, serialWarms, parallelColds, telemOffs, spansOffsT, railsColds []time.Duration
 	var caches map[string]sim.CacheStats
 	serialBlock := func() error {
 		d, err := timeOnce(serialCfg, false)
@@ -322,10 +347,15 @@ func main() {
 		spansOffsT = append(spansOffsT, d)
 		return err
 	}
+	railsBlock := func() error {
+		d, err := timeRailsOnce(serialCfg)
+		railsColds = append(railsColds, d)
+		return err
+	}
 	for r := 0; r < *repeat; r++ {
-		blocks := []func() error{serialBlock, parallelBlock, offBlock, spansOffBlock}
+		blocks := []func() error{serialBlock, parallelBlock, offBlock, spansOffBlock, railsBlock}
 		if r%2 == 1 {
-			blocks = []func() error{spansOffBlock, offBlock, parallelBlock, serialBlock}
+			blocks = []func() error{railsBlock, spansOffBlock, offBlock, parallelBlock, serialBlock}
 		}
 		for _, b := range blocks {
 			if err := b(); err != nil {
@@ -338,13 +368,16 @@ func main() {
 	parallelCold := median(parallelColds)
 	telemOff := median(telemOffs)
 	spansOff := median(spansOffsT)
+	railsCold := median(railsColds)
 
 	rep := Report{
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		NumCPU:          runtime.NumCPU(),
 		Experiments:     sweepIDs,
+		RailsExps:       railsSweepIDs,
 		Repeat:          *repeat,
 		SerialColdNs:    serialCold.Nanoseconds(),
+		MultiRailColdNs: railsCold.Nanoseconds(),
 		ParallelNs:      parallelCold.Nanoseconds(),
 		SerialWarmNs:    serialWarm.Nanoseconds(),
 		TelemetryOffNs:  telemOff.Nanoseconds(),
@@ -372,10 +405,11 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s: serial %v, parallel(%d) %v (%.2fx), warm %v (%.1fx cache win), telemetry-off %v (%+.1f%%), spans-off %v (%+.1f%%)\n",
+	fmt.Printf("wrote %s: serial %v, parallel(%d) %v (%.2fx), warm %v (%.1fx cache win), telemetry-off %v (%+.1f%%), spans-off %v (%+.1f%%), multi-rail %v\n",
 		*out, serialCold.Round(time.Millisecond), rep.GOMAXPROCS,
 		parallelCold.Round(time.Millisecond), rep.Speedup,
 		serialWarm.Round(time.Millisecond), rep.CacheSpeedup,
 		telemOff.Round(time.Millisecond), rep.TelemetryOffPct,
-		spansOff.Round(time.Millisecond), rep.SpansOffPct)
+		spansOff.Round(time.Millisecond), rep.SpansOffPct,
+		railsCold.Round(time.Millisecond))
 }

@@ -83,6 +83,16 @@ type Result struct {
 	LowEvents  uint64 // distinct gating actuations
 	HighEvents uint64 // distinct phantom actuations
 
+	// Rails carries per-rail summaries on a multi-rail run (spec order;
+	// nil otherwise). The top-level MinV/MaxV are then the worst across
+	// rails, Emergencies counts cycles where any rail left its band, and
+	// Thresholds/VNominal describe rail 0.
+	Rails []RailResult
+
+	// DVS schedule activity, when the spec carries a DVS section.
+	DVSStepDowns uint64
+	DVSStepUps   uint64
+
 	CurrentTrace trace.Trace // populated when Options.RecordTraces
 	VoltageTrace trace.Trace
 }
@@ -131,6 +141,22 @@ type System struct {
 	voltTr trace.Trace
 	iMin   float64
 	iMax   float64
+
+	// Multi-rail state (see multirail.go). rails is nil on a single-rail
+	// system, and every legacy path keys off that.
+	graph    *pdn.Graph
+	gsim     *pdn.GraphSimulator
+	rails    []railState
+	railOf   [power.NumScopes]int // delivery scope -> owning rail index
+	scopeCur []float64            // per-cycle scratch: current by scope
+	railCur  []float64            // per-cycle scratch: current by rail
+	railVolt []float64            // per-cycle scratch: voltage by rail
+
+	// dvs, when non-nil, scales the machine's current draw by the schedule's
+	// operating point (set on both single- and multi-rail systems when the
+	// spec carries a DVS section).
+	dvs     *actuator.DVS
+	dvsRail int // rail whose sensor drives the schedule; -1 = aggregate
 }
 
 // NewSystem builds the coupled system for a program. The PDN is calibrated
@@ -145,6 +171,19 @@ func NewSystem(prog isa.Program, opts Options) (*System, error) {
 		return nil, err
 	}
 	pm := power.New(sp.Power, c.Config())
+	if sp.PDN.MultiRail() {
+		s := &System{
+			opts:  opts,
+			spec:  sp,
+			CPU:   c,
+			Power: pm,
+			minV:  math.Inf(1),
+			maxV:  math.Inf(-1),
+			hist:  stats.NewHistogram(0.90, 1.10, 200),
+		}
+		s.stream = opts.Telemetry.Stream(opts.TelemetryName)
+		return newMultiRailSystem(s, sp, opts)
+	}
 	iMin, iMax := sp.PDN.EnvelopeIMin, sp.PDN.EnvelopeIMax
 	if iMin == 0 || iMax == 0 {
 		// The probe memo keys on the as-given (pre-resolution) CPU/power
@@ -205,6 +244,13 @@ func NewSystem(prog isa.Program, opts Options) (*System, error) {
 		}
 		s.responder = mech
 	}
+	s.dvsRail = -1
+	if d := sp.Actuator.DVS; d != nil {
+		// Single-rail DVS: the schedule advances through Respond (one rail,
+		// one sensed level), composed around whatever responder is in place.
+		s.dvs = actuator.NewDVS(s.responder, d.Steps, d.TransitionCycles, d.HoldCycles, d.CurrentExponent)
+		s.responder = s.dvs
+	}
 	if sp.Control.Enabled {
 		// The counting wrapper feeds actuation tallies into the metrics
 		// registry at the end of the run; one plain increment per cycle.
@@ -259,6 +305,14 @@ func (s *System) Thresholds() control.Thresholds { return s.thresholds }
 // stepped afterwards; Close is optional but sweeps that build hundreds of
 // systems should call it.
 func (s *System) Close() {
+	if s.gsim != nil {
+		// Releases every rail's simulator, including the one aliased by
+		// s.Sim (Release is idempotent).
+		s.gsim.Release()
+		s.gsim = nil
+		s.Sim = nil
+		return
+	}
 	if s.Sim != nil {
 		s.Sim.Release()
 		s.Sim = nil
@@ -287,6 +341,9 @@ type CycleState struct {
 //
 //didt:hotpath
 func (s *System) StepCycle() CycleState {
+	if s.rails != nil {
+		return s.stepCycleMulti()
+	}
 	current, done := s.machineStep(&s.act)
 	v := s.Sim.Step(current)
 	return s.observe(&s.act, current, v, done)
@@ -304,6 +361,9 @@ func (s *System) machineStep(act *cpu.Activity) (float64, bool) {
 	s.CPU.SetGating(s.gating)
 	done := s.CPU.StepInto(act)
 	rep := s.Power.Step(act, s.phantom)
+	if s.dvs != nil {
+		return rep.Current * s.dvs.CurrentScale(), done
+	}
 	return rep.Current, done
 }
 
@@ -442,6 +502,9 @@ func boolArg(b bool) int32 {
 // path.
 func (s *System) Run() (*Result, error) {
 	if s.openLoop() {
+		if s.rails != nil {
+			return s.runOpenLoopMulti()
+		}
 		return s.runOpenLoop()
 	}
 	for s.cycle < s.spec.Budget.MaxCycles {
@@ -496,6 +559,10 @@ func (s *System) finish(st cpu.Stats, energy float64) *Result {
 	if measured > 0 {
 		r.EmergencyFreq = float64(s.emerg) / float64(measured)
 	}
+	r.Rails = s.railResults()
+	if s.dvs != nil {
+		r.DVSStepDowns, r.DVSStepUps = s.dvs.StepDowns, s.dvs.StepUps
+	}
 	if s.cycle > 0 {
 		r.AvgPower = r.Energy / (float64(s.cycle) / s.Power.Params().ClockHz)
 	}
@@ -516,10 +583,20 @@ func (s *System) publishMetrics(r *Result) {
 	reg.Counter("cpu.instructions_total").Add(int64(r.Stats.Instructions))
 	reg.Counter("cpu.mispredicts_total").Add(int64(r.Stats.Mispredicts))
 	reg.Counter("cpu.gated_cycles_total").Add(int64(r.Stats.GatedCycles))
-	samples, low, high := s.Sensor.Trips()
-	reg.Counter("sensor.samples_total").Add(int64(samples))
-	reg.Counter("sensor.low_trips_total").Add(int64(low))
-	reg.Counter("sensor.high_trips_total").Add(int64(high))
+	if s.Sensor != nil {
+		samples, low, high := s.Sensor.Trips()
+		reg.Counter("sensor.samples_total").Add(int64(samples))
+		reg.Counter("sensor.low_trips_total").Add(int64(low))
+		reg.Counter("sensor.high_trips_total").Add(int64(high))
+	}
+	for i := range s.rails {
+		if sen := s.rails[i].sensor; sen != nil {
+			samples, low, high := sen.Trips()
+			reg.Counter("sensor.samples_total").Add(int64(samples))
+			reg.Counter("sensor.low_trips_total").Add(int64(low))
+			reg.Counter("sensor.high_trips_total").Add(int64(high))
+		}
+	}
 	if s.counting != nil {
 		reg.Counter("actuator.low_responses_total").Add(int64(s.counting.LowResponses))
 		reg.Counter("actuator.high_responses_total").Add(int64(s.counting.HighResponses))

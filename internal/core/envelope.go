@@ -10,9 +10,14 @@ import (
 	"didt/internal/telemetry"
 )
 
-// envelope is a measured current envelope in amperes.
+// envelope is a measured current envelope in amperes. The per-scope
+// breakdown (same probe, same window, same percentile) feeds multi-rail
+// calibration; whole-chip iMin/iMax are computed exactly as they always
+// were, so single-rail systems see bit-identical envelopes.
 type envelope struct {
 	iMin, iMax float64
+	scopeMin   [power.NumScopes]float64
+	scopeMax   [power.NumScopes]float64
 }
 
 // envelopeKey identifies one envelope measurement by the fingerprints of
@@ -58,14 +63,21 @@ func ResetEnvelopeCache() { envelopeCache.Reset() }
 // unreachable envelope would make every real workload look artificially
 // tame (and every threshold artificially loose).
 func measureEnvelope(cfg cpu.Config, pp power.Params) (iMin, iMax float64, err error) {
-	key := envelopeKey{cpu: sim.Fingerprint(cfg), power: sim.Fingerprint(pp)}
-	env, err := envelopeCache.Get(key, func() (envelope, error) {
-		return measureEnvelopeUncached(cfg, pp)
-	})
+	env, err := measureEnvelopeScoped(cfg, pp)
 	if err != nil {
 		return 0, 0, err
 	}
 	return env.iMin, env.iMax, nil
+}
+
+// measureEnvelopeScoped returns the full measurement including the
+// per-delivery-scope envelopes multi-rail calibration splits the chip
+// across. Same memo as measureEnvelope — one probe serves both.
+func measureEnvelopeScoped(cfg cpu.Config, pp power.Params) (envelope, error) {
+	key := envelopeKey{cpu: sim.Fingerprint(cfg), power: sim.Fingerprint(pp)}
+	return envelopeCache.Get(key, func() (envelope, error) {
+		return measureEnvelopeUncached(cfg, pp)
+	})
 }
 
 func measureEnvelopeUncached(cfg cpu.Config, pp power.Params) (envelope, error) {
@@ -83,19 +95,37 @@ func measureEnvelopeUncached(cfg cpu.Config, pp power.Params) (envelope, error) 
 		window = 8000
 	)
 	samples := make([]float64, 0, window)
+	var scopeSamples [power.NumScopes][]float64
+	for sc := range scopeSamples {
+		scopeSamples[sc] = make([]float64, 0, window)
+	}
+	scopeCur := make([]float64, power.NumScopes)
 	var act cpu.Activity
 	for i := 0; i < warmup+window; i++ {
 		done := c.StepInto(&act)
 		rep := pm.Step(&act, power.Phantom{})
 		if i >= warmup {
 			samples = append(samples, rep.Current)
+			pm.ScopeCurrents(&rep, scopeCur)
+			for sc := range scopeSamples {
+				scopeSamples[sc] = append(scopeSamples[sc], scopeCur[sc])
+			}
 		}
 		if done {
 			break
 		}
 	}
+	// The whole-chip envelope is computed exactly as before the scoped
+	// breakdown existed (same samples, same sort, same percentile) — the
+	// memoized value single-rail calibration consumes is bit-identical.
 	sort.Float64s(samples)
-	return envelope{iMin: pm.MinCurrent(), iMax: samples[len(samples)*98/100]}, nil
+	env := envelope{iMin: pm.MinCurrent(), iMax: samples[len(samples)*98/100]}
+	for sc := range scopeSamples {
+		sort.Float64s(scopeSamples[sc])
+		env.scopeMax[sc] = scopeSamples[sc][len(scopeSamples[sc])*98/100]
+		env.scopeMin[sc] = pm.ScopedMinCurrent(power.Scope(sc).Mask())
+	}
+	return env, nil
 }
 
 // saturationProbe builds an endless-enough loop of independent, cache-warm,

@@ -151,6 +151,22 @@ func RunBatch(systems []*System) ([]*Result, error) {
 		}
 		return []*Result{r}, nil
 	}
+	for _, s := range systems {
+		if s.rails != nil {
+			// Multi-rail systems carry a rail graph per lane; the shared
+			// single-kernel batch convolver does not apply. Run them
+			// sequentially — same results, no lockstep speedup.
+			results := make([]*Result, len(systems))
+			for i, ms := range systems {
+				r, err := ms.Run()
+				if err != nil {
+					return nil, fmt.Errorf("core: lane %d: %w", i, err)
+				}
+				results[i] = r
+			}
+			return results, nil
+		}
+	}
 	params := systems[0].Net.Params()
 	for _, s := range systems[1:] {
 		if s.Net.Params() != params {

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRailsFamilyRegistered(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"rails-emergencies", "rails-resonance", "rails-thresholds", "rails-dvs"} {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+}
+
+func TestRailsEmergenciesShape(t *testing.T) {
+	r, err := RailsEmergencies(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two configured benchmarks plus the stressmark.
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row.PerRail) != len(r.Rails) {
+			t.Fatalf("%s: %d per-rail entries, want %d", row.Name, len(row.PerRail), len(r.Rails))
+		}
+		max, sum := 0.0, 0.0
+		for _, f := range row.PerRail {
+			sum += f
+			if f > max {
+				max = f
+			}
+		}
+		if row.Aggregate < max || row.Aggregate > sum {
+			t.Errorf("%s: aggregate %g outside [max %g, sum %g]", row.Name, row.Aggregate, max, sum)
+		}
+	}
+	if r.Rows[len(r.Rows)-1].Name != "stressmark" {
+		t.Errorf("last row %q, want stressmark", r.Rows[len(r.Rows)-1].Name)
+	}
+}
+
+func TestRailsResonanceShape(t *testing.T) {
+	r, err := RailsResonance(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ks[0] != 0 {
+		t.Fatal("sweep must include the uncoupled baseline")
+	}
+	// Zero coupling -> zero transfer: the victim draws constant floor
+	// current, so any droop must cross the domain boundary.
+	for si, d := range r.DroopMV[0] {
+		if d > 1e-9 {
+			t.Errorf("K=0 scale %g: droop %g mV, want 0", r.Scales[si], d)
+		}
+	}
+	// Transfer grows with coupling strength at every stimulus period.
+	resIdx := -1
+	for i, s := range r.Scales {
+		if s == 1.0 {
+			resIdx = i
+		}
+	}
+	for si := range r.Scales {
+		for ki := 1; ki < len(r.Ks); ki++ {
+			if r.DroopMV[ki][si] <= r.DroopMV[ki-1][si] {
+				t.Errorf("scale %g: droop not increasing in K (%g -> %g)",
+					r.Scales[si], r.DroopMV[ki-1][si], r.DroopMV[ki][si])
+			}
+		}
+	}
+	// And peaks at the resonant period for any nonzero coupling.
+	for ki := 1; ki < len(r.Ks); ki++ {
+		for si := range r.Scales {
+			if si != resIdx && r.DroopMV[ki][si] > r.DroopMV[ki][resIdx] {
+				t.Errorf("K=%g: droop at %gx (%g mV) exceeds resonance (%g mV)",
+					r.Ks[ki], r.Scales[si], r.DroopMV[ki][si], r.DroopMV[ki][resIdx])
+			}
+		}
+	}
+}
+
+func TestRailsThresholdsShape(t *testing.T) {
+	r, err := RailsThresholds(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three mechanisms x three rails.
+	if len(r.Rows) != 9 {
+		t.Fatalf("rows %d, want 9", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Low >= row.High {
+			t.Errorf("%s/%s: thresholds inverted [%g, %g]", row.Mechanism, row.Rail, row.Low, row.High)
+		}
+		if row.IMin <= 0 || row.IMax <= row.IMin {
+			t.Errorf("%s/%s: envelope [%g, %g]", row.Mechanism, row.Rail, row.IMin, row.IMax)
+		}
+	}
+}
+
+func TestRailsDVSRuns(t *testing.T) {
+	r, err := RailsDVS(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.GateOnly.Rails) != 3 || len(r.GateDVS.Rails) != 3 {
+		t.Fatalf("rail results %d/%d, want 3/3", len(r.GateOnly.Rails), len(r.GateDVS.Rails))
+	}
+	if r.GateOnly.DVSStepDowns != 0 {
+		t.Error("gate-only run reports DVS activity")
+	}
+	var buf bytes.Buffer
+	r.Render(&buf)
+	if !strings.Contains(buf.String(), "DVS step downs") {
+		t.Error("render missing DVS counters")
+	}
+}
+
+// TestRailsFamilyParallelDeterminism extends the byte-identity contract to
+// the multi-rail family: rendered output at one worker equals rendered
+// output at eight.
+func TestRailsFamilyParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run determinism comparison is slow")
+	}
+	ids := []string{"rails-emergencies", "rails-resonance", "rails-thresholds", "rails-dvs"}
+	reg := Registry()
+	render := func(parallel int) []byte {
+		resetAllCaches()
+		cfg := tinyConfig()
+		cfg.Parallel = parallel
+		var buf bytes.Buffer
+		for _, id := range ids {
+			if err := reg[id](cfg, &buf); err != nil {
+				t.Fatalf("parallel=%d %s: %v", parallel, id, err)
+			}
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("rails family output differs across worker counts (%d vs %d bytes)", len(serial), len(parallel))
+	}
+}

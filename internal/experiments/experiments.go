@@ -414,6 +414,12 @@ func Registry() map[string]Runner {
 		},
 		"ablation-window": func(c Config, w io.Writer) error { return renderWindowAblation(c, w) },
 		"recovery-policy": func(c Config, w io.Writer) error { return renderRecovery(c, w) },
+		// Multi-rail PDN family: per-domain delivery, cross-domain coupling,
+		// per-rail control, and the DVS actuator.
+		"rails-emergencies": func(c Config, w io.Writer) error { return renderRailsEmergencies(c, w) },
+		"rails-resonance":   func(c Config, w io.Writer) error { return renderRailsResonance(c, w) },
+		"rails-thresholds":  func(c Config, w io.Writer) error { return renderRailsThresholds(c, w) },
+		"rails-dvs":         func(c Config, w io.Writer) error { return renderRailsDVS(c, w) },
 	}
 }
 
@@ -426,6 +432,8 @@ func IDs() []string {
 		// Section 6 / discussion extensions and ablations.
 		"asymmetric", "pid", "ramp-policy", "ablation-gating", "locality",
 		"software-scheduling", "ablation-window", "recovery-policy",
+		// Multi-rail PDN family.
+		"rails-emergencies", "rails-resonance", "rails-thresholds", "rails-dvs",
 	}
 	// Guard against registry drift.
 	reg := Registry()

@@ -151,6 +151,12 @@ func batchable(opts core.Options) bool {
 		// path rather than reasoning about their reentrancy in a batch.
 		return false
 	}
+	if s.PDN.MultiRail() {
+		// A multi-rail system carries its own rail graph; the shared
+		// single-kernel lockstep convolver does not apply (RunBatch would
+		// fall back to sequential Runs anyway).
+		return false
+	}
 	return s.Control.Enabled || s.Control.PessimisticRamp != 0 ||
 		opts.Telemetry.Enabled()
 }

@@ -1,0 +1,192 @@
+package power
+
+// Delivery scopes partition the power-modeled units into the groups the
+// multi-rail PDN can place on separate rails. The partition follows the
+// actuator's gating scopes — FU, DL1, IL1 — so per-rail current naturally
+// lines up with what gate/phantom-fire actuation can reach, plus an
+// "uncore" scope for everything else (clock tree, rename, window, LSQ,
+// register file, L2, result bus). The single-rail model is the degenerate
+// partition where one rail owns every scope.
+
+// Scope identifies one delivery scope.
+type Scope int
+
+const (
+	ScopeFU Scope = iota
+	ScopeDL1
+	ScopeIL1
+	ScopeUncore
+	NumScopes
+)
+
+var scopeNames = [NumScopes]string{"fu", "dl1", "il1", "uncore"}
+
+// String names the scope.
+func (s Scope) String() string {
+	if s >= 0 && int(s) < len(scopeNames) {
+		return scopeNames[s]
+	}
+	return "scope(?)"
+}
+
+// ScopeNames lists the scope names in index order; the spec layer uses it
+// for rail-binding validation and did-you-mean hints.
+func ScopeNames() []string { return append([]string(nil), scopeNames[:]...) }
+
+// ScopeByName resolves a scope name (as used in spec rail bindings).
+func ScopeByName(name string) (Scope, bool) {
+	for i, n := range scopeNames {
+		if n == name {
+			return Scope(i), true
+		}
+	}
+	return 0, false
+}
+
+// scopeOf maps every unit to its delivery scope. The FU/DL1/IL1 rows match
+// classify()'s hard-gating cases exactly; everything else is uncore.
+var scopeOf = [NumUnits]Scope{
+	UnitClock:     ScopeUncore,
+	UnitFetch:     ScopeIL1,
+	UnitBpred:     ScopeIL1,
+	UnitRename:    ScopeUncore,
+	UnitWindow:    ScopeUncore,
+	UnitLSQ:       ScopeUncore,
+	UnitRegFile:   ScopeUncore,
+	UnitL1I:       ScopeIL1,
+	UnitL1D:       ScopeDL1,
+	UnitL2:        ScopeUncore,
+	UnitIntALU:    ScopeFU,
+	UnitIntMult:   ScopeFU,
+	UnitFPALU:     ScopeFU,
+	UnitFPMult:    ScopeFU,
+	UnitResultBus: ScopeUncore,
+}
+
+// ScopeOf returns the delivery scope a unit belongs to.
+func ScopeOf(u Unit) Scope { return scopeOf[u] }
+
+// ScopeMask is a set of scopes — the scopes one rail owns.
+type ScopeMask uint8
+
+// Mask returns the single-scope mask.
+func (s Scope) Mask() ScopeMask { return 1 << uint(s) }
+
+// AllScopes is the full partition (the single-rail degenerate case).
+const AllScopes = ScopeMask(1<<NumScopes) - 1
+
+// Has reports whether the mask contains the scope.
+func (m ScopeMask) Has(s Scope) bool { return m&s.Mask() != 0 }
+
+// ScopeCurrents splits one cycle's current draw across the delivery
+// scopes: dst[s] receives scope s's amperes. dst must have length >=
+// NumScopes. The multi-rail closed loop calls this every cycle, so it
+// allocates nothing.
+//
+//didt:hotpath
+func (m *Model) ScopeCurrents(r *CycleReport, dst []float64) {
+	_ = dst[NumScopes-1]
+	for s := 0; s < int(NumScopes); s++ {
+		dst[s] = 0
+	}
+	for u := Unit(0); u < NumUnits; u++ {
+		dst[scopeOf[u]] += r.PerUnit[u]
+	}
+	inv := 1 / m.p.VNominal
+	for s := 0; s < int(NumScopes); s++ {
+		dst[s] *= inv
+	}
+}
+
+// ScopedMinCurrent returns the quiescent (cc3-idle) current drawn by the
+// units in the given scopes — the per-rail analogue of MinCurrent. The
+// clock tree belongs to uncore and idles at its activity-tracking floor.
+// Summed over the full partition this reproduces MinCurrent (same factors,
+// possibly different float association, so compare with a tolerance).
+func (m *Model) ScopedMinCurrent(mask ScopeMask) float64 {
+	var sel float64
+	for u := Unit(1); u < NumUnits; u++ {
+		if mask.Has(scopeOf[u]) {
+			sel += m.p.Peak[u] * m.p.IdleFraction
+		}
+	}
+	if mask.Has(ScopeUncore) {
+		sel += m.p.Peak[UnitClock] * (0.35 + 0.65*m.p.IdleFraction)
+	}
+	return sel / m.p.VNominal
+}
+
+// ScopedMaxCurrent returns the all-units-at-peak current of the given
+// scopes — the per-rail analogue of MaxCurrent.
+func (m *Model) ScopedMaxCurrent(mask ScopeMask) float64 {
+	var sel float64
+	for u := Unit(0); u < NumUnits; u++ {
+		if mask.Has(scopeOf[u]) {
+			sel += m.p.Peak[u]
+		}
+	}
+	return sel / m.p.VNominal
+}
+
+// ScopedGatedFloorCurrent restricts GatedFloorCurrent to the units of the
+// given scopes: the current the actuator can force on one rail by
+// hard-gating the given groups, while un-gated units keep running at the
+// sustained level. The clock term uses the whole-chip activity fraction —
+// the clock tree spans the die regardless of which rail feeds it — so the
+// scoped floors summed over the full partition equal GatedFloorCurrent.
+func (m *Model) ScopedGatedFloorCurrent(mask ScopeMask, fus, dl1, il1 bool) float64 {
+	var p, sumPeak, sel float64
+	for u := Unit(1); u < NumUnits; u++ {
+		var f float64
+		switch classify(u, fus, dl1, il1) {
+		case scopeGated:
+			f = m.p.GatedFraction
+		case scopeStalled:
+			f = m.p.IdleFraction
+		default:
+			f = sustainedFraction
+		}
+		pu := m.p.Peak[u] * f
+		p += pu
+		sumPeak += m.p.Peak[u]
+		if mask.Has(scopeOf[u]) {
+			sel += pu
+		}
+	}
+	if mask.Has(ScopeUncore) {
+		sel += m.p.Peak[UnitClock] * (0.35 + 0.65*(p/sumPeak))
+	}
+	return sel / m.p.VNominal
+}
+
+// ScopedPhantomCeilingCurrent restricts PhantomCeilingCurrent to the units
+// of the given scopes: the current one rail reaches when the actuator
+// phantom-fires the given groups while the remainder idles. The clock term
+// again tracks whole-chip activity.
+func (m *Model) ScopedPhantomCeilingCurrent(mask ScopeMask, fus, dl1, il1 bool) float64 {
+	var p, sumPeak, sel float64
+	for u := Unit(1); u < NumUnits; u++ {
+		full := false
+		switch u {
+		case UnitIntALU, UnitIntMult, UnitFPALU, UnitFPMult:
+			full = fus
+		case UnitL1D:
+			full = dl1
+		case UnitL1I, UnitFetch, UnitBpred:
+			full = il1
+		}
+		pu := m.p.Peak[u] * m.p.IdleFraction
+		if full {
+			pu = m.p.Peak[u]
+		}
+		p += pu
+		sumPeak += m.p.Peak[u]
+		if mask.Has(scopeOf[u]) {
+			sel += pu
+		}
+	}
+	if mask.Has(ScopeUncore) {
+		sel += m.p.Peak[UnitClock] * (0.35 + 0.65*(p/sumPeak))
+	}
+	return sel / m.p.VNominal
+}

@@ -99,6 +99,39 @@ func TestServerSweepByteIdentical(t *testing.T) {
 	}
 }
 
+// TestServerSweepRailsByteIdentical extends the determinism contract to
+// the multi-rail family: the rail-graph experiments registered after the
+// single-rail refactor are served through the same generic sweep path —
+// no server changes — and their bytes match cmd/experiments output at any
+// parallelism.
+func TestServerSweepRailsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep comparison in -short mode")
+	}
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2})
+
+	ids := []string{"rails-thresholds", "rails-dvs"}
+	resetAllCaches()
+	var want bytes.Buffer
+	for _, id := range ids {
+		if err := experiments.Registry()[id](tinyConfig(), &want); err != nil {
+			t.Fatalf("local render %s: %v", id, err)
+		}
+	}
+
+	for _, parallel := range []int{1, 8} {
+		resetAllCaches()
+		req := fmt.Sprintf(`{"runs":["rails-thresholds","rails-dvs"],"cycles":30000,"warmup":10000,"iterations":300,"stress_iterations":250,"benchmarks":["swim","gcc"],"parallel":%d}`, parallel)
+		code, body := postJSON(t, ts.URL+"/v1/sweep", req)
+		if code != http.StatusOK {
+			t.Fatalf("parallel=%d: status %d: %s", parallel, code, body)
+		}
+		if body != want.String() {
+			t.Errorf("parallel=%d rails response diverges from cmd/experiments output\ngot:\n%s\nwant:\n%s", parallel, body, want.String())
+		}
+	}
+}
+
 // TestServerSweepValidation: malformed and unknown requests are rejected
 // before admission, with no work started.
 func TestServerSweepValidation(t *testing.T) {

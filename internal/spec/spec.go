@@ -59,6 +59,13 @@ type PDNSpec struct {
 	// used for calibration and threshold solving; zero means measure.
 	EnvelopeIMin float64 `json:"envelope_i_min_a"`
 	EnvelopeIMax float64 `json:"envelope_i_max_a"`
+	// Rails, when present, splits delivery across named per-domain rails
+	// (the multi-rail graph); empty keeps the single shared rail above.
+	// Both fields are omitempty on purpose: a legacy spec's resolved JSON —
+	// and therefore its Key() — must not change with their introduction.
+	Rails []RailSpec `json:"rails,omitempty"`
+	// Coupling lists cross-rail transient injection coefficients.
+	Coupling []CouplingSpec `json:"coupling,omitempty"`
 }
 
 // SensorSpec configures the threshold voltage sensor (Section 4).
@@ -68,6 +75,9 @@ type SensorSpec struct {
 	// GuardBandMV widens the solved thresholds against sensor error
 	// (Section 4.5). Zero tracks NoiseMV, the paper's guard-banding rule.
 	GuardBandMV float64 `json:"guard_band_mv"`
+	// Rails restricts per-rail sensing on a multi-rail spec to the named
+	// rails; empty senses every rail. Omitempty keeps legacy keys stable.
+	Rails []string `json:"rails,omitempty"`
 }
 
 // ControlSpec enables and shapes the threshold controller (Sections 4-5).
@@ -91,6 +101,11 @@ type ControlSpec struct {
 // runtime through core.Options, outside the serializable spec.
 type ActuatorSpec struct {
 	Mechanism string `json:"mechanism"`
+	// DVS, when present, layers the dynamic voltage scaling responder on
+	// top of the gate/phantom-fire mechanism (they compose through the
+	// same Responder interface). Nil — the legacy value — keeps the key
+	// byte-identical to the pre-DVS spec.
+	DVS *DVSSpec `json:"dvs,omitempty"`
 }
 
 // WorkloadSpec selects the program: a named synthetic SPEC2000 stand-in, the
@@ -158,7 +173,7 @@ func (s RunSpec) WithDefaults() RunSpec {
 	if !s.Seed.Explicit {
 		s.Seed = NewSeed(0)
 	}
-	return s
+	return s.withRailDefaults()
 }
 
 // Validate checks a resolved spec and returns every problem at once
@@ -209,6 +224,7 @@ func (s RunSpec) Validate() error {
 				s.Actuator.Mechanism, actuator.Names()))
 		}
 	}
+	errs = append(errs, s.validateRails()...)
 	errs = append(errs, s.Workload.validate()...)
 	if s.Budget.MaxCycles > 0 && s.Budget.WarmupCycles >= s.Budget.MaxCycles {
 		errs = append(errs, fmt.Errorf("spec: warmup_cycles %d must be below max_cycles %d",
